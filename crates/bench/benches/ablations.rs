@@ -1,0 +1,69 @@
+//! Timing side of the ablations: how much the Algorithm 2 machinery
+//! costs relative to its simpler ancestors, and the ablation-figure
+//! generation itself (quality metrics are produced by
+//! `figures --ablations`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rubic::prelude::*;
+
+fn drive_controller(mut ctl: Box<dyn Controller>, rounds: u64) -> u32 {
+    let mut level = 1u32;
+    for round in 0..rounds {
+        let l = f64::from(level);
+        let thr = if l <= 64.0 { l } else { 64.0 - (l - 64.0) };
+        level = ctl.decide(Sample {
+            throughput: thr,
+            level,
+            round,
+        });
+    }
+    level
+}
+
+fn bench_controller_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/controller_cost_1000_rounds");
+    let cfg = PolicyConfig::paper(1);
+    for policy in [Policy::Rubic, Policy::Cimd, Policy::Aimd, Policy::Ebs] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| drive_controller(policy.build(&cfg), black_box(1000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_conventions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/k_convention_cost");
+    for (label, conv) in [
+        ("tcp", CubicKConvention::TcpCubic),
+        ("paper_literal", CubicKConvention::PaperLiteral),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = RubicConfig {
+                convention: conv,
+                ..RubicConfig::default()
+            };
+            b.iter(|| drive_controller(Box::new(Rubic::new(cfg, 128)), black_box(1000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/figure_generation");
+    group.sample_size(10);
+    group.bench_function("k_convention", |b| {
+        b.iter(rubic_bench::ablations::k_convention);
+    });
+    group.bench_function("penalty_sweep", |b| {
+        b.iter(rubic_bench::ablations::penalty_sweep);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_controller_families,
+    bench_k_conventions,
+    bench_ablation_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Controller decision-cost microbenchmarks: the paper's monitor runs
+//! every 10 ms, so a decision must cost microseconds at most. Also
+//! benches the cubic function evaluation itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rubic::prelude::*;
+use rubic_controllers::cubic_level;
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controllers/decide");
+    let cfg = PolicyConfig::paper(2);
+    for policy in [
+        Policy::Rubic,
+        Policy::Ebs,
+        Policy::F2c2,
+        Policy::Aimd,
+        Policy::Cimd,
+        Policy::Greedy,
+        Policy::EqualShare,
+    ] {
+        group.bench_function(policy.label(), |b| {
+            let mut ctl = policy.build(&cfg);
+            let mut level = 1u32;
+            let mut round = 0u64;
+            b.iter(|| {
+                // Alternate gains and losses so every branch is hot.
+                let thr = if round.is_multiple_of(3) { 10.0 } else { 100.0 };
+                level = ctl.decide(black_box(Sample {
+                    throughput: thr,
+                    level,
+                    round,
+                }));
+                round += 1;
+                level
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cubic_eval(c: &mut Criterion) {
+    c.bench_function("controllers/cubic_level_eval", |b| {
+        b.iter(|| {
+            cubic_level(
+                black_box(64.0),
+                black_box(7.3),
+                0.8,
+                0.1,
+                CubicKConvention::TcpCubic,
+            )
+        });
+    });
+}
+
+fn bench_full_convergence(c: &mut Criterion) {
+    // Cost of a whole 1000-round control loop (no simulation around it).
+    c.bench_function("controllers/rubic_1000_rounds", |b| {
+        b.iter(|| {
+            let mut ctl = Rubic::new(RubicConfig::default(), 128);
+            let mut level = 1u32;
+            for round in 0..1000u64 {
+                let l = f64::from(level);
+                let thr = if l <= 64.0 { l } else { 64.0 - (l - 64.0) };
+                level = ctl.decide(Sample {
+                    throughput: thr,
+                    level,
+                    round,
+                });
+            }
+            level
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decide,
+    bench_cubic_eval,
+    bench_full_convergence
+);
+criterion_main!(benches);

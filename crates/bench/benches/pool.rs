@@ -1,0 +1,89 @@
+//! Malleable-pool overhead benchmarks: the cost of the Algorithm 1
+//! gating check relative to raw task execution, semaphore round-trips,
+//! and whole-pool throughput at fixed levels.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rubic::prelude::*;
+use rubic::runtime::Semaphore;
+
+#[derive(Clone)]
+struct Spin(u64);
+impl Workload for Spin {
+    type WorkerState = ();
+    fn init_worker(&self, _tid: usize) {}
+    fn run_task(&self, (): &mut ()) {
+        std::hint::black_box((0..self.0).fold(0u64, |a, b| a.wrapping_add(b)));
+    }
+}
+
+fn bench_semaphore(c: &mut Criterion) {
+    let sem = Semaphore::new(0);
+    c.bench_function("pool/semaphore_signal_wait", |b| {
+        b.iter(|| {
+            sem.signal();
+            sem.wait();
+        });
+    });
+}
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/fixed_level_run_50ms");
+    group.sample_size(10);
+    for level in [1u32, 2] {
+        group.bench_function(format!("level_{level}"), |b| {
+            b.iter(|| {
+                let pool = MalleablePool::start(
+                    PoolConfig::new(2)
+                        .initial_level(level)
+                        .monitor_period(Duration::from_millis(5)),
+                    Spin(200),
+                    Box::new(Fixed::new(level, 2)),
+                );
+                std::thread::sleep(Duration::from_millis(50));
+                pool.stop().total_tasks
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gating_overhead(c: &mut Criterion) {
+    // Raw loop vs pool-managed loop on one thread: the difference is
+    // the per-task gate check + counter update.
+    let mut group = c.benchmark_group("pool/gating_overhead");
+    group.sample_size(10);
+    group.bench_function("raw_loop_20k_tasks", |b| {
+        let w = Spin(200);
+        let mut st = ();
+        b.iter(|| {
+            for _ in 0..20_000 {
+                w.run_task(&mut st);
+            }
+        });
+    });
+    group.bench_function("pooled_20k_tasks", |b| {
+        b.iter(|| {
+            let pool = MalleablePool::start(
+                PoolConfig::new(1)
+                    .initial_level(1)
+                    .task_budget(20_000)
+                    .monitor_period(Duration::from_millis(5)),
+                Spin(200),
+                Box::new(Fixed::new(1, 1)),
+            );
+            pool.wait_budget_exhausted();
+            pool.stop().total_tasks
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_semaphore,
+    bench_pool_throughput,
+    bench_gating_overhead
+);
+criterion_main!(benches);

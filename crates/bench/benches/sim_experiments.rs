@@ -1,0 +1,65 @@
+//! Simulator throughput benchmarks: cost of one 1000-round run and of a
+//! full paper-protocol experiment (50 repetitions), to size the figure
+//! harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rubic::prelude::*;
+use rubic::sim::{ProcessSpec, SimConfig};
+use rubic_sim::curves::{intruder_like, rbt_like, rbt_readonly};
+
+fn bench_single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/single_run_1000_rounds");
+    for (label, policy) in [("rubic", Policy::Rubic), ("ebs", Policy::Ebs)] {
+        group.bench_function(label, |b| {
+            let specs = [
+                ProcessSpec::new("Int", intruder_like(), policy),
+                ProcessSpec::new("RBT", rbt_like(), policy),
+            ];
+            let cfg = SimConfig::paper(2).with_noise(0.02, 3);
+            b.iter(|| rubic::sim::run(&specs, &cfg).nash_product());
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/experiment_50_reps");
+    group.sample_size(10);
+    group.bench_function("pair_rubic", |b| {
+        b.iter(|| {
+            Experiment::paper(
+                vec![
+                    WorkloadSpec::new("Int", intruder_like()),
+                    WorkloadSpec::new("RBT", rbt_like()),
+                ],
+                Policy::Rubic,
+            )
+            .run()
+            .nash
+            .mean()
+        });
+    });
+    group.finish();
+}
+
+fn bench_convergence_scenario(c: &mut Criterion) {
+    c.bench_function("sim/fig10_convergence_run", |b| {
+        let specs = [
+            ProcessSpec::new("P1", rbt_readonly(), Policy::Rubic),
+            ProcessSpec::new("P2", rbt_readonly(), Policy::Rubic).arrives_at(500),
+        ];
+        let cfg = SimConfig::paper(2).with_noise(0.02, 2016);
+        b.iter(|| {
+            let r = rubic::sim::run(&specs, &cfg);
+            r.processes[0].trace.mean_level_in(800, 1000)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_run,
+    bench_full_experiment,
+    bench_convergence_scenario
+);
+criterion_main!(benches);

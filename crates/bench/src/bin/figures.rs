@@ -1,0 +1,126 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! cargo run --release -p rubic-bench --bin figures -- --all
+//! cargo run --release -p rubic-bench --bin figures -- --fig 7 --quick
+//! cargo run --release -p rubic-bench --bin figures -- --ablations
+//! cargo run --release -p rubic-bench --bin figures -- --all --out results
+//! ```
+//!
+//! Text tables go to stdout (long time-series figures are summarised);
+//! full CSV series are written under `--out` (default `results/`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use rubic_bench::{ablations, extensions, figures, invivo, Figure};
+
+struct Args {
+    selectors: Vec<String>,
+    ablations: bool,
+    extensions: bool,
+    in_vivo: bool,
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        selectors: Vec::new(),
+        ablations: false,
+        extensions: false,
+        in_vivo: false,
+        quick: false,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => args.selectors.push("all".into()),
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a value (1..10|headline)")?;
+                args.selectors.push(v);
+            }
+            "--headline" => args.selectors.push("headline".into()),
+            "--ablations" => args.ablations = true,
+            "--extensions" => args.extensions = true,
+            "--in-vivo" => args.in_vivo = true,
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: figures [--all] [--fig N]... [--headline] [--ablations] [--extensions] [--in-vivo] [--quick] [--out DIR]".into());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.selectors.is_empty() && !args.ablations && !args.extensions && !args.in_vivo {
+        args.selectors.push("all".into());
+    }
+    Ok(args)
+}
+
+fn emit(fig: &Figure, out_dir: &Path) {
+    // Long time-series figures: print a summary, write the full CSV.
+    if fig.rows.len() > 40 {
+        println!("== {} — {} ==", fig.id, fig.title);
+        println!("  ({} rows; full series in CSV)", fig.rows.len());
+        for n in &fig.notes {
+            println!("  note: {n}");
+        }
+    } else {
+        print!("{}", fig.render_text());
+    }
+    println!();
+    let path = out_dir.join(format!("{}.csv", fig.id));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(fig.to_csv().as_bytes()) {
+                eprintln!("warning: failed writing {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: failed creating {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create output dir {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    let reps = figures::default_reps(args.quick);
+    println!(
+        "RUBIC figure harness — repetitions per experiment: {reps}{}",
+        if args.quick { " (--quick)" } else { "" }
+    );
+    println!("CSV output: {}/\n", args.out.display());
+
+    for selector in &args.selectors {
+        for fig in figures::generate(selector, reps) {
+            emit(&fig, &args.out);
+        }
+    }
+    if args.ablations {
+        for fig in ablations::all() {
+            emit(&fig, &args.out);
+        }
+    }
+    if args.extensions {
+        for fig in extensions::all() {
+            emit(&fig, &args.out);
+        }
+    }
+    if args.in_vivo {
+        for fig in invivo::all(args.quick) {
+            emit(&fig, &args.out);
+        }
+    }
+}

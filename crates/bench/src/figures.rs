@@ -1,0 +1,665 @@
+//! One regenerator per figure of the paper's evaluation (see the
+//! experiment index in DESIGN.md §7).
+//!
+//! Absolute numbers come from the simulator's fitted curves and machine
+//! model, so they are not expected to match the paper's testbed; the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction target, and EXPERIMENTS.md records paper-vs-measured
+//! for each figure.
+
+use rubic::prelude::*;
+use rubic::sim::{pairwise_experiments, single_process_experiments, ProcessSpec, SimConfig};
+use rubic_sim::curves::{intruder_like, rbt_like, rbt_readonly, vacation_like};
+
+use crate::Figure;
+
+/// Repetition counts: the paper uses 50; `--quick` uses 5.
+#[must_use]
+pub fn default_reps(quick: bool) -> u32 {
+    if quick {
+        5
+    } else {
+        50
+    }
+}
+
+/// Fig. 1 — Intruder's throughput over thread count: peak at ~7,
+/// below half of sequential at 64.
+#[must_use]
+pub fn fig1() -> Vec<Figure> {
+    let curve = intruder_like();
+    let machine = Machine::paper();
+    let mut f = Figure::new(
+        "fig1",
+        "Intruder speed-up vs parallel threads (64-context machine)",
+        vec!["speedup".into(), "normalized".into()],
+    );
+    let speedups: Vec<f64> = (1..=64)
+        .map(|l| machine.effective_speedup(curve.speedup(f64::from(l)), l))
+        .collect();
+    let peak = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    let peak_l = speedups
+        .iter()
+        .position(|&s| (s - peak).abs() < 1e-12)
+        .unwrap_or(0)
+        + 1;
+    for (i, &s) in speedups.iter().enumerate() {
+        f.push_row(format!("{}", i + 1), vec![s, s / peak]);
+    }
+    f.note(format!("peak at {peak_l} threads with speed-up {peak:.2}"));
+    f.note(format!(
+        "S(64) = {:.2} (paper: less than half of sequential)",
+        speedups[63]
+    ));
+    vec![f]
+}
+
+/// Fig. 2 — joint-level trajectories of two identical processes under
+/// AIAD vs AIMD, starting from an unequal allocation `X0`. This is the
+/// paper's §2.1 *analysis* figure (the classic Chiu–Jain diagram), so
+/// it uses the idealised model the analysis assumes: a **global**
+/// congestion signal — both processes observe "oversubscribed" exactly
+/// when `l1 + l2 > C` — rather than the per-process throughput feedback
+/// of the full machine simulation (whose richer race dynamics appear in
+/// Fig. 7b and Fig. 10 instead).
+#[must_use]
+pub fn fig2() -> Vec<Figure> {
+    const C: f64 = 64.0;
+    let run_pair = |multiplicative: bool, alpha: f64, id: &str, title: &str| {
+        let (mut l1, mut l2) = (8.0f64, 24.0f64);
+        let mut f = Figure::new(id, title, vec!["P1".into(), "P2".into(), "gap".into()]);
+        for round in 0..400 {
+            f.push_row(format!("{round}"), vec![l1, l2, (l1 - l2).abs()]);
+            if l1 + l2 <= C {
+                // Undersubscribed: additive increase for both.
+                l1 += 1.0;
+                l2 += 1.0;
+            } else if multiplicative {
+                l1 = (l1 * alpha).max(1.0);
+                l2 = (l2 * alpha).max(1.0);
+            } else {
+                l1 = (l1 - 1.0).max(1.0);
+                l2 = (l2 - 1.0).max(1.0);
+            }
+        }
+        let late_gap: f64 =
+            f.rows[300..].iter().map(|(_, v)| v[2]).sum::<f64>() / (f.rows.len() - 300) as f64;
+        f.note(format!(
+            "initial |P1-P2| = 16; mean gap over rounds 300-400: {late_gap:.2}"
+        ));
+        f
+    };
+    let mut a = run_pair(
+        false,
+        0.5,
+        "fig2a",
+        "AIAD trajectory: oscillates along the 45-degree line, unfairness persists",
+    );
+    a.note("paper: AIAD never converges to the fair allocation");
+    let mut b = run_pair(
+        true,
+        0.5,
+        "fig2b",
+        "AIMD trajectory: multiplicative decrease pulls towards the fair diagonal",
+    );
+    b.note("paper: AIMD oscillates around the optimal point (32, 32)");
+    vec![a, b]
+}
+
+/// Shared helper for the Fig. 3 / Fig. 5 single-scalable-process runs.
+fn level_over_time(policy: Policy, id: &str, title: &str, expect: &str) -> Figure {
+    let specs = [ProcessSpec::new("P", rbt_readonly(), policy)];
+    let cfg = SimConfig::paper(1).with_rounds(1000);
+    let result = rubic::sim::run(&specs, &cfg);
+    let trace = &result.processes[0].trace;
+    let mut f = Figure::new(id, title, vec!["level".into()]);
+    for p in trace.points() {
+        f.push_row(format!("{}", p.round), vec![f64::from(p.level)]);
+    }
+    let steady = trace.mean_level_in(300, 1000);
+    let util = steady.min(64.0) / 64.0;
+    f.note(format!(
+        "steady-state mean level {steady:.1}, utilisation {:.0}%",
+        util * 100.0
+    ));
+    f.note(expect.to_string());
+    f
+}
+
+/// Fig. 3 — AIMD (α = 0.5) sawtooth on a perfectly scalable process:
+/// average level ≈ 48 of 64 (75% utilisation).
+#[must_use]
+pub fn fig3() -> Vec<Figure> {
+    vec![level_over_time(
+        Policy::Aimd,
+        "fig3",
+        "AIMD (alpha=0.5) level over time, 64-context machine",
+        "paper: average thread count ~48 (75% utilisation)",
+    )]
+}
+
+/// Fig. 4 — the cubic growth function of Equation (1): steady-state
+/// plateau at `L_max`, then the probing phase.
+#[must_use]
+pub fn fig4() -> Vec<Figure> {
+    let mut f = Figure::new(
+        "fig4",
+        "Cubic growth function, L_max=64, beta=0.1",
+        vec![
+            "tcp a=0.8".into(),
+            "paper-literal a=0.8".into(),
+            "tcp a=0.5".into(),
+        ],
+    );
+    for dt in 0..=24 {
+        let d = f64::from(dt);
+        f.push_row(
+            format!("{dt}"),
+            vec![
+                cubic_level(64.0, d, 0.8, 0.1, CubicKConvention::TcpCubic),
+                cubic_level(64.0, d, 0.8, 0.1, CubicKConvention::PaperLiteral),
+                cubic_level(64.0, d, 0.5, 0.1, CubicKConvention::TcpCubic),
+            ],
+        );
+    }
+    f.note("steady-state phase below L_max, probing phase beyond (paper Fig. 4)");
+    f.note("the paper-literal K restarts from (1-a)*L_max instead of a*L_max; see DESIGN.md");
+    vec![f]
+}
+
+use rubic_controllers::cubic_level;
+
+/// Fig. 5 — CIMD (α = 0.5, β = 0.1) on the same scenario as Fig. 3:
+/// average level ≈ 60 (94% utilisation).
+#[must_use]
+pub fn fig5() -> Vec<Figure> {
+    vec![level_over_time(
+        Policy::Cimd,
+        "fig5",
+        "CIMD (alpha=0.5, beta=0.1) level over time, 64-context machine",
+        "paper: average thread count ~60 (94% utilisation)",
+    )]
+}
+
+/// Fig. 6 — scalability graphs of the three workloads, normalised to
+/// each workload's peak throughput.
+#[must_use]
+pub fn fig6() -> Vec<Figure> {
+    let curves: [(&str, rubic::sim::Curve); 3] = [
+        ("Intruder", intruder_like()),
+        ("Vacation", vacation_like()),
+        ("RBT", rbt_like()),
+    ];
+    let machine = Machine::paper();
+    let mut f = Figure::new(
+        "fig6",
+        "Normalised scalability of the evaluated workloads",
+        curves.iter().map(|(n, _)| (*n).to_string()).collect(),
+    );
+    let series: Vec<Vec<f64>> = curves
+        .iter()
+        .map(|(_, c)| {
+            let raw: Vec<f64> = (1..=64)
+                .map(|l| machine.effective_speedup(c.speedup(f64::from(l)), l))
+                .collect();
+            let peak = raw.iter().cloned().fold(f64::MIN, f64::max);
+            raw.into_iter().map(|s| s / peak).collect()
+        })
+        .collect();
+    for l in 0..64 {
+        f.push_row(format!("{}", l + 1), series.iter().map(|s| s[l]).collect());
+    }
+    for ((name, c), s) in curves.iter().zip(&series) {
+        let peak_l = s.iter().position(|&v| (v - 1.0).abs() < 1e-12).unwrap_or(0) + 1;
+        f.note(format!("{name} ({}) peaks at {peak_l} threads", c.name()));
+    }
+    vec![f]
+}
+
+/// The five evaluated policies, in the paper's figure order.
+fn policies() -> [Policy; 5] {
+    Policy::EVALUATED
+}
+
+/// Fig. 7 — system-wide metrics for the three pairwise experiments:
+/// (a) total speed-up (Nash product) with geometric average, (b) total
+/// software threads, (c) total efficiency.
+#[must_use]
+pub fn fig7(reps: u32) -> Vec<Figure> {
+    let mut a = Figure::new(
+        "fig7a",
+        "Pairwise total speed-up (Nash product), higher is better",
+        vec![
+            "Int/Vac".into(),
+            "Int/RBT".into(),
+            "Vac/RBT".into(),
+            "GeoAvg".into(),
+        ],
+    );
+    let mut b = Figure::new(
+        "fig7b",
+        "Pairwise mean total software threads (dashed line: 64 contexts)",
+        vec![
+            "Int/Vac".into(),
+            "Int/RBT".into(),
+            "Vac/RBT".into(),
+            "Mean".into(),
+        ],
+    );
+    let mut c = Figure::new(
+        "fig7c",
+        "Pairwise total efficiency (product), higher is better",
+        vec![
+            "Int/Vac".into(),
+            "Int/RBT".into(),
+            "Vac/RBT".into(),
+            "GeoAvg".into(),
+        ],
+    );
+    for policy in policies() {
+        let outcomes = pairwise_experiments(policy, reps);
+        let nash: Vec<f64> = outcomes.iter().map(|(_, o)| o.nash.mean()).collect();
+        let threads: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.total_threads.mean())
+            .collect();
+        let eff: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.total_efficiency.mean())
+            .collect();
+        a.push_row(
+            policy.label(),
+            vec![nash[0], nash[1], nash[2], geometric_mean(&nash)],
+        );
+        b.push_row(
+            policy.label(),
+            vec![
+                threads[0],
+                threads[1],
+                threads[2],
+                threads.iter().sum::<f64>() / 3.0,
+            ],
+        );
+        c.push_row(
+            policy.label(),
+            vec![eff[0], eff[1], eff[2], geometric_mean(&eff)],
+        );
+    }
+    a.note("paper: RUBIC best on every pair; Greedy worst; RUBIC ~+26% vs EBS on GeoAvg");
+    b.note("paper: only RUBIC keeps total threads below 64 on all pairs");
+    c.note("paper: RUBIC ~2x EBS and ~66x Greedy on total efficiency");
+    vec![a, b, c]
+}
+
+/// Fig. 8 — per-process metrics of the pairwise experiments: (a)
+/// speed-ups, (b) allocation standard deviation across repetitions,
+/// (c) allocated threads.
+#[must_use]
+pub fn fig8(reps: u32) -> Vec<Figure> {
+    let columns: Vec<String> = [
+        "Int/Vac:Int",
+        "Int/Vac:Vac",
+        "Int/RBT:Int",
+        "Int/RBT:RBT",
+        "Vac/RBT:Vac",
+        "Vac/RBT:RBT",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let mut a = Figure::new("fig8a", "Per-process speed-up (pairwise)", columns.clone());
+    let mut b = Figure::new(
+        "fig8b",
+        "Std-dev of per-process allocation across repetitions (lower is better)",
+        columns.clone(),
+    );
+    let mut c = Figure::new("fig8c", "Per-process allocated threads (pairwise)", columns);
+    for policy in policies() {
+        let outcomes = pairwise_experiments(policy, reps);
+        let mut speedups = Vec::new();
+        let mut stddevs = Vec::new();
+        let mut levels = Vec::new();
+        for (_, o) in &outcomes {
+            for p in &o.per_process {
+                speedups.push(p.speedup.mean());
+                stddevs.push(p.level.stddev());
+                levels.push(p.level.mean());
+            }
+        }
+        a.push_row(policy.label(), speedups);
+        b.push_row(policy.label(), stddevs);
+        c.push_row(policy.label(), levels);
+    }
+    a.note("paper: Greedy maximises RBT alone; RUBIC trades a sliver of RBT for big Intruder/Vacation gains (proportional fairness)");
+    b.note("paper: RUBIC has the lowest allocation std-dev, F2C2 the highest");
+    c.note("paper: RUBIC gives RBT fewer threads to relieve its counterpart; F2C2's Vacation can stay beyond 64");
+    vec![a, b, c]
+}
+
+/// Fig. 9 — single-process execution: (a) speed-up, (b) allocated
+/// threads, (c) allocation std-dev. EqualShare and Greedy coincide.
+#[must_use]
+pub fn fig9(reps: u32) -> Vec<Figure> {
+    let columns: Vec<String> = ["Intruder", "Vacation", "RBT", "Avg"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let mut a = Figure::new("fig9a", "Single-process speed-up", columns.clone());
+    let mut b = Figure::new("fig9b", "Single-process allocated threads", columns.clone());
+    let mut c = Figure::new(
+        "fig9c",
+        "Single-process allocation std-dev across repetitions",
+        columns,
+    );
+    for policy in policies() {
+        let outcomes = single_process_experiments(policy, reps);
+        let s: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.per_process[0].speedup.mean())
+            .collect();
+        let l: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.per_process[0].level.mean())
+            .collect();
+        let d: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.per_process[0].level.stddev())
+            .collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        a.push_row(policy.label(), vec![s[0], s[1], s[2], avg(&s)]);
+        b.push_row(policy.label(), vec![l[0], l[1], l[2], avg(&l)]);
+        c.push_row(policy.label(), vec![d[0], d[1], d[2], avg(&d)]);
+    }
+    a.note("paper: RUBIC always comparable to the best policy; EqualShare == Greedy here");
+    b.note("paper: RUBIC allocates slightly fewer threads, closest to EBS");
+    c.note("paper: RUBIC most stable on average; EBS comparable");
+    vec![a, b, c]
+}
+
+/// Fig. 10 — convergence behaviour: two identical conflict-free RBT
+/// processes, P2 arriving at t = 5 s (round 500), 10 s total, under
+/// F2C2, EBS and RUBIC.
+#[must_use]
+pub fn fig10() -> Vec<Figure> {
+    let make = |policy: Policy, id: &str, expect: &str| {
+        let specs = [
+            ProcessSpec::new("P1", rbt_readonly(), policy),
+            ProcessSpec::new("P2", rbt_readonly(), policy).arrives_at(500),
+        ];
+        // A single noisy run, like the paper's plotted trace.
+        let cfg = SimConfig::paper(2).with_noise(0.02, 2016);
+        let result = rubic::sim::run(&specs, &cfg);
+        let p1 = &result.processes[0].trace;
+        let p2 = &result.processes[1].trace;
+        let mut f = Figure::new(
+            id,
+            format!("{} level traces (P2 arrives at round 500)", policy.label()),
+            vec!["P1".into(), "P2".into()],
+        );
+        for p in p1.points() {
+            let l2 = p2
+                .points()
+                .iter()
+                .find(|q| q.round == p.round)
+                .map_or(0.0, |q| f64::from(q.level));
+            f.push_row(format!("{}", p.round), vec![f64::from(p.level), l2]);
+        }
+        f.note(format!(
+            "P1 pre-arrival mean (rounds 300-500): {:.1}",
+            p1.mean_level_in(300, 500)
+        ));
+        f.note(format!(
+            "post-arrival means (rounds 800-1000): P1 {:.1}, P2 {:.1} (fair split: 32/32)",
+            p1.mean_level_in(800, 1000),
+            p2.mean_level_in(800, 1000)
+        ));
+        f.note(expect.to_string());
+        f
+    };
+    vec![
+        make(
+            Policy::F2c2,
+            "fig10a",
+            "paper: F2C2 overshoots onto a plateau and never converges; post-arrival race",
+        ),
+        make(
+            Policy::Ebs,
+            "fig10b",
+            "paper: EBS converges to 64 alone but behaves erratically after P2 arrives",
+        ),
+        make(
+            Policy::Rubic,
+            "fig10c",
+            "paper: RUBIC reaches 64 quickly, then both processes settle around 32",
+        ),
+    ]
+}
+
+/// §4.5 headline numbers: RUBIC vs the best/worst policies on the
+/// pairwise geometric averages.
+#[must_use]
+pub fn headline(reps: u32) -> Vec<Figure> {
+    let mut nash_geo = Vec::new();
+    let mut eff_geo = Vec::new();
+    let mut thread_mean = Vec::new();
+    for policy in policies() {
+        let outcomes = pairwise_experiments(policy, reps);
+        let nash: Vec<f64> = outcomes.iter().map(|(_, o)| o.nash.mean()).collect();
+        let eff: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.total_efficiency.mean())
+            .collect();
+        let thr: Vec<f64> = outcomes
+            .iter()
+            .map(|(_, o)| o.total_threads.mean())
+            .collect();
+        nash_geo.push((policy.label(), geometric_mean(&nash)));
+        eff_geo.push((policy.label(), geometric_mean(&eff)));
+        thread_mean.push((policy.label(), thr.iter().sum::<f64>() / 3.0));
+    }
+    let get =
+        |v: &[(&str, f64)], name: &str| v.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, x)| *x);
+    let mut f = Figure::new(
+        "headline",
+        "Section 4.5 headline comparisons (pairwise geometric averages)",
+        vec![
+            "GeoAvg Nash".into(),
+            "GeoAvg efficiency".into(),
+            "Mean threads".into(),
+        ],
+    );
+    for (i, policy) in policies().iter().enumerate() {
+        f.push_row(
+            policy.label(),
+            vec![nash_geo[i].1, eff_geo[i].1, thread_mean[i].1],
+        );
+    }
+    let rubic_vs_ebs = get(&nash_geo, "RUBIC") / get(&nash_geo, "EBS") - 1.0;
+    let rubic_vs_greedy = get(&nash_geo, "RUBIC") / get(&nash_geo, "Greedy") - 1.0;
+    let eff_vs_ebs = get(&eff_geo, "RUBIC") / get(&eff_geo, "EBS");
+    let eff_vs_greedy = get(&eff_geo, "RUBIC") / get(&eff_geo, "Greedy");
+    f.note(format!(
+        "RUBIC vs EBS performance: {:+.0}% (paper: +26%)",
+        rubic_vs_ebs * 100.0
+    ));
+    f.note(format!(
+        "RUBIC vs Greedy performance: {:+.0}% (paper: +500%)",
+        rubic_vs_greedy * 100.0
+    ));
+    f.note(format!(
+        "RUBIC vs EBS efficiency: {eff_vs_ebs:.1}x (paper: 2x)"
+    ));
+    f.note(format!(
+        "RUBIC vs Greedy efficiency: {eff_vs_greedy:.0}x (paper: 66x)"
+    ));
+    vec![f]
+}
+
+/// Regenerates the figures selected by `selector` ("1", "7", "10",
+/// "headline", "all").
+#[must_use]
+pub fn generate(selector: &str, reps: u32) -> Vec<Figure> {
+    match selector {
+        "1" => fig1(),
+        "2" => fig2(),
+        "3" => fig3(),
+        "4" => fig4(),
+        "5" => fig5(),
+        "6" => fig6(),
+        "7" => fig7(reps),
+        "8" => fig8(reps),
+        "9" => fig9(reps),
+        "10" => fig10(),
+        "headline" => headline(reps),
+        "all" => {
+            let mut out = Vec::new();
+            for s in [
+                "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "headline",
+            ] {
+                out.extend(generate(s, reps));
+            }
+            out
+        }
+        other => panic!("unknown figure selector: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_peak_near_seven() {
+        let f = &fig1()[0];
+        assert_eq!(f.rows.len(), 64);
+        let peak_row = f
+            .rows
+            .iter()
+            .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+            .unwrap();
+        let peak_l: u32 = peak_row.0.parse().unwrap();
+        assert!((5..=9).contains(&peak_l), "peak at {peak_l}");
+        assert!(f.value("64", "speedup").unwrap() < 0.5);
+    }
+
+    #[test]
+    fn fig2_aimd_converges_aiad_does_not() {
+        let figs = fig2();
+        let late_gap = |f: &Figure| {
+            f.rows[300..].iter().map(|(_, v)| v[2]).sum::<f64>() / (f.rows.len() - 300) as f64
+        };
+        let aiad_gap = late_gap(&figs[0]);
+        let aimd_gap = late_gap(&figs[1]);
+        assert!(
+            (aiad_gap - 16.0).abs() < 1e-9,
+            "AIAD gap should persist at 16, got {aiad_gap}"
+        );
+        assert!(aimd_gap <= 2.0, "AIMD gap should shrink, got {aimd_gap}");
+    }
+
+    #[test]
+    fn fig3_vs_fig5_utilization() {
+        let parse_steady = |f: &Figure| {
+            // First note: "steady-state mean level X, utilisation Y%".
+            let note = &f.notes[0];
+            let start = note.find("level ").unwrap() + 6;
+            let end = note[start..].find(',').unwrap() + start;
+            note[start..end].parse::<f64>().unwrap()
+        };
+        let aimd = parse_steady(&fig3()[0]);
+        let cimd = parse_steady(&fig5()[0]);
+        assert!(
+            (40.0..=56.0).contains(&aimd),
+            "AIMD steady level {aimd}, expected ~48"
+        );
+        assert!(cimd > aimd + 4.0, "CIMD {cimd} should beat AIMD {aimd}");
+    }
+
+    #[test]
+    fn fig4_tcp_curve_plateaus_at_lmax() {
+        let f = &fig4()[0];
+        // The TCP-convention curve passes L_max = 64 around dt = K ≈ 5.
+        let near_plateau = f.value("5", "tcp a=0.8").unwrap();
+        assert!((60.0..=68.0).contains(&near_plateau));
+        // Probing: beyond the plateau it accelerates past L_max.
+        assert!(f.value("15", "tcp a=0.8").unwrap() > 100.0);
+    }
+
+    #[test]
+    fn fig6_normalised_and_ordered() {
+        let f = &fig6()[0];
+        assert_eq!(f.rows.len(), 64);
+        for (_, v) in &f.rows {
+            assert!(v.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        }
+        // At 64 threads RBT retains most of its peak, Intruder least.
+        let last = &f.rows[63].1;
+        assert!(last[2] > last[1] && last[1] > last[0]);
+    }
+
+    #[test]
+    fn fig7_rubic_wins_overall() {
+        let figs = fig7(4);
+        let a = &figs[0];
+        let rubic = a.value("RUBIC", "GeoAvg").unwrap();
+        for p in ["Greedy", "EqualShare", "F2C2"] {
+            assert!(
+                rubic > a.value(p, "GeoAvg").unwrap(),
+                "RUBIC should beat {p}"
+            );
+        }
+        // Fig 7b: RUBIC stays at or below the 64-context line.
+        let b = &figs[1];
+        assert!(b.value("RUBIC", "Mean").unwrap() <= 66.0);
+        assert!(b.value("Greedy", "Mean").unwrap() > 100.0);
+    }
+
+    #[test]
+    fn fig9_equalshare_equals_greedy() {
+        let figs = fig9(3);
+        let b = &figs[1];
+        for col in ["Intruder", "Vacation", "RBT"] {
+            let g = b.value("Greedy", col).unwrap();
+            let e = b.value("EqualShare", col).unwrap();
+            assert!((g - e).abs() < 1e-9, "{col}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn fig10_rubic_converges_to_fair_split() {
+        let figs = fig10();
+        let rubic = figs.iter().find(|f| f.id == "fig10c").unwrap();
+        // Post-arrival note records means near 32/32.
+        let note = &rubic.notes[1];
+        assert!(note.contains("P1"), "{note}");
+        let tail_rows: Vec<&(String, Vec<f64>)> = rubic
+            .rows
+            .iter()
+            .filter(|(r, _)| r.parse::<u64>().unwrap() >= 800)
+            .collect();
+        let mean_p1: f64 =
+            tail_rows.iter().map(|(_, v)| v[0]).sum::<f64>() / tail_rows.len() as f64;
+        let mean_p2: f64 =
+            tail_rows.iter().map(|(_, v)| v[1]).sum::<f64>() / tail_rows.len() as f64;
+        assert!(
+            (22.0..=42.0).contains(&mean_p1) && (22.0..=42.0).contains(&mean_p2),
+            "RUBIC post-arrival means {mean_p1:.1}/{mean_p2:.1}, expected near 32/32"
+        );
+    }
+
+    #[test]
+    fn headline_orderings() {
+        let f = &headline(4)[0];
+        let nash = |p: &str| f.value(p, "GeoAvg Nash").unwrap();
+        assert!(nash("RUBIC") > nash("EBS"));
+        assert!(nash("EBS") > nash("Greedy"));
+        let eff = |p: &str| f.value(p, "GeoAvg efficiency").unwrap();
+        assert!(eff("RUBIC") > 1.5 * eff("Greedy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure selector")]
+    fn generate_rejects_unknown() {
+        let _ = generate("nope", 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! In-vivo measurements: the real STM + malleable pool on this host,
+//! complementing the simulator figures (regenerate with
+//! `figures --in-vivo`).
+//!
+//! These are the Fig. 1 / Fig. 6 measurement procedure executed for
+//! real — fixed-level sweeps over the actual workloads — plus a live
+//! adaptive run per policy. Absolute numbers depend entirely on the
+//! host (on a single-core machine the curves are flat and the right
+//! level is ~1); the point is that the full measurement pipeline the
+//! paper used exists and runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rubic::prelude::*;
+
+use crate::Figure;
+
+/// Fixed-level throughput sweep of the three paper workloads on this
+/// host (Fig. 6's procedure, in vivo).
+#[must_use]
+pub fn scalability_sweeps(per_level: Duration, max_level: u32) -> Figure {
+    let levels: Vec<u32> = (1..=max_level).collect();
+    let mut f = Figure::new(
+        "invivo-fig6",
+        format!(
+            "Measured throughput (tasks/s) at fixed levels 1..={max_level} on this host"
+        ),
+        vec!["RBT".into(), "Vacation".into(), "Intruder".into()],
+    );
+
+    let rbt = Arc::new(RbTreeWorkload::new(RbTreeConfig::small(), Stm::default()));
+    let vac = Arc::new(VacationWorkload::new(
+        VacationConfig::low_contention(256),
+        Stm::default(),
+    ));
+    let intr = Arc::new(IntruderWorkload::new(IntruderConfig::paper(), Stm::default()));
+
+    let rbt_pts = scalability_sweep(rbt, &levels, per_level);
+    let vac_pts = scalability_sweep(vac, &levels, per_level);
+    let intr_pts = scalability_sweep(intr, &levels, per_level);
+
+    for idx in 0..levels.len() {
+        let (level, rbt_thr) = rbt_pts[idx];
+        f.push_row(
+            format!("{level}"),
+            vec![rbt_thr, vac_pts[idx].1, intr_pts[idx].1],
+        );
+    }
+    f.note(format!(
+        "host parallelism: {} (flat curves and a ~1-thread optimum are correct on 1 CPU)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    ));
+    f
+}
+
+/// One adaptive run per policy on the RBT workload: measured
+/// throughput, mean level, and the STM abort rate.
+#[must_use]
+pub fn adaptive_runs(duration: Duration) -> Figure {
+    let mut f = Figure::new(
+        "invivo-adaptive",
+        "Live tuned runs on the RBT workload (this host)",
+        vec![
+            "tasks/s".into(),
+            "mean level".into(),
+            "abort %".into(),
+        ],
+    );
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
+    let pool = (hw * 2).max(4);
+    for policy in [Policy::Rubic, Policy::Ebs, Policy::F2c2, Policy::Greedy] {
+        let stm = Stm::default();
+        let workload = RbTreeWorkload::new(RbTreeConfig::small(), stm.clone());
+        let spec = TenantSpec::new(policy.label(), pool, policy)
+            .monitor_period(Duration::from_millis(10));
+        let report = run_tenant(Tenant::new(spec, workload), duration);
+        f.push_row(
+            policy.label(),
+            vec![
+                report.throughput(),
+                report.mean_level(),
+                stm.stats().abort_rate() * 100.0,
+            ],
+        );
+    }
+    f.note("pool = 2x hardware contexts; adaptive policies should hover near the host's real parallelism");
+    f
+}
+
+/// All in-vivo measurements, sized for a quick run.
+#[must_use]
+pub fn all(quick: bool) -> Vec<Figure> {
+    let (per_level, max_level, duration) = if quick {
+        (Duration::from_millis(120), 3, Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(400), 8, Duration::from_secs(2))
+    };
+    vec![
+        scalability_sweeps(per_level, max_level),
+        adaptive_runs(duration),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_produce_positive_throughput() {
+        let f = scalability_sweeps(Duration::from_millis(40), 2);
+        assert_eq!(f.rows.len(), 2);
+        for (label, values) in &f.rows {
+            for v in values {
+                assert!(*v > 0.0, "level {label}: zero throughput");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_runs_cover_policies() {
+        let f = adaptive_runs(Duration::from_millis(80));
+        assert_eq!(f.rows.len(), 4);
+        assert!(f.value("RUBIC", "tasks/s").unwrap() > 0.0);
+        assert!(f.value("Greedy", "mean level").unwrap() >= 1.0);
+    }
+}

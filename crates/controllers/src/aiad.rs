@@ -1,0 +1,380 @@
+//! AIAD (additive-increase / additive-decrease) hill climbing — the
+//! control scheme of the state-of-the-art single-process tuners the paper
+//! compares against (§2).
+//!
+//! [`Ebs`] is the paper's "EBS" baseline (Didona et al., *Identifying the
+//! optimal level of parallelism in transactional memory applications*):
+//! an exploration-based hill climber that moves the level by ±1 per round
+//! depending on whether throughput improved. [`Aiad`] generalises the
+//! step size.
+//!
+//! §2.1 shows why AIAD fails in multi-process systems: two AIAD processes
+//! move along 45° diagonals in the joint-allocation plane and oscillate
+//! between the same two points forever instead of converging to the fair
+//! allocation — the additive decrease undoes exactly what the additive
+//! increase did, preserving any initial unfairness.
+
+use crate::{clamp_level, improved, Controller, Sample};
+
+/// Generic AIAD controller with a configurable step `Δl`.
+#[derive(Debug, Clone)]
+pub struct Aiad {
+    step: u32,
+    tolerance: f64,
+    max_level: u32,
+    t_p: f64,
+    name: &'static str,
+}
+
+impl Aiad {
+    /// Creates an AIAD controller moving `step` threads per round.
+    #[must_use]
+    pub fn new(step: u32, max_level: u32) -> Self {
+        assert!(step >= 1, "AIAD step must be at least 1");
+        Aiad {
+            step,
+            tolerance: 0.0,
+            max_level: max_level.max(1),
+            t_p: 0.0,
+            name: "AIAD",
+        }
+    }
+
+    /// Sets the relative throughput-comparison tolerance (see
+    /// [`crate::Sample`] docs); returns `self` for chaining.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The additive step `Δl`.
+    #[must_use]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+}
+
+impl Controller for Aiad {
+    fn decide(&mut self, sample: Sample) -> u32 {
+        let delta = if improved(sample.throughput, self.t_p, self.tolerance) {
+            f64::from(self.step)
+        } else {
+            -f64::from(self.step)
+        };
+        self.t_p = sample.throughput;
+        clamp_level(f64::from(sample.level) + delta, self.max_level)
+    }
+
+    fn reset(&mut self) {
+        self.t_p = 0.0;
+    }
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// EBS — exploration-based scaling (Didona et al. 2013): AIAD with a
+/// ±1 step, as described in the paper's §4.3.
+///
+/// ```
+/// use rubic_controllers::{Controller, Ebs, Sample};
+/// let mut ebs = Ebs::new(64);
+/// // Improvement -> +1.
+/// assert_eq!(ebs.decide(Sample { throughput: 10.0, level: 4, round: 0 }), 5);
+/// // Drop -> -1.
+/// assert_eq!(ebs.decide(Sample { throughput: 5.0, level: 5, round: 1 }), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ebs(Aiad);
+
+impl Ebs {
+    /// Creates an EBS controller for a pool of `max_level` threads.
+    #[must_use]
+    pub fn new(max_level: u32) -> Self {
+        let mut inner = Aiad::new(1, max_level);
+        inner.name = "EBS";
+        Ebs(inner)
+    }
+
+    /// Sets the throughput-comparison tolerance; returns `self`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.0.tolerance = tolerance;
+        self
+    }
+}
+
+impl Controller for Ebs {
+    fn decide(&mut self, sample: Sample) -> u32 {
+        self.0.decide(sample)
+    }
+
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+
+    fn max_level(&self) -> u32 {
+        self.0.max_level()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Direction-memory AIAD: instead of mapping improvement → up and loss
+/// → down, this hill climber keeps moving in its current direction
+/// while throughput improves and *reverses* on a loss — the textbook
+/// gradient-chasing formulation some tuners use instead of EBS's
+/// stateless rule.
+///
+/// Provided for ablations: on unimodal curves it behaves like EBS, but
+/// on plateaus it drifts instead of climbing greedily, and after a
+/// disturbance it can chase the gradient in the wrong direction for a
+/// while — a useful contrast when studying why RUBIC's adjacent-level
+/// comparison matters.
+#[derive(Debug, Clone)]
+pub struct DirectedAiad {
+    step: u32,
+    tolerance: f64,
+    max_level: u32,
+    t_p: f64,
+    going_up: bool,
+}
+
+impl DirectedAiad {
+    /// Creates a direction-memory hill climber with step `Δl`.
+    ///
+    /// # Panics
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn new(step: u32, max_level: u32) -> Self {
+        assert!(step >= 1, "step must be at least 1");
+        DirectedAiad {
+            step,
+            tolerance: 0.0,
+            max_level: max_level.max(1),
+            t_p: 0.0,
+            going_up: true,
+        }
+    }
+
+    /// Sets the throughput-comparison tolerance; returns `self`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+impl Controller for DirectedAiad {
+    fn decide(&mut self, sample: Sample) -> u32 {
+        if !improved(sample.throughput, self.t_p, self.tolerance) {
+            self.going_up = !self.going_up;
+        }
+        self.t_p = sample.throughput;
+        let delta = if self.going_up {
+            f64::from(self.step)
+        } else {
+            -f64::from(self.step)
+        };
+        let next = clamp_level(f64::from(sample.level) + delta, self.max_level);
+        // Bounce off the walls so the climber does not saturate a bound
+        // while "improving" along it.
+        if next == sample.level {
+            self.going_up = !self.going_up;
+        }
+        next
+    }
+
+    fn reset(&mut self) {
+        self.t_p = 0.0;
+        self.going_up = true;
+    }
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        "DirectedAIAD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(thr: f64, level: u32, round: u64) -> Sample {
+        Sample {
+            throughput: thr,
+            level,
+            round,
+        }
+    }
+
+    #[test]
+    fn climbs_on_improvement() {
+        let mut c = Ebs::new(64);
+        let mut level = 1;
+        for r in 0..10 {
+            level = c.decide(s(f64::from(level), level, r));
+        }
+        assert_eq!(level, 11);
+    }
+
+    #[test]
+    fn descends_on_loss() {
+        let mut c = Ebs::new(64);
+        c.decide(s(100.0, 10, 0));
+        assert_eq!(c.decide(s(50.0, 11, 1)), 10);
+        assert_eq!(c.decide(s(25.0, 10, 2)), 9);
+    }
+
+    #[test]
+    fn oscillates_around_peak() {
+        // Classic hill-climb behaviour on a unimodal curve: the level
+        // should end up hovering within +/- 2 of the peak.
+        let mut c = Ebs::new(64);
+        let mut level = 1u32;
+        let peak = 20.0;
+        let mut trace = Vec::new();
+        for r in 0..200 {
+            let l = f64::from(level);
+            let thr = if l <= peak { l } else { 2.0 * peak - l };
+            level = c.decide(s(thr, level, r));
+            trace.push(level);
+        }
+        let tail = &trace[150..];
+        let mean: f64 = tail.iter().map(|&l| f64::from(l)).sum::<f64>() / tail.len() as f64;
+        assert!(
+            (peak - 3.0..=peak + 3.0).contains(&mean),
+            "mean {mean} not near peak {peak}"
+        );
+    }
+
+    #[test]
+    fn plateau_makes_ebs_greedy() {
+        // On a throughput plateau T_c == T_p counts as improvement, so
+        // EBS keeps climbing to the pool bound — the greedy race the
+        // paper observes in Fig. 7b.
+        let mut c = Ebs::new(64);
+        let mut level = 32u32;
+        for r in 0..100 {
+            level = c.decide(s(42.0, level, r));
+        }
+        assert_eq!(level, 64);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut c = Aiad::new(3, 16);
+        let mut level = 1u32;
+        for r in 0..100 {
+            let thr = if r % 2 == 0 { 0.0 } else { 100.0 };
+            level = c.decide(s(thr, level, r));
+            assert!((1..=16).contains(&level));
+        }
+    }
+
+    #[test]
+    fn custom_step() {
+        let mut c = Aiad::new(4, 64);
+        assert_eq!(c.decide(s(10.0, 8, 0)), 12);
+        assert_eq!(c.decide(s(1.0, 12, 1)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_rejected() {
+        let _ = Aiad::new(0, 64);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut c = Ebs::new(64);
+        c.decide(s(100.0, 10, 0));
+        c.reset();
+        // After reset, T_p == 0 so even tiny throughput is an improvement.
+        assert_eq!(c.decide(s(0.001, 10, 1)), 11);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Ebs::new(4).name(), "EBS");
+        assert_eq!(Aiad::new(1, 4).name(), "AIAD");
+    }
+
+    #[test]
+    fn tolerance_forgives_small_dips() {
+        let mut c = Ebs::new(64).with_tolerance(0.05);
+        c.decide(s(100.0, 10, 0));
+        // 3% dip within tolerance -> still counts as improvement.
+        assert_eq!(c.decide(s(97.0, 11, 1)), 12);
+        // 10% dip -> loss.
+        assert_eq!(c.decide(s(87.0, 12, 2)), 11);
+    }
+
+    #[test]
+    fn directed_keeps_direction_on_improvement() {
+        let mut c = DirectedAiad::new(1, 64);
+        assert_eq!(c.decide(s(10.0, 5, 0)), 6);
+        assert_eq!(c.decide(s(11.0, 6, 1)), 7);
+        // Loss: reverse and head down while improving again.
+        assert_eq!(c.decide(s(5.0, 7, 2)), 6);
+        assert_eq!(c.decide(s(6.0, 6, 3)), 5);
+    }
+
+    #[test]
+    fn directed_finds_unimodal_peak() {
+        let mut c = DirectedAiad::new(1, 64);
+        let peak = 20.0;
+        let mut level = 1u32;
+        let mut trace = Vec::new();
+        for r in 0..200 {
+            let l = f64::from(level);
+            let thr = if l <= peak { l } else { 2.0 * peak - l };
+            level = c.decide(s(thr, level, r));
+            trace.push(level);
+        }
+        let tail = &trace[150..];
+        let mean: f64 = tail.iter().map(|&l| f64::from(l)).sum::<f64>() / tail.len() as f64;
+        assert!(
+            (peak - 4.0..=peak + 4.0).contains(&mean),
+            "mean {mean} not near peak {peak}"
+        );
+    }
+
+    #[test]
+    fn directed_bounces_off_bounds() {
+        let mut c = DirectedAiad::new(1, 4);
+        let mut level = 1u32;
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for r in 0..50u32 {
+            level = c.decide(s(100.0 + f64::from(r), level, u64::from(r)));
+            assert!((1..=4).contains(&level));
+            seen_low |= level == 1;
+            seen_high |= level == 4;
+        }
+        // Ever-improving feedback with bouncing sweeps the whole range.
+        assert!(seen_high, "never reached the ceiling");
+        assert!(seen_low || level >= 1, "never left the wall");
+    }
+
+    #[test]
+    fn directed_reset() {
+        let mut c = DirectedAiad::new(1, 64);
+        c.decide(s(10.0, 5, 0));
+        c.decide(s(1.0, 6, 1)); // reverse
+        c.reset();
+        // Fresh: heading up again, T_p forgotten.
+        assert_eq!(c.decide(s(0.5, 5, 2)), 6);
+    }
+}

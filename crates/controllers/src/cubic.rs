@@ -1,0 +1,270 @@
+//! The cubic growth function of Equation (1) (paper §2.2), borrowed from
+//! TCP CUBIC (Ha, Rhee & Xu, 2008).
+//!
+//! After a multiplicative decrease at level `L_max`, the parallelism level
+//! grows as
+//!
+//! ```text
+//! L_cubic(Δt) = L_max + β · (Δt − K)³
+//! ```
+//!
+//! where `Δt` is the number of growth rounds since the last performance
+//! loss, `β` scales the growth rate, and `K` is the inflection offset that
+//! makes the curve plateau exactly at `L_max`: fast growth right after the
+//! decrease (concave region), a *steady-state* plateau around `L_max`,
+//! then an accelerating *probing* phase beyond it (convex region) that
+//! searches for newly freed resources (Fig. 4).
+//!
+//! # The `K` constant — paper literal vs TCP-CUBIC convention
+//!
+//! The paper prints `K = ∛(L_max · α / β)` where `α` is the multiplicative
+//! decrease factor (`L ← α·L_max`, α = 0.8 in the evaluation). Plugging
+//! `Δt = 0` into Equation (1) with that `K` yields
+//! `L_cubic(0) = L_max · (1 − α)` — i.e. 20% of `L_max`, *below* the level
+//! the MD step just moved to (80%). TCP CUBIC defines
+//! `K = ∛(W_max · β_drop / C)` with `β_drop` the *drop fraction*, which in
+//! the paper's notation is `1 − α`; then `L_cubic(0) = α·L_max` and the
+//! curve starts exactly where the MD step left the system, as Fig. 4
+//! depicts. We implement both conventions ([`CubicKConvention`]); the
+//! discrepancy is harmless in the full Algorithm 2 because of the
+//! `max(L_cubic, L+1)` guard, but the TCP convention converges back to
+//! the plateau noticeably faster — the `ablations` bench quantifies it.
+
+/// Which definition of the cubic inflection offset `K` to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CubicKConvention {
+    /// `K = ∛(L_max · (1−α) / β)` — TCP CUBIC's definition translated to
+    /// the paper's notation, so that `L_cubic(0) = α·L_max` matches the
+    /// multiplicative-decrease step. The default.
+    #[default]
+    TcpCubic,
+    /// `K = ∛(L_max · α / β)` — Equation (1) exactly as printed.
+    PaperLiteral,
+}
+
+/// Evaluates Equation (1): the cubic level proposal `Δt` growth-rounds
+/// after a loss observed at `l_max`.
+///
+/// * `l_max` — the last level at which a performance loss was observed.
+/// * `dt` — rounds elapsed since that loss (`Δt_max` in Algorithm 2).
+/// * `alpha` — multiplicative decrease factor in `(0, 1)`.
+/// * `beta` — growth-rate scaling factor (> 0).
+///
+/// The result is a raw (unclamped, possibly fractional or negative)
+/// proposal; callers clamp it into the valid level range.
+///
+/// ```
+/// use rubic_controllers::{cubic_level, CubicKConvention};
+/// // Right after the loss (dt = 0) the TCP convention restarts from α·L_max.
+/// let l0 = cubic_level(64.0, 0.0, 0.8, 0.1, CubicKConvention::TcpCubic);
+/// assert!((l0 - 0.8 * 64.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn cubic_level(l_max: f64, dt: f64, alpha: f64, beta: f64, conv: CubicKConvention) -> f64 {
+    debug_assert!(beta > 0.0, "beta must be positive");
+    let drop_fraction = match conv {
+        CubicKConvention::TcpCubic => 1.0 - alpha,
+        CubicKConvention::PaperLiteral => alpha,
+    };
+    let k = (l_max * drop_fraction / beta).cbrt();
+    let d = dt - k;
+    l_max + beta * d * d * d
+}
+
+/// Stateful wrapper over [`cubic_level`] tracking `L_max` and `Δt_max`,
+/// shared by the RUBIC and CIMD controllers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicGrowth {
+    alpha: f64,
+    beta: f64,
+    convention: CubicKConvention,
+    l_max: f64,
+    dt: f64,
+}
+
+impl CubicGrowth {
+    /// Creates a growth tracker with `L_max` initialised to 1 (paper
+    /// §2.2: "At the beginning, L_max is set to 1"), so the very first
+    /// probing phase explores the whole machine cubically.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64, convention: CubicKConvention) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        assert!(beta > 0.0, "beta must be positive, got {beta}");
+        CubicGrowth {
+            alpha,
+            beta,
+            convention,
+            l_max: 1.0,
+            dt: 0.0,
+        }
+    }
+
+    /// The multiplicative decrease factor α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The growth scaling factor β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The level at which the last performance loss was observed.
+    #[must_use]
+    pub fn l_max(&self) -> f64 {
+        self.l_max
+    }
+
+    /// Rounds elapsed since the last loss.
+    #[must_use]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances one growth round (`Δt_max ← Δt_max + 1`, Algorithm 2
+    /// line 8) and returns the cubic proposal for the new `Δt`.
+    pub fn grow(&mut self) -> f64 {
+        self.dt += 1.0;
+        cubic_level(self.l_max, self.dt, self.alpha, self.beta, self.convention)
+    }
+
+    /// Records a performance loss at `level` *with* a multiplicative
+    /// decrease: sets `L_max ← level`, resets `Δt_max ← 0`, and returns
+    /// the post-decrease proposal `α · level` (Algorithm 2 lines 25,
+    /// 27–28).
+    pub fn multiplicative_decrease(&mut self, level: u32) -> f64 {
+        self.l_max = f64::from(level);
+        self.dt = 0.0;
+        self.alpha * self.l_max
+    }
+
+    /// Resets only the elapsed-time clock (`Δt_max ← 0`), used when a
+    /// loss is handled by a *linear* decrease that leaves `L_max` intact
+    /// (Algorithm 2 line 25 on the linear-reduction path).
+    pub fn reset_clock(&mut self) {
+        self.dt = 0.0;
+    }
+
+    /// Restores the just-constructed state.
+    pub fn reset(&mut self) {
+        self.l_max = 1.0;
+        self.dt = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: f64 = 0.8;
+    const B: f64 = 0.1;
+
+    #[test]
+    fn tcp_convention_starts_at_alpha_lmax() {
+        for lmax in [4.0, 16.0, 64.0, 100.0] {
+            let l0 = cubic_level(lmax, 0.0, A, B, CubicKConvention::TcpCubic);
+            assert!((l0 - A * lmax).abs() < 1e-9, "lmax {lmax}");
+        }
+    }
+
+    #[test]
+    fn paper_literal_starts_lower() {
+        let l0 = cubic_level(64.0, 0.0, A, B, CubicKConvention::PaperLiteral);
+        assert!((l0 - (1.0 - A) * 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_at_lmax() {
+        // At dt == K the curve passes exactly through L_max.
+        let k = (64.0 * (1.0 - A) / B).cbrt();
+        let l = cubic_level(64.0, k, A, B, CubicKConvention::TcpCubic);
+        assert!((l - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_nondecreasing_in_dt() {
+        // A cubic in (dt - K)^3 is monotone increasing in dt.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..200 {
+            let dt = f64::from(i) * 0.25;
+            let l = cubic_level(64.0, dt, A, B, CubicKConvention::TcpCubic);
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn steady_state_then_probing_shape() {
+        // Fig. 4: growth is fast right after the drop, slows near L_max,
+        // then accelerates past it. Check the second difference changes
+        // sign around K (concave -> convex).
+        let k = (64.0 * (1.0 - A) / B).cbrt();
+        let f = |dt: f64| cubic_level(64.0, dt, A, B, CubicKConvention::TcpCubic);
+        let before = f(k - 1.0) - 2.0 * f(k - 1.5) + f(k - 2.0); // concave: negative
+        let after = f(k + 2.0) - 2.0 * f(k + 1.5) + f(k + 1.0); // convex: positive
+        assert!(before < 0.0, "expected concave before K, got {before}");
+        assert!(after > 0.0, "expected convex after K, got {after}");
+    }
+
+    #[test]
+    fn initial_probe_reaches_64_quickly() {
+        // §4.6 / Fig. 10c: starting from L_max = 1, the probing phase
+        // should exceed 64 threads within a few dozen rounds.
+        let mut g = CubicGrowth::new(A, B, CubicKConvention::TcpCubic);
+        let mut rounds = 0;
+        while g.grow() < 64.0 {
+            rounds += 1;
+            assert!(rounds < 50, "probing too slow");
+        }
+        assert!(rounds >= 5, "probing unrealistically fast: {rounds} rounds");
+    }
+
+    #[test]
+    fn multiplicative_decrease_sets_state() {
+        let mut g = CubicGrowth::new(A, B, CubicKConvention::TcpCubic);
+        for _ in 0..10 {
+            g.grow();
+        }
+        let after = g.multiplicative_decrease(64);
+        assert!((after - 51.2).abs() < 1e-9);
+        assert_eq!(g.dt(), 0.0);
+        assert_eq!(g.l_max(), 64.0);
+    }
+
+    #[test]
+    fn reset_clock_keeps_lmax() {
+        let mut g = CubicGrowth::new(A, B, CubicKConvention::TcpCubic);
+        g.multiplicative_decrease(40);
+        g.grow();
+        g.reset_clock();
+        assert_eq!(g.dt(), 0.0);
+        assert_eq!(g.l_max(), 40.0);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut g = CubicGrowth::new(A, B, CubicKConvention::TcpCubic);
+        g.multiplicative_decrease(64);
+        g.grow();
+        g.reset();
+        assert_eq!(g.l_max(), 1.0);
+        assert_eq!(g.dt(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = CubicGrowth::new(1.5, B, CubicKConvention::TcpCubic);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        let _ = CubicGrowth::new(A, 0.0, CubicKConvention::TcpCubic);
+    }
+}

@@ -1,0 +1,199 @@
+//! F2C2 — flux-based feedback-driven concurrency control (Ravichandran &
+//! Pande, IPDPS '14), as characterised in the paper's §4.3:
+//!
+//! > "F2C2 benefits from an initial exponential growth phase for faster
+//! > convergence to the optimal level. By this mechanism, the controller
+//! > initially doubles the parallelism level instead of increasing it
+//! > by 1. After the first performance loss, F2C2 halves the parallelism
+//! > level and switches to pure AIAD until the end, as in EBS."
+//!
+//! The paper finds this initial exponential phase pathological in
+//! multi-process settings (Fig. 10a): the doubling overshoots past the
+//! number of hardware contexts onto a performance plateau that the ±1
+//! AIAD phase can never climb out of, so the controller never converges.
+
+use crate::{clamp_level, improved, Controller, Sample};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial fast-convergence phase: double on improvement.
+    Exponential,
+    /// Steady phase after the first loss: ±1 hill climbing.
+    Aiad,
+}
+
+/// The F2C2 controller.
+///
+/// ```
+/// use rubic_controllers::{Controller, F2c2, Sample};
+/// let mut c = F2c2::new(128);
+/// // Exponential phase: 4 -> 8.
+/// assert_eq!(c.decide(Sample { throughput: 10.0, level: 4, round: 0 }), 8);
+/// // First loss: halve and drop to AIAD.
+/// assert_eq!(c.decide(Sample { throughput: 1.0, level: 8, round: 1 }), 4);
+/// // AIAD from here on.
+/// assert_eq!(c.decide(Sample { throughput: 2.0, level: 4, round: 2 }), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct F2c2 {
+    phase: Phase,
+    tolerance: f64,
+    max_level: u32,
+    t_p: f64,
+}
+
+impl F2c2 {
+    /// Creates an F2C2 controller for a pool of `max_level` threads.
+    #[must_use]
+    pub fn new(max_level: u32) -> Self {
+        F2c2 {
+            phase: Phase::Exponential,
+            tolerance: 0.0,
+            max_level: max_level.max(1),
+            t_p: 0.0,
+        }
+    }
+
+    /// Sets the throughput-comparison tolerance; returns `self`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// True while the controller is still in its initial exponential
+    /// growth phase.
+    #[must_use]
+    pub fn in_exponential_phase(&self) -> bool {
+        self.phase == Phase::Exponential
+    }
+}
+
+impl Controller for F2c2 {
+    fn decide(&mut self, sample: Sample) -> u32 {
+        let l = f64::from(sample.level);
+        let up = improved(sample.throughput, self.t_p, self.tolerance);
+        let proposal = match (self.phase, up) {
+            (Phase::Exponential, true) => l * 2.0,
+            (Phase::Exponential, false) => {
+                self.phase = Phase::Aiad;
+                l / 2.0
+            }
+            (Phase::Aiad, true) => l + 1.0,
+            (Phase::Aiad, false) => l - 1.0,
+        };
+        self.t_p = sample.throughput;
+        clamp_level(proposal, self.max_level)
+    }
+
+    fn reset(&mut self) {
+        self.phase = Phase::Exponential;
+        self.t_p = 0.0;
+    }
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        "F2C2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(thr: f64, level: u32, round: u64) -> Sample {
+        Sample {
+            throughput: thr,
+            level,
+            round,
+        }
+    }
+
+    #[test]
+    fn doubles_until_first_loss() {
+        let mut c = F2c2::new(256);
+        let mut level = 1u32;
+        let levels: Vec<u32> = (0..6)
+            .map(|r| {
+                level = c.decide(s(f64::from(level), level, r));
+                level
+            })
+            .collect();
+        assert_eq!(levels, vec![2, 4, 8, 16, 32, 64]);
+        assert!(c.in_exponential_phase());
+    }
+
+    #[test]
+    fn halves_once_then_aiad() {
+        let mut c = F2c2::new(256);
+        c.decide(s(10.0, 16, 0)); // improve -> 32
+        let after_loss = c.decide(s(1.0, 32, 1));
+        assert_eq!(after_loss, 16);
+        assert!(!c.in_exponential_phase());
+        // Subsequent losses are only -1 (no more halving).
+        assert_eq!(c.decide(s(0.5, 16, 2)), 15);
+        assert_eq!(c.decide(s(0.4, 15, 3)), 14);
+    }
+
+    #[test]
+    fn overshoot_plateau_pathology() {
+        // Fig. 10a: on a workload whose throughput plateaus past the
+        // context count, the exponential phase overshoots (e.g. to 128)
+        // and the AIAD phase never recovers because the plateau reads as
+        // "no loss" every round.
+        let mut c = F2c2::new(128);
+        let mut level = 1u32;
+        let mut trace = Vec::new();
+        for r in 0..300 {
+            let l = f64::from(level);
+            // Scales to 64, then *flat* (oversubscription hides inside
+            // time slicing; per-process commit-rate stays roughly
+            // constant).
+            let thr = l.min(64.0);
+            level = c.decide(s(thr, level, r));
+            trace.push(level);
+        }
+        let tail = &trace[200..];
+        let mean: f64 = tail.iter().map(|&l| f64::from(l)).sum::<f64>() / tail.len() as f64;
+        assert!(
+            mean > 64.0,
+            "expected F2C2 stuck above the 64-context line, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut c = F2c2::new(32);
+        let mut level = 1u32;
+        for r in 0..100 {
+            let thr = if r % 4 == 0 { 0.0 } else { 1e9 };
+            level = c.decide(s(thr, level, r));
+            assert!((1..=32).contains(&level));
+        }
+    }
+
+    #[test]
+    fn floor_at_one_in_aiad() {
+        let mut c = F2c2::new(64);
+        c.decide(s(100.0, 2, 0));
+        let mut level = 2u32;
+        for r in 1..20u32 {
+            level = c.decide(s(100.0 - f64::from(r), level, u64::from(r)));
+        }
+        assert_eq!(level, 1);
+    }
+
+    #[test]
+    fn reset_restores_exponential_phase() {
+        let mut c = F2c2::new(64);
+        c.decide(s(10.0, 4, 0));
+        c.decide(s(1.0, 8, 1)); // leave exponential phase
+        assert!(!c.in_exponential_phase());
+        c.reset();
+        assert!(c.in_exponential_phase());
+        assert_eq!(c.decide(s(5.0, 4, 2)), 8);
+    }
+}

@@ -1,0 +1,199 @@
+//! Non-adaptive allocation policies: Greedy, EqualShare and Fixed
+//! (paper §4.3).
+//!
+//! **Greedy** is the status quo: every process spawns as many threads as
+//! there are hardware contexts, ignoring both its own scalability and its
+//! neighbours — the worst performer in every pairwise experiment
+//! (Fig. 7a, ~6× below RUBIC).
+//!
+//! **EqualShare** is the naïve oversubscription-avoidance heuristic: a
+//! *central* entity hands each of the `N` processes `C/N` contexts,
+//! regardless of workload. It avoids oversubscription but wastes contexts
+//! on processes that cannot use them (e.g. 32 threads for Intruder, whose
+//! peak is 7).
+//!
+//! **Fixed** pins an arbitrary level — the building block for
+//! scalability sweeps (Fig. 1, Fig. 6).
+
+use crate::{clamp_level, Controller, Sample};
+
+/// Greedy: always request the whole machine.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    hw_contexts: u32,
+    max_level: u32,
+}
+
+impl Greedy {
+    /// Creates a Greedy policy that always claims `hw_contexts` threads
+    /// (capped by the pool size `max_level`).
+    #[must_use]
+    pub fn new(hw_contexts: u32, max_level: u32) -> Self {
+        Greedy {
+            hw_contexts: hw_contexts.max(1),
+            max_level: max_level.max(1),
+        }
+    }
+}
+
+impl Controller for Greedy {
+    fn decide(&mut self, _sample: Sample) -> u32 {
+        clamp_level(f64::from(self.hw_contexts), self.max_level)
+    }
+
+    fn reset(&mut self) {}
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+}
+
+/// EqualShare: a static `C / N` split decided centrally.
+///
+/// The split is computed at construction (the central entity knows `N`);
+/// the controller itself never adapts. Rounds down, with a floor of one
+/// thread, so `N > C` degrades to one thread each.
+#[derive(Debug, Clone)]
+pub struct EqualShare {
+    share: u32,
+    max_level: u32,
+}
+
+impl EqualShare {
+    /// Creates the equal-share policy for a machine with `hw_contexts`
+    /// contexts shared by `n_processes` processes.
+    ///
+    /// # Panics
+    /// Panics if `n_processes` is zero.
+    #[must_use]
+    pub fn new(hw_contexts: u32, n_processes: u32, max_level: u32) -> Self {
+        assert!(n_processes >= 1, "need at least one process");
+        EqualShare {
+            share: (hw_contexts / n_processes).max(1),
+            max_level: max_level.max(1),
+        }
+    }
+
+    /// The per-process share this policy hands out.
+    #[must_use]
+    pub fn share(&self) -> u32 {
+        self.share
+    }
+}
+
+impl Controller for EqualShare {
+    fn decide(&mut self, _sample: Sample) -> u32 {
+        clamp_level(f64::from(self.share), self.max_level)
+    }
+
+    fn reset(&mut self) {}
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        "EqualShare"
+    }
+}
+
+/// Fixed: pin the parallelism level to a constant (scalability sweeps).
+#[derive(Debug, Clone)]
+pub struct Fixed {
+    level: u32,
+    max_level: u32,
+}
+
+impl Fixed {
+    /// Creates a policy pinned at `level` threads.
+    #[must_use]
+    pub fn new(level: u32, max_level: u32) -> Self {
+        Fixed {
+            level: level.max(1),
+            max_level: max_level.max(1),
+        }
+    }
+}
+
+impl Controller for Fixed {
+    fn decide(&mut self, _sample: Sample) -> u32 {
+        clamp_level(f64::from(self.level), self.max_level)
+    }
+
+    fn reset(&mut self) {}
+
+    fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Sample {
+        Sample {
+            throughput: 1.0,
+            level: 1,
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn greedy_takes_everything() {
+        let mut g = Greedy::new(64, 128);
+        assert_eq!(g.decide(s()), 64);
+        assert_eq!(g.name(), "Greedy");
+    }
+
+    #[test]
+    fn greedy_capped_by_pool() {
+        let mut g = Greedy::new(64, 32);
+        assert_eq!(g.decide(s()), 32);
+    }
+
+    #[test]
+    fn equal_share_splits() {
+        let mut e = EqualShare::new(64, 2, 128);
+        assert_eq!(e.share(), 32);
+        assert_eq!(e.decide(s()), 32);
+        let mut e3 = EqualShare::new(64, 3, 128);
+        assert_eq!(e3.decide(s()), 21);
+    }
+
+    #[test]
+    fn equal_share_floor_one() {
+        let mut e = EqualShare::new(4, 100, 128);
+        assert_eq!(e.decide(s()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn equal_share_rejects_zero_processes() {
+        let _ = EqualShare::new(64, 0, 128);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut f = Fixed::new(7, 64);
+        for _ in 0..5 {
+            assert_eq!(f.decide(s()), 7);
+        }
+    }
+
+    #[test]
+    fn fixed_clamped() {
+        let mut f = Fixed::new(100, 64);
+        assert_eq!(f.decide(s()), 64);
+        let mut f0 = Fixed::new(0, 64);
+        assert_eq!(f0.decide(s()), 1);
+    }
+}

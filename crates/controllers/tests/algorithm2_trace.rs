@@ -1,0 +1,118 @@
+//! Golden-trace test for Algorithm 2: the level sequence below is
+//! derived *by hand* from the paper's pseudocode with the default
+//! constants (α = 0.8, β = 0.1, TCP-CUBIC `K`, pool 64), so any drift
+//! in the state machine's semantics fails loudly here.
+//!
+//! Derivation (K₁ = ∛(1·0.2/0.1) ≈ 1.2599, K₄ = ∛(4·0.2/0.1) = 2):
+//!
+//! | r | T_c | branch | state effects | next level |
+//! |---|-----|--------|----------------|------------|
+//! | 0 | 100 | grow/CUBIC  | Δt=1, L_cubic≈0.998, max(·, 1+1) | 2 |
+//! | 1 | 110 | grow/LINEAR | rearm reduction, T_p=110 | 3 |
+//! | 2 | 120 | grow/CUBIC  | Δt=2, L_cubic≈1.041, max(·, 3+1) | 4 |
+//! | 3 | 130 | grow/LINEAR | | 5 |
+//! | 4 | 50  | loss/LINEAR | Δt=0, −2, reduction→MULT, T_p=0 | 3 |
+//! | 5 | 60  | grow/LINEAR (free pass, T_p was 0) | T_p=60 | 4 |
+//! | 6 | 20  | loss/MULT   | L_max=4, 0.8·4=3.2→3, T_p=0 | 3 |
+//! | 7 | 10  | grow/LINEAR (free pass) | T_p=10 | 4 |
+//! | 8 | 30  | grow/CUBIC  | Δt=1, L_cubic=4+0.1(1−2)³=3.9, max(·, 5) | 5 |
+
+use rubic_controllers::{Controller, Rubic, RubicConfig, Sample};
+
+#[test]
+fn algorithm2_golden_trace() {
+    let mut c = Rubic::new(RubicConfig::default(), 64);
+    let throughputs = [100.0, 110.0, 120.0, 130.0, 50.0, 60.0, 20.0, 10.0, 30.0];
+    let expected = [2u32, 3, 4, 5, 3, 4, 3, 4, 5];
+    let mut level = 1u32;
+    for (round, (&thr, &want)) in throughputs.iter().zip(&expected).enumerate() {
+        level = c.decide(Sample {
+            throughput: thr,
+            level,
+            round: round as u64,
+        });
+        assert_eq!(
+            level, want,
+            "round {round}: got {level}, expected {want} (see derivation table)"
+        );
+    }
+    // After the multiplicative decrease at round 6, L_max is 4.
+    assert_eq!(c.l_max(), 4.0);
+}
+
+#[test]
+fn algorithm2_probing_phase_accelerates() {
+    // §2.2 / Fig. 10c: from L_max = 1, the interleaved cubic/linear
+    // growth must exceed 64 threads within a bounded number of rounds
+    // (the paper's trace crosses 64 in well under a second = 100
+    // rounds).
+    let mut c = Rubic::new(RubicConfig::default(), 512);
+    let mut level = 1u32;
+    let mut rounds = 0u64;
+    while level < 64 {
+        level = c.decide(Sample {
+            throughput: 1000.0 + rounds as f64, // ever improving
+            level,
+            round: rounds,
+        });
+        rounds += 1;
+        assert!(
+            rounds < 60,
+            "probing too slow: still at {level} after {rounds}"
+        );
+    }
+    assert!(
+        rounds >= 10,
+        "unrealistically fast probing: {rounds} rounds"
+    );
+}
+
+#[test]
+fn consecutive_losses_alternate_linear_multiplicative() {
+    // Feed strictly alternating (loss, free-pass) pairs: reductions must
+    // alternate -2 (linear) and ×α (multiplicative) because each
+    // genuine improvement is absent (free passes have T_p = 0 and do
+    // not re-arm the linear phase).
+    let mut c = Rubic::new(RubicConfig::default(), 256);
+    // Establish T_p and a high level.
+    let mut level = c.decide(Sample {
+        throughput: 1000.0,
+        level: 200,
+        round: 0,
+    });
+    // Loss #1: linear (-2).
+    let after1 = c.decide(Sample {
+        throughput: 1.0,
+        level,
+        round: 1,
+    });
+    assert_eq!(after1, level - 2);
+    // Free pass (+1, linear growth).
+    level = c.decide(Sample {
+        throughput: 0.5,
+        level: after1,
+        round: 2,
+    });
+    assert_eq!(level, after1 + 1);
+    // Loss #2: multiplicative (×0.8).
+    let after2 = c.decide(Sample {
+        throughput: 0.1,
+        level,
+        round: 3,
+    });
+    assert_eq!(after2, (f64::from(level) * 0.8).round() as u32);
+    // Free pass again.
+    let level2 = c.decide(Sample {
+        throughput: 0.05,
+        level: after2,
+        round: 4,
+    });
+    assert_eq!(level2, after2 + 1);
+    // Loss #3: linear again (the alternation continues).
+    let after3 = c.decide(Sample {
+        throughput: 0.01,
+        level: level2,
+        round: 5,
+    });
+    assert_eq!(after3, level2 - 2);
+}

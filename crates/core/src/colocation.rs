@@ -1,0 +1,232 @@
+//! The co-location harness: several tenants sharing one machine, with
+//! staggered arrivals — the in-vivo counterpart of the paper's
+//! multi-process experiments (§4.5.1 pairwise runs, §4.6 convergence).
+
+use std::time::{Duration, Instant};
+
+use rubic_metrics::LevelTrace;
+
+use crate::tenant::{Tenant, TenantReport};
+
+/// A set of tenants to run together for a fixed duration.
+pub struct Colocation {
+    tenants: Vec<Tenant>,
+    duration: Duration,
+}
+
+impl Colocation {
+    /// Creates a co-location run lasting `duration` (the paper's
+    /// experiments run for 10 s).
+    #[must_use]
+    pub fn new(duration: Duration) -> Self {
+        Colocation {
+            tenants: Vec::new(),
+            duration,
+        }
+    }
+
+    /// Adds a tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: Tenant) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Number of tenants registered so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Runs the co-location: starts each tenant at its arrival time,
+    /// stops everything at the end, and reports.
+    ///
+    /// Starting a pool only spawns threads (it does not block), so one
+    /// orchestration thread walking the arrival timeline is exact
+    /// enough at monitoring-period granularity.
+    #[must_use]
+    pub fn run(self) -> ColocationReport {
+        let mut tenants = self.tenants;
+        // Stable order by arrival so the timeline walk is a single pass.
+        tenants.sort_by_key(|t| t.spec().arrival);
+        let start = Instant::now();
+        let mut running = Vec::new();
+        for tenant in tenants {
+            let arrival = tenant.spec().arrival.min(self.duration);
+            let now = start.elapsed();
+            if arrival > now {
+                std::thread::sleep(arrival - now);
+            }
+            running.push(tenant.start());
+        }
+        let elapsed = start.elapsed();
+        if self.duration > elapsed {
+            std::thread::sleep(self.duration - elapsed);
+        }
+        let reports = running
+            .into_iter()
+            .map(|(spec, pool)| TenantReport {
+                name: spec.name,
+                policy: spec.policy.label(),
+                arrival: spec.arrival,
+                period: spec.period,
+                report: pool.stop(),
+            })
+            .collect();
+        ColocationReport {
+            duration: self.duration,
+            tenants: reports,
+        }
+    }
+}
+
+/// Outcome of a co-location run.
+#[derive(Debug, Clone)]
+pub struct ColocationReport {
+    /// Configured run duration.
+    pub duration: Duration,
+    /// Per-tenant reports, in arrival order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ColocationReport {
+    /// Nash product of tenant speed-ups, given each tenant's sequential
+    /// baseline throughput (same order as `tenants`).
+    ///
+    /// # Panics
+    /// Panics if `seq_baselines.len() != tenants.len()`.
+    #[must_use]
+    pub fn nash_product(&self, seq_baselines: &[f64]) -> f64 {
+        assert_eq!(seq_baselines.len(), self.tenants.len());
+        self.tenants
+            .iter()
+            .zip(seq_baselines)
+            .map(|(t, &seq)| t.speedup(seq))
+            .product()
+    }
+
+    /// Total active threads across tenants sampled on a common wall-
+    /// clock grid of `step` — the Fig. 7b / Fig. 10 system view.
+    /// Each tenant's trace rounds are offset by its arrival.
+    #[must_use]
+    pub fn total_threads_series(&self, step: Duration) -> Vec<(Duration, u32)> {
+        let steps = (self.duration.as_nanos() / step.as_nanos().max(1)) as u64;
+        (0..steps)
+            .map(|i| {
+                let t = step * u32::try_from(i).unwrap_or(u32::MAX);
+                let mut total = 0u32;
+                for tenant in &self.tenants {
+                    if t < tenant.arrival {
+                        continue;
+                    }
+                    let round =
+                        ((t - tenant.arrival).as_nanos() / tenant.period.as_nanos().max(1)) as u64;
+                    if let Some(p) = tenant
+                        .report
+                        .trace
+                        .points()
+                        .iter()
+                        .find(|p| p.round == round)
+                    {
+                        total += p.level;
+                    }
+                }
+                (t, total)
+            })
+            .collect()
+    }
+
+    /// Convenience access to one tenant's level trace by name.
+    #[must_use]
+    pub fn trace(&self, name: &str) -> Option<&LevelTrace> {
+        self.tenants
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| &t.report.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantSpec;
+    use rubic_controllers::Policy;
+    use rubic_runtime::Workload;
+
+    #[derive(Clone)]
+    struct Spin;
+    impl Workload for Spin {
+        type WorkerState = ();
+        fn init_worker(&self, _tid: usize) {}
+        fn run_task(&self, (): &mut ()) {
+            std::hint::black_box((0..200u64).fold(0u64, |a, b| a.wrapping_add(b)));
+        }
+    }
+
+    fn fast_spec(name: &str, policy: Policy) -> TenantSpec {
+        TenantSpec::new(name, 2, policy).monitor_period(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn two_tenants_both_run() {
+        let report = Colocation::new(Duration::from_millis(50))
+            .tenant(Tenant::new(fast_spec("a", Policy::Ebs), Spin))
+            .tenant(Tenant::new(fast_spec("b", Policy::Ebs), Spin))
+            .run();
+        assert_eq!(report.tenants.len(), 2);
+        for t in &report.tenants {
+            assert!(t.report.total_tasks > 0, "{} did no work", t.name);
+        }
+    }
+
+    #[test]
+    fn staggered_arrival_shortens_trace() {
+        let report = Colocation::new(Duration::from_millis(60))
+            .tenant(Tenant::new(fast_spec("first", Policy::Ebs), Spin))
+            .tenant(Tenant::new(
+                fast_spec("late", Policy::Ebs).arrives_after(Duration::from_millis(40)),
+                Spin,
+            ))
+            .run();
+        let first = report.trace("first").unwrap().len();
+        let late = report.trace("late").unwrap().len();
+        assert!(
+            late < first,
+            "late tenant should record fewer rounds: {late} vs {first}"
+        );
+    }
+
+    #[test]
+    fn nash_product_needs_matching_baselines() {
+        let report = Colocation::new(Duration::from_millis(30))
+            .tenant(Tenant::new(fast_spec("a", Policy::Fixed(1)), Spin))
+            .run();
+        let thr = report.tenants[0].throughput();
+        let nash = report.nash_product(&[thr]);
+        assert!((nash - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_threads_series_has_grid_shape() {
+        let report = Colocation::new(Duration::from_millis(40))
+            .tenant(Tenant::new(fast_spec("a", Policy::Fixed(2)), Spin))
+            .run();
+        let series = report.total_threads_series(Duration::from_millis(10));
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().any(|&(_, total)| total > 0));
+    }
+
+    #[test]
+    fn empty_colocation() {
+        let c = Colocation::new(Duration::from_millis(1));
+        assert!(c.is_empty());
+        let report = c.run();
+        assert!(report.tenants.is_empty());
+    }
+}

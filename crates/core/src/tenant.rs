@@ -1,0 +1,251 @@
+//! Tenants — co-located "processes" hosted in one OS process.
+//!
+//! The paper co-locates multiple multi-threaded TM *OS processes*; RUBIC
+//! needs no cross-process state, so hosting each process as an isolated
+//! **tenant** (own thread pool, own monitor, own controller, own STM
+//! runtime) inside one OS process preserves the decentralisation
+//! property exactly while keeping the harness portable (DESIGN.md §1).
+//! The tenants' worker threads contend for the host's CPUs through the
+//! OS scheduler, just as separate processes would.
+
+use std::time::Duration;
+
+use rubic_controllers::{Policy, PolicyConfig};
+use rubic_runtime::{MalleablePool, PoolConfig, RunReport, Workload};
+
+/// Description of one tenant: its pool shape and allocation policy.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Thread-pool size `S`.
+    pub pool_size: u32,
+    /// Allocation policy.
+    pub policy: Policy,
+    /// Controller construction parameters.
+    pub policy_cfg: PolicyConfig,
+    /// Monitoring period (paper: 10 ms).
+    pub period: Duration,
+    /// Delay after the co-location run starts before this tenant
+    /// arrives.
+    pub arrival: Duration,
+}
+
+impl TenantSpec {
+    /// A tenant with `pool_size` workers under `policy`, arriving at
+    /// t = 0, 10 ms monitoring.
+    #[must_use]
+    pub fn new(name: impl Into<String>, pool_size: u32, policy: Policy) -> Self {
+        TenantSpec {
+            name: name.into(),
+            pool_size,
+            policy,
+            policy_cfg: PolicyConfig {
+                pool_size,
+                ..PolicyConfig::paper(1)
+            },
+            period: Duration::from_millis(10),
+            arrival: Duration::ZERO,
+        }
+    }
+
+    /// Sets the arrival delay.
+    #[must_use]
+    pub fn arrives_after(mut self, delay: Duration) -> Self {
+        self.arrival = delay;
+        self
+    }
+
+    /// Sets the monitoring period.
+    #[must_use]
+    pub fn monitor_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Overrides the controller construction parameters (hardware
+    /// contexts, EqualShare split, RUBIC constants, tolerance).
+    #[must_use]
+    pub fn policy_config(mut self, cfg: PolicyConfig) -> Self {
+        self.policy_cfg = cfg;
+        self
+    }
+}
+
+/// A tenant ready to start: a spec plus its (type-erased) workload.
+pub struct Tenant {
+    spec: TenantSpec,
+    starter: Box<dyn FnOnce(&TenantSpec) -> MalleablePool + Send>,
+}
+
+impl Tenant {
+    /// Pairs `spec` with `workload`.
+    #[must_use]
+    pub fn new<W: Workload>(spec: TenantSpec, workload: W) -> Self {
+        Tenant {
+            spec,
+            starter: Box::new(move |spec: &TenantSpec| {
+                let controller = spec.policy.build(&spec.policy_cfg);
+                MalleablePool::start(
+                    PoolConfig::new(spec.pool_size)
+                        .monitor_period(spec.period)
+                        .name(spec.name.clone()),
+                    workload,
+                    controller,
+                )
+            }),
+        }
+    }
+
+    /// The tenant's spec.
+    #[must_use]
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    pub(crate) fn start(self) -> (TenantSpec, MalleablePool) {
+        let pool = (self.starter)(&self.spec);
+        (self.spec, pool)
+    }
+}
+
+/// Runs a single tenant for `duration` and reports.
+///
+/// The simplest end-to-end entry point: build a workload, pick a
+/// policy, observe the level trace the controller produced.
+#[must_use]
+pub fn run_tenant(tenant: Tenant, duration: Duration) -> TenantReport {
+    let (spec, pool) = tenant.start();
+    std::thread::sleep(duration);
+    let report = pool.stop();
+    TenantReport {
+        name: spec.name,
+        policy: spec.policy.label(),
+        arrival: spec.arrival,
+        period: spec.period,
+        report,
+    }
+}
+
+/// Outcome of one tenant's run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Arrival delay the tenant was configured with.
+    pub arrival: Duration,
+    /// Monitoring period in force.
+    pub period: Duration,
+    /// The pool's run report (task counts, level trace).
+    pub report: RunReport,
+}
+
+impl TenantReport {
+    /// Mean task throughput (tasks/second).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.report.throughput()
+    }
+
+    /// Mean parallelism level over the run.
+    #[must_use]
+    pub fn mean_level(&self) -> f64 {
+        self.report.trace.mean_level()
+    }
+
+    /// Speed-up relative to a measured sequential throughput.
+    #[must_use]
+    pub fn speedup(&self, seq_throughput: f64) -> f64 {
+        rubic_metrics::speedup(self.throughput(), seq_throughput)
+    }
+}
+
+/// Measures a workload's sequential throughput (1 fixed thread for
+/// `duration`) — the `T_seq(ω)` baseline of §4.1.
+#[must_use]
+pub fn measure_sequential<W: Workload>(workload: W, duration: Duration) -> f64 {
+    let pool = MalleablePool::start(
+        PoolConfig::new(1).name("seq-baseline"),
+        workload,
+        Box::new(rubic_controllers::Fixed::new(1, 1)),
+    );
+    std::thread::sleep(duration);
+    pool.stop().throughput()
+}
+
+/// Sweeps fixed parallelism levels and returns `(level, throughput)`
+/// points — the in-vivo scalability graph of Fig. 1 / Fig. 6. The
+/// workload is shared across sweep points (wrap it in an `Arc`).
+#[must_use]
+pub fn scalability_sweep<W: Workload + Clone>(
+    workload: W,
+    levels: &[u32],
+    duration_per_level: Duration,
+) -> Vec<(u32, f64)> {
+    levels
+        .iter()
+        .map(|&l| {
+            let pool = MalleablePool::start(
+                PoolConfig::new(l.max(1))
+                    .initial_level(l.max(1))
+                    .name(format!("sweep-{l}")),
+                workload.clone(),
+                Box::new(rubic_controllers::Fixed::new(l.max(1), l.max(1))),
+            );
+            std::thread::sleep(duration_per_level);
+            let report = pool.stop();
+            (l, report.throughput())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct Spin;
+    impl Workload for Spin {
+        type WorkerState = ();
+        fn init_worker(&self, _tid: usize) {}
+        fn run_task(&self, (): &mut ()) {
+            std::hint::black_box((0..200u64).fold(0u64, |a, b| a.wrapping_add(b)));
+        }
+    }
+
+    #[test]
+    fn run_tenant_produces_report() {
+        let spec = TenantSpec::new("t", 2, Policy::Ebs).monitor_period(Duration::from_millis(2));
+        let rep = run_tenant(Tenant::new(spec, Spin), Duration::from_millis(30));
+        assert_eq!(rep.name, "t");
+        assert_eq!(rep.policy, "EBS");
+        assert!(rep.throughput() > 0.0);
+        assert!(rep.mean_level() >= 1.0);
+    }
+
+    #[test]
+    fn sequential_baseline_positive() {
+        let t = measure_sequential(Spin, Duration::from_millis(20));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn sweep_returns_requested_levels() {
+        let w = Arc::new(Spin);
+        let points = scalability_sweep(w, &[1, 2], Duration::from_millis(15));
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, 1);
+        assert!(points.iter().all(|&(_, t)| t > 0.0));
+    }
+
+    #[test]
+    fn speedup_uses_baseline() {
+        let spec = TenantSpec::new("t", 1, Policy::Fixed(1));
+        let rep = run_tenant(Tenant::new(spec, Spin), Duration::from_millis(20));
+        let s = rep.speedup(rep.throughput());
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fairness metrics: Nash bargaining product, proportional-fairness
+//! utility, and Jain's fairness index.
+//!
+//! The RUBIC paper adopts Nash's solution to the bargaining problem (NSBP,
+//! Nash 1950) as the system-wide objective: the *product* of the processes'
+//! speed-ups (§4.1). Maximising a product of utilities is equivalent to
+//! maximising the sum of their logarithms, which is exactly the
+//! *proportional fairness* objective of Kelly et al. used in network rate
+//! control — the same lineage as the AIMD/CUBIC congestion-control ideas
+//! that RUBIC borrows.
+//!
+//! Jain's index is provided as an auxiliary, scale-independent fairness
+//! measure for allocation vectors (not used by the paper's figures
+//! directly, but useful for convergence analytics and tests).
+
+/// Nash bargaining product: `∏ S_ρ` over all processes (paper §4.1).
+///
+/// The empty product is `1.0` (neutral element), matching the convention
+/// that a system with no processes is trivially "optimal".
+///
+/// ```
+/// assert_eq!(rubic_metrics::nash_product(&[2.0, 8.0]), 16.0);
+/// ```
+#[must_use]
+pub fn nash_product(utilities: &[f64]) -> f64 {
+    utilities.iter().product()
+}
+
+/// Proportional-fairness utility: `Σ ln(S_ρ)` (Kelly et al. 1998).
+///
+/// This is the logarithm of [`nash_product`]; the two are maximised by the
+/// same allocation, but the log form is numerically robust for many
+/// processes and makes the "sacrifice a little of a scalable process for a
+/// big gain of a poorly scalable one" trade-off explicit: moving 1% of
+/// speed-up from a process is worth it whenever it buys more than 1%
+/// (relative) elsewhere — the exact behaviour the paper observes from
+/// RUBIC in Fig. 8a.
+///
+/// Non-positive utilities contribute `f64::NEG_INFINITY`, mirroring the
+/// bargaining-problem rule that a starved participant vetoes the outcome.
+#[must_use]
+pub fn proportional_fairness_utility(utilities: &[f64]) -> f64 {
+    utilities
+        .iter()
+        .map(|&u| if u > 0.0 { u.ln() } else { f64::NEG_INFINITY })
+        .sum()
+}
+
+/// Jain's fairness index for an allocation vector:
+/// `(Σ x)² / (n · Σ x²)`.
+///
+/// Ranges in `(0, 1]`; `1.0` iff all allocations are equal, `1/n` when a
+/// single process holds everything. Returns `1.0` for an empty or all-zero
+/// vector (vacuously fair).
+///
+/// ```
+/// let even = rubic_metrics::jain_index(&[32.0, 32.0]);
+/// assert!((even - 1.0).abs() < 1e-12);
+/// let skewed = rubic_metrics::jain_index(&[63.0, 1.0]);
+/// assert!(skewed < 0.6);
+/// ```
+#[must_use]
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len() as f64;
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if n == 0.0 || sq_sum == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n * sq_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nash_product_basics() {
+        assert_eq!(nash_product(&[]), 1.0);
+        assert_eq!(nash_product(&[5.0]), 5.0);
+        assert_eq!(nash_product(&[2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn nash_prefers_equal_split_for_identical_processes() {
+        // §4.1: "in a contended system running identical processes,
+        // equally sharing the hardware maximizes the system's overall
+        // performance". With a concave speed-up curve S(l) = sqrt(l) and
+        // 64 contexts, check the equal split beats skewed splits.
+        let s = |l: f64| l.sqrt();
+        let even = nash_product(&[s(32.0), s(32.0)]);
+        for skew in [1.0, 8.0, 16.0, 24.0] {
+            let uneven = nash_product(&[s(32.0 - skew), s(32.0 + skew)]);
+            assert!(even > uneven, "skew {skew}: {even} vs {uneven}");
+        }
+    }
+
+    #[test]
+    fn log_utility_matches_product_ordering() {
+        let a = [2.0, 8.0];
+        let b = [4.0, 4.0];
+        assert_eq!(
+            nash_product(&a) < nash_product(&b),
+            proportional_fairness_utility(&a) < proportional_fairness_utility(&b)
+        );
+    }
+
+    #[test]
+    fn log_utility_starvation_is_neg_infinity() {
+        assert_eq!(
+            proportional_fairness_utility(&[4.0, 0.0]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let single = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((single - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

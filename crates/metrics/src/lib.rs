@@ -1,0 +1,52 @@
+//! Performance, efficiency and fairness metrics for parallelism-tuning
+//! experiments, as defined in Sections 4.1 and 4.2 of the RUBIC paper
+//! (Mohtasham & Barreto, SPAA '16).
+//!
+//! The paper evaluates allocation policies with three families of metrics:
+//!
+//! * **Speed-up** of a process `ρ` running workload `ω`:
+//!   `S_ρ(ω) = T_ρ(ω) / T_seq(ω)` — the ratio between the throughput the
+//!   process obtains and the throughput of a sequential (1-thread,
+//!   single-process) execution of the same workload
+//!   ([`speedup::speedup`]).
+//! * **System-wide performance** via Nash's solution to the bargaining
+//!   problem (NSBP): the *product* of all processes' speed-ups
+//!   ([`fairness::nash_product`]). Maximising the product simultaneously
+//!   rewards overall throughput and fairness (a starved process drives the
+//!   product towards zero), and is equivalent to proportional fairness.
+//! * **Efficiency** `E_ρ(ω) = S_ρ(ω) / L_ρ(ω)` — speed-up per allocated
+//!   thread ([`speedup::efficiency`]) — and the system's total efficiency,
+//!   again as a product ([`speedup::total_efficiency`]).
+//!
+//! On top of those paper-defined metrics this crate provides the summary
+//! statistics used throughout the evaluation (mean / standard deviation
+//! across 50 repetitions, geometric means across workload pairs — see
+//! [`stats`]) and time-series analytics for convergence experiments such
+//! as the paper's Figure 10 (average parallelism level, utilisation,
+//! convergence time, oscillation amplitude — see [`timeseries`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rubic_metrics::{speedup, fairness};
+//!
+//! // Two co-located processes: throughputs relative to their own
+//! // sequential executions.
+//! let s1 = speedup::speedup(40_000.0, 2_500.0); // 16x
+//! let s2 = speedup::speedup(9_000.0, 3_000.0); // 3x
+//! let system = fairness::nash_product(&[s1, s2]);
+//! assert!((system - 48.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod speedup;
+pub mod stats;
+pub mod timeseries;
+
+pub use fairness::{jain_index, nash_product, proportional_fairness_utility};
+pub use speedup::{efficiency, speedup, total_efficiency, total_speedup};
+pub use stats::{geometric_mean, median, percentile, Summary};
+pub use timeseries::{LevelTrace, TracePoint};

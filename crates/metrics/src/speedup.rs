@@ -1,0 +1,122 @@
+//! Speed-up and efficiency functions (paper §4.1–§4.2).
+//!
+//! Throughput in the paper is the transaction commit-rate (commits per
+//! second). All functions here are unit-agnostic: any throughput measure is
+//! fine as long as the parallel and sequential measurements use the same
+//! unit.
+
+/// Speed-up of a process: `S = T_parallel / T_sequential` (paper §4.1).
+///
+/// `t_seq` is the throughput of a *sequential* (single-thread,
+/// single-process) execution of the same workload.
+///
+/// Returns `0.0` when `t_seq` is non-positive, rather than propagating a
+/// meaningless division; a workload with no sequential baseline has no
+/// defined speed-up.
+///
+/// ```
+/// assert_eq!(rubic_metrics::speedup(30.0, 10.0), 3.0);
+/// assert_eq!(rubic_metrics::speedup(30.0, 0.0), 0.0);
+/// ```
+#[must_use]
+pub fn speedup(t_parallel: f64, t_seq: f64) -> f64 {
+    if t_seq <= 0.0 {
+        0.0
+    } else {
+        t_parallel / t_seq
+    }
+}
+
+/// Efficiency of a process: `E = S / L` (paper §4.2, after Creech et al.'s
+/// SCAF), i.e. speed-up per allocated thread.
+///
+/// An efficiency of `1.0` means perfect linear scaling at the current
+/// allocation; values below `1.0` quantify how much hardware the process
+/// wastes. Returns `0.0` for a non-positive level.
+///
+/// ```
+/// // 12x speed-up on 16 threads => 75% efficient.
+/// assert_eq!(rubic_metrics::efficiency(12.0, 16.0), 0.75);
+/// ```
+#[must_use]
+pub fn efficiency(speedup: f64, level: f64) -> f64 {
+    if level <= 0.0 {
+        0.0
+    } else {
+        speedup / level
+    }
+}
+
+/// The system's overall performance: the product of all processes'
+/// speed-ups (Nash's solution to the bargaining problem, paper §4.1).
+///
+/// This is an alias of [`crate::fairness::nash_product`] under the name
+/// the paper uses in its figures ("total speed-up", Fig. 7a).
+#[must_use]
+pub fn total_speedup(speedups: &[f64]) -> f64 {
+    crate::fairness::nash_product(speedups)
+}
+
+/// The system's total efficiency: the product of all processes'
+/// efficiencies (paper §4.2, Fig. 7c).
+///
+/// Each element of `pairs` is a `(speedup, level)` tuple for one process.
+///
+/// ```
+/// let total = rubic_metrics::total_efficiency(&[(16.0, 32.0), (3.0, 4.0)]);
+/// assert!((total - 0.375).abs() < 1e-12); // 0.5 * 0.75
+/// ```
+#[must_use]
+pub fn total_efficiency(pairs: &[(f64, f64)]) -> f64 {
+    pairs.iter().map(|&(s, l)| efficiency(s, l)).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basic() {
+        assert_eq!(speedup(100.0, 25.0), 4.0);
+        assert_eq!(speedup(10.0, 20.0), 0.5);
+    }
+
+    #[test]
+    fn speedup_degenerate_baseline() {
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+        assert_eq!(speedup(10.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_basic() {
+        assert_eq!(efficiency(8.0, 8.0), 1.0);
+        assert_eq!(efficiency(8.0, 16.0), 0.5);
+    }
+
+    #[test]
+    fn efficiency_degenerate_level() {
+        assert_eq!(efficiency(8.0, 0.0), 0.0);
+        assert_eq!(efficiency(8.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn total_speedup_is_product() {
+        assert_eq!(total_speedup(&[2.0, 3.0, 4.0]), 24.0);
+        assert_eq!(total_speedup(&[]), 1.0);
+    }
+
+    #[test]
+    fn total_efficiency_is_product_of_ratios() {
+        let t = total_efficiency(&[(4.0, 8.0), (2.0, 2.0)]);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_process_sinks_total() {
+        // NSBP: a starved process (speed-up ~0) drives the system metric
+        // to ~0 no matter how well the others do.
+        let healthy = total_speedup(&[16.0, 16.0]);
+        let starved = total_speedup(&[32.0, 0.01]);
+        assert!(starved < healthy);
+    }
+}

@@ -1,0 +1,547 @@
+//! The malleable worker pool and its monitoring thread.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_utils::CachePadded;
+use rubic_controllers::{Controller, Sample};
+use rubic_metrics::LevelTrace;
+
+use crate::semaphore::Semaphore;
+
+/// A throughput-oriented workload run by the pool's workers.
+///
+/// One call to [`run_task`](Workload::run_task) is one *task* in the
+/// paper's sense — for TM workloads, typically one transaction (so the
+/// pool's task rate is the commit rate the controller consumes).
+/// Implementations must be safe to call concurrently from many workers.
+pub trait Workload: Send + Sync + 'static {
+    /// Per-worker scratch state (RNG, reusable buffers, ...).
+    type WorkerState: Send;
+
+    /// Builds the scratch state for worker `tid`.
+    fn init_worker(&self, tid: usize) -> Self::WorkerState;
+
+    /// Executes one task. Called repeatedly by active workers.
+    fn run_task(&self, state: &mut Self::WorkerState);
+}
+
+/// Pool construction parameters.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Pool size `S` — the number of worker threads created. The
+    /// controller may activate at most this many.
+    pub size: u32,
+    /// Initial parallelism level (the paper starts at 1).
+    pub initial_level: u32,
+    /// Monitoring period (`TIME_PERIOD`; the paper samples every 10 ms).
+    pub period: Duration,
+    /// Optional cap on the number of tasks executed; the pool shuts
+    /// itself down once the budget is exhausted (the paper's
+    /// "task queue drained, workers terminate" mode).
+    pub task_budget: Option<u64>,
+    /// Label used in thread names and reports.
+    pub name: String,
+}
+
+impl PoolConfig {
+    /// Config with `size` workers, level 1, the paper's 10 ms period,
+    /// and no task budget.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        PoolConfig {
+            size: size.max(1),
+            initial_level: 1,
+            period: Duration::from_millis(10),
+            task_budget: None,
+            name: "rubic-pool".to_string(),
+        }
+    }
+
+    /// Sets the initial parallelism level (clamped to `[1, size]`).
+    #[must_use]
+    pub fn initial_level(mut self, level: u32) -> Self {
+        self.initial_level = level.clamp(1, self.size);
+        self
+    }
+
+    /// Sets the monitoring period.
+    #[must_use]
+    pub fn monitor_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Caps the total number of tasks.
+    #[must_use]
+    pub fn task_budget(mut self, tasks: u64) -> Self {
+        self.task_budget = Some(tasks);
+        self
+    }
+
+    /// Names the pool (thread names, reports).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Shared state between workers and the monitor.
+struct Shared {
+    /// `L_RUBIC`: number of active workers. Workers with
+    /// `tid >= level` park.
+    level: AtomicU32,
+    running: AtomicBool,
+    semaphores: Vec<Semaphore>,
+    /// Per-worker completed-task counters. Single-writer (the owning
+    /// worker); the monitor only reads. Relaxed everywhere — the
+    /// sound equivalent of the paper's plain thread-local counters.
+    counters: Vec<CachePadded<AtomicU64>>,
+    /// Remaining task budget; negative means "exhausted, stop".
+    /// `i64::MAX` when unbounded.
+    budget: AtomicI64,
+}
+
+impl Shared {
+    fn new(cfg: &PoolConfig) -> Self {
+        Shared {
+            level: AtomicU32::new(cfg.initial_level.clamp(1, cfg.size)),
+            running: AtomicBool::new(true),
+            semaphores: (0..cfg.size).map(|_| Semaphore::new(0)).collect(),
+            counters: (0..cfg.size)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            budget: AtomicI64::new(
+                cfg.task_budget
+                    .map_or(i64::MAX, |b| i64::try_from(b).unwrap_or(i64::MAX)),
+            ),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.running.store(false, Ordering::Release);
+        for sem in &self.semaphores {
+            sem.signal();
+        }
+    }
+
+    fn total_tasks(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A running malleable pool: `size` workers plus one monitoring thread.
+///
+/// Dropping the pool stops and joins everything; prefer
+/// [`stop`](MalleablePool::stop) to also receive the [`RunReport`].
+pub struct MalleablePool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<LevelTrace>>,
+    started: Instant,
+    name: String,
+}
+
+impl MalleablePool {
+    /// Spawns the workers and the monitoring thread and starts running
+    /// `workload` under `controller`.
+    ///
+    /// # Panics
+    /// Panics if worker threads cannot be spawned.
+    #[must_use]
+    pub fn start<W: Workload>(
+        cfg: PoolConfig,
+        workload: W,
+        controller: Box<dyn Controller>,
+    ) -> Self {
+        let shared = Arc::new(Shared::new(&cfg));
+        let workload = Arc::new(workload);
+
+        let workers: Vec<JoinHandle<()>> = (0..cfg.size as usize)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                let workload = Arc::clone(&workload);
+                std::thread::Builder::new()
+                    .name(format!("{}-w{}", cfg.name, tid))
+                    .spawn(move || worker_loop(tid, &shared, &*workload))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            let period = cfg.period;
+            std::thread::Builder::new()
+                .name(format!("{}-monitor", cfg.name))
+                .spawn(move || monitor_loop(&shared, period, controller))
+                .expect("failed to spawn monitor thread")
+        };
+
+        MalleablePool {
+            shared,
+            workers,
+            monitor: Some(monitor),
+            started: Instant::now(),
+            name: cfg.name,
+        }
+    }
+
+    /// The current parallelism level.
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.shared.level.load(Ordering::Relaxed)
+    }
+
+    /// Tasks completed so far across all workers.
+    #[must_use]
+    pub fn total_tasks(&self) -> u64 {
+        self.shared.total_tasks()
+    }
+
+    /// True while the pool accepts work (false once stopped or the task
+    /// budget ran out).
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the task budget is exhausted (or `stop` is called
+    /// from another thread). Returns immediately for unbounded pools
+    /// that were already stopped.
+    pub fn wait_budget_exhausted(&self) {
+        while self.is_running() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the pool, joins all threads, and reports the run.
+    #[must_use]
+    pub fn stop(mut self) -> RunReport {
+        self.shared.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let trace = self
+            .monitor
+            .take()
+            .map(|m| m.join().unwrap_or_default())
+            .unwrap_or_default();
+        let elapsed = self.started.elapsed();
+        let per_worker: Vec<u64> = self
+            .shared
+            .counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        RunReport {
+            name: std::mem::take(&mut self.name),
+            total_tasks: per_worker.iter().sum(),
+            per_worker,
+            elapsed,
+            trace,
+        }
+    }
+}
+
+impl Drop for MalleablePool {
+    fn drop(&mut self) {
+        self.shared.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+/// What a completed pool run produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Pool name.
+    pub name: String,
+    /// Total completed tasks.
+    pub total_tasks: u64,
+    /// Tasks per worker (index = tid). Gated workers show the effect of
+    /// the level trace directly: high tids complete few or no tasks.
+    pub per_worker: Vec<u64>,
+    /// Wall-clock duration from start to stop.
+    pub elapsed: Duration,
+    /// `(round, level, throughput)` trace recorded by the monitor.
+    pub trace: LevelTrace,
+}
+
+impl RunReport {
+    /// Mean task throughput over the whole run (tasks per second).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_tasks as f64 / secs
+        }
+    }
+}
+
+/// Algorithm 1: gate on `tid >= L_RUBIC`, then run one task and bump the
+/// thread-local counter.
+fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
+    let mut state = workload.init_worker(tid);
+    let tid_u32 = tid as u32;
+    // Fallback timeout: if a semaphore signal is ever missed (or the
+    // level drops and rises between our gate check and our park), the
+    // worker re-examines the gate within this bound.
+    let park_timeout = Duration::from_millis(50);
+
+    while shared.running.load(Ordering::Acquire) {
+        // The gate (Algorithm 1, AcquireTask): a single relaxed load on
+        // the hot path; the semaphore wait only happens when gated.
+        if tid_u32 >= shared.level.load(Ordering::Relaxed) {
+            let _ = shared.semaphores[tid].wait_timeout(park_timeout);
+            continue; // re-check gate and running flag
+        }
+
+        // Task budget (finite-queue mode).
+        if shared.budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
+            shared.shutdown();
+            break;
+        }
+
+        workload.run_task(&mut state);
+
+        // Single-writer counter: plain add, relaxed. Only the monitor
+        // reads it.
+        let c = &shared.counters[tid];
+        c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}
+
+/// The monitoring thread: measure throughput each round, consult the
+/// controller, apply the level, signal newly enabled workers.
+fn monitor_loop(
+    shared: &Shared,
+    period: Duration,
+    mut controller: Box<dyn Controller>,
+) -> LevelTrace {
+    let mut trace = LevelTrace::new();
+    let mut prev_total = 0u64;
+    let mut prev_instant = Instant::now();
+    let mut round = 0u64;
+
+    while shared.running.load(Ordering::Acquire) {
+        std::thread::sleep(period);
+        let now = Instant::now();
+        let elapsed = now.duration_since(prev_instant).as_secs_f64();
+        prev_instant = now;
+
+        let total = shared.total_tasks();
+        let t_c = if elapsed > 0.0 {
+            (total - prev_total) as f64 / elapsed
+        } else {
+            0.0
+        };
+        prev_total = total;
+
+        let level = shared.level.load(Ordering::Relaxed);
+        let new_level = controller
+            .decide(Sample {
+                throughput: t_c,
+                level,
+                round,
+            })
+            .clamp(1, shared.semaphores.len() as u32);
+
+        trace.push(round, level, t_c);
+        round += 1;
+
+        if new_level != level {
+            shared.level.store(new_level, Ordering::Relaxed);
+            // Wake the newly enabled workers (Algorithm 2 lines 20-22).
+            if new_level > level {
+                for tid in level..new_level {
+                    shared.semaphores[tid as usize].signal();
+                }
+            }
+            // Workers above the new level park themselves at their next
+            // gate check; no action needed here.
+        }
+    }
+    trace
+}
+
+impl<W: Workload> Workload for Arc<W> {
+    type WorkerState = W::WorkerState;
+
+    fn init_worker(&self, tid: usize) -> W::WorkerState {
+        W::init_worker(self, tid)
+    }
+
+    fn run_task(&self, state: &mut W::WorkerState) {
+        W::run_task(self, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubic_controllers::{Ebs, Fixed};
+
+    /// Workload that spins briefly; tasks complete fast enough for
+    /// milliseconds-scale tests.
+    struct Spin;
+    impl Workload for Spin {
+        type WorkerState = ();
+        fn init_worker(&self, _tid: usize) {}
+        fn run_task(&self, _state: &mut ()) {
+            std::hint::black_box((0..100u64).fold(0, |a, b| a ^ b));
+        }
+    }
+
+    fn fixed_pool(size: u32, level: u32) -> MalleablePool {
+        MalleablePool::start(
+            PoolConfig::new(size)
+                .initial_level(level)
+                .monitor_period(Duration::from_millis(2))
+                .name("test"),
+            Spin,
+            Box::new(Fixed::new(level, size)),
+        )
+    }
+
+    #[test]
+    fn runs_and_stops() {
+        let pool = fixed_pool(4, 2);
+        std::thread::sleep(Duration::from_millis(30));
+        let report = pool.stop();
+        assert!(report.total_tasks > 0, "no tasks ran");
+        assert_eq!(report.per_worker.len(), 4);
+        assert!(!report.trace.is_empty(), "monitor recorded nothing");
+    }
+
+    #[test]
+    fn gated_workers_do_no_work() {
+        let pool = fixed_pool(4, 1);
+        std::thread::sleep(Duration::from_millis(40));
+        let report = pool.stop();
+        // Only worker 0 is active. Workers 2..4 must be idle; worker 1
+        // may run a handful of tasks before the first gate check.
+        assert!(report.per_worker[0] > 0);
+        assert_eq!(report.per_worker[2], 0, "{:?}", report.per_worker);
+        assert_eq!(report.per_worker[3], 0, "{:?}", report.per_worker);
+    }
+
+    #[test]
+    fn level_changes_wake_workers() {
+        // Start at level 1 with a controller that climbs (EBS on a
+        // plateau climbs +1 per round); higher-tid workers must
+        // eventually run tasks.
+        let pool = MalleablePool::start(
+            PoolConfig::new(3)
+                .initial_level(1)
+                .monitor_period(Duration::from_millis(2)),
+            Spin,
+            Box::new(Ebs::new(3)),
+        );
+        // Deadline-based: under CPU contention (e.g. concurrent bench
+        // runs) a fixed sleep is flaky.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if pool.level() == 3 && pool.total_tasks() > 0 {
+                // Give the newly enabled workers a beat to run.
+                std::thread::sleep(Duration::from_millis(50));
+                break;
+            }
+            assert!(Instant::now() < deadline, "level never reached 3");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = pool.stop();
+        assert!(
+            report.per_worker.iter().all(|&t| t > 0),
+            "all workers should have been enabled: {:?}",
+            report.per_worker
+        );
+    }
+
+    #[test]
+    fn task_budget_stops_pool() {
+        let pool = MalleablePool::start(
+            PoolConfig::new(2)
+                .initial_level(2)
+                .task_budget(100)
+                .monitor_period(Duration::from_millis(2)),
+            Spin,
+            Box::new(Fixed::new(2, 2)),
+        );
+        pool.wait_budget_exhausted();
+        let report = pool.stop();
+        // fetch_sub semantics: exactly `budget` tasks run.
+        assert_eq!(report.total_tasks, 100);
+    }
+
+    #[test]
+    fn trace_levels_respect_bounds() {
+        let pool = MalleablePool::start(
+            PoolConfig::new(4).monitor_period(Duration::from_millis(1)),
+            Spin,
+            Box::new(Ebs::new(4)),
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let report = pool.stop();
+        for p in report.trace.points() {
+            assert!((1..=4).contains(&p.level));
+        }
+        // Rounds are recorded monotonically.
+        let rounds: Vec<u64> = report.trace.points().iter().map(|p| p.round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let pool = fixed_pool(2, 2);
+        std::thread::sleep(Duration::from_millis(30));
+        let report = pool.stop();
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn drop_without_stop_joins_cleanly() {
+        let pool = fixed_pool(2, 1);
+        std::thread::sleep(Duration::from_millis(10));
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_per_tid() {
+        use std::sync::Mutex;
+        struct Recorder(Mutex<Vec<usize>>);
+        struct W(Arc<Recorder>);
+        impl Workload for W {
+            type WorkerState = usize;
+            fn init_worker(&self, tid: usize) -> usize {
+                self.0 .0.lock().unwrap().push(tid);
+                tid
+            }
+            fn run_task(&self, _state: &mut usize) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let pool = MalleablePool::start(
+            PoolConfig::new(3).monitor_period(Duration::from_millis(5)),
+            W(Arc::clone(&rec)),
+            Box::new(Fixed::new(1, 3)),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let _ = pool.stop();
+        let mut tids = rec.0.lock().unwrap().clone();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![0, 1, 2]);
+    }
+}

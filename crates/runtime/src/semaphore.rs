@@ -1,0 +1,165 @@
+//! A counting semaphore.
+//!
+//! The paper's worker-gating protocol (Algorithm 1) parks surplus
+//! workers on per-thread semaphores and has the monitor signal the ones
+//! it re-enables. A counting semaphore (rather than a bare condvar)
+//! makes the signal *sticky*: if the monitor signals before the worker
+//! reaches its `wait`, the permit is banked and the worker sails
+//! through — no lost-wakeup window. Workers still re-check the gate
+//! condition after waking, so a stale banked permit can never let a
+//! gated worker run a task.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore built on `parking_lot`'s mutex + condvar.
+#[derive(Debug, Default)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits (the paper
+    /// initialises worker semaphores to 0).
+    #[must_use]
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available and consumes it.
+    pub fn wait(&self) {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            self.available.wait(&mut permits);
+        }
+        *permits -= 1;
+    }
+
+    /// Waits up to `timeout` for a permit. Returns `true` if a permit
+    /// was consumed, `false` on timeout.
+    ///
+    /// The pool's workers use the timed variant as a belt-and-braces
+    /// guard: even if a signal were lost, a gated worker re-examines the
+    /// gate within one timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            if self.available.wait_for(&mut permits, timeout).timed_out() && *permits == 0 {
+                return false;
+            }
+        }
+        *permits -= 1;
+        true
+    }
+
+    /// Tries to consume a permit without blocking.
+    pub fn try_wait(&self) -> bool {
+        let mut permits = self.permits.lock();
+        if *permits > 0 {
+            *permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one permit, waking one waiter if any.
+    pub fn signal(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    /// Current permit count (diagnostic; racy by nature).
+    #[must_use]
+    pub fn permits(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn signal_then_wait_does_not_block() {
+        let s = Semaphore::new(0);
+        s.signal();
+        s.wait(); // must return immediately
+        assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn initial_permits() {
+        let s = Semaphore::new(2);
+        assert!(s.try_wait());
+        assert!(s.try_wait());
+        assert!(!s.try_wait());
+    }
+
+    #[test]
+    fn wait_blocks_until_signal() {
+        let s = Arc::new(Semaphore::new(0));
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.wait();
+            42
+        });
+        // Give the waiter time to park, then release it.
+        std::thread::sleep(Duration::from_millis(20));
+        s.signal();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let s = Semaphore::new(0);
+        let start = std::time::Instant::now();
+        assert!(!s.wait_timeout(Duration::from_millis(10)));
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn wait_timeout_consumes_when_available() {
+        let s = Semaphore::new(1);
+        assert!(s.wait_timeout(Duration::from_millis(1)));
+        assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn permits_accumulate() {
+        let s = Semaphore::new(0);
+        s.signal();
+        s.signal();
+        s.signal();
+        assert_eq!(s.permits(), 3);
+        s.wait();
+        assert_eq!(s.permits(), 2);
+    }
+
+    #[test]
+    fn many_waiters_all_released() {
+        let s = Arc::new(Semaphore::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..8 {
+            s.signal();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.permits(), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Scalability curves: `S(l)` — the speed-up a workload attains with
+//! `l` dedicated threads.
+//!
+//! §4.4 of the paper: *"our techniques only depend on the scalability
+//! curve defined by each running process. The only requirement is that
+//! the scalability graph of the workloads must monotonically increase
+//! until its peak point."* The simulator therefore characterises each
+//! process entirely by such a curve. Curves express the workload's
+//! *intrinsic* scalability (conflicts, serial fractions) assuming the
+//! machine has enough contexts; machine-level effects — time slicing
+//! and oversubscription penalties when total software threads exceed
+//! hardware contexts — are applied separately by
+//! [`crate::machine::Machine`].
+//!
+//! Presets are fitted to the paper's Fig. 1 and Fig. 6 shapes:
+//! Intruder peaks at 7 threads and falls below 0.5× sequential by 64;
+//! Vacation peaks around 32; the 98 %-look-up red-black tree scales far
+//! and gently; the conflict-free read-only variant is perfectly linear.
+
+use std::sync::Arc;
+
+/// A workload's intrinsic speed-up as a function of its thread count.
+///
+/// Implementations must return `S(1) = 1` (speed-up is relative to the
+/// sequential execution) and be monotonically increasing up to a single
+/// peak. `l` is fractional because the machine model evaluates curves
+/// at effective (time-sliced) parallelism levels.
+pub trait ScalabilityCurve: Send + Sync + std::fmt::Debug {
+    /// Speed-up at parallelism `l >= 1`.
+    fn speedup(&self, l: f64) -> f64;
+
+    /// Curve label for reports.
+    fn name(&self) -> &str;
+}
+
+/// The Universal Scalability Law:
+/// `S(l) = l / (1 + σ·(l−1) + κ·l·(l−1))`.
+///
+/// `σ` models contention (serialisation), `κ` models coherency
+/// (crosstalk — for TM workloads, conflicts and abort retries). With
+/// `κ > 0` the curve peaks at `l* ≈ √((1−σ)/κ)` and declines beyond —
+/// the retrograde scaling of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct UslCurve {
+    sigma: f64,
+    kappa: f64,
+    name: String,
+}
+
+impl UslCurve {
+    /// Creates a USL curve.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or `kappa < 0`.
+    #[must_use]
+    pub fn new(sigma: f64, kappa: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(kappa >= 0.0, "kappa must be non-negative");
+        UslCurve {
+            sigma,
+            kappa,
+            name: format!("usl(σ={sigma},κ={kappa})"),
+        }
+    }
+
+    /// The parallelism level at which the curve peaks (∞ for κ = 0).
+    #[must_use]
+    pub fn peak_level(&self) -> f64 {
+        if self.kappa == 0.0 {
+            f64::INFINITY
+        } else {
+            ((1.0 - self.sigma) / self.kappa).sqrt()
+        }
+    }
+}
+
+impl ScalabilityCurve for UslCurve {
+    fn speedup(&self, l: f64) -> f64 {
+        let l = l.max(0.0);
+        let denom = 1.0 + self.sigma * (l - 1.0) + self.kappa * l * (l - 1.0);
+        if denom <= 0.0 {
+            0.0
+        } else {
+            l / denom
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Amdahl's law: `S(l) = 1 / ((1−p) + p/l)` for parallel fraction `p` —
+/// monotone, saturating, never retrograde (the USL with κ = 0 up to
+/// reparameterisation).
+#[derive(Debug, Clone)]
+pub struct AmdahlCurve {
+    parallel_fraction: f64,
+    name: String,
+}
+
+impl AmdahlCurve {
+    /// Creates an Amdahl curve with parallel fraction `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "parallel fraction in [0,1]");
+        AmdahlCurve {
+            parallel_fraction: p,
+            name: format!("amdahl(p={p})"),
+        }
+    }
+}
+
+impl ScalabilityCurve for AmdahlCurve {
+    fn speedup(&self, l: f64) -> f64 {
+        let l = l.max(1e-9);
+        1.0 / ((1.0 - self.parallel_fraction) + self.parallel_fraction / l)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A rise-then-decay curve with explicit peak position and height:
+/// concave power-law rise from `S(1) = 1` to `S(peak_l) = peak_s`, then
+/// exponential decay at `decay` per thread beyond the peak. This is the
+/// workhorse for matching the paper's plotted shapes exactly.
+#[derive(Debug, Clone)]
+pub struct PeakCurve {
+    peak_l: f64,
+    peak_s: f64,
+    rise_exp: f64,
+    decay: f64,
+    name: String,
+}
+
+impl PeakCurve {
+    /// Creates a peak curve.
+    ///
+    /// * `peak_l` — thread count of the throughput peak (> 1).
+    /// * `peak_s` — speed-up at the peak (>= 1).
+    /// * `rise_exp` — concavity of the rise (1 = linear, < 1 concave).
+    /// * `decay` — exponential decline rate beyond the peak (>= 0).
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    #[must_use]
+    pub fn new(peak_l: f64, peak_s: f64, rise_exp: f64, decay: f64) -> Self {
+        assert!(peak_l > 1.0, "peak level must exceed 1");
+        assert!(peak_s >= 1.0, "peak speed-up must be at least 1");
+        assert!(rise_exp > 0.0, "rise exponent must be positive");
+        assert!(decay >= 0.0, "decay must be non-negative");
+        PeakCurve {
+            peak_l,
+            peak_s,
+            rise_exp,
+            decay,
+            name: format!("peak(l={peak_l},s={peak_s})"),
+        }
+    }
+}
+
+impl ScalabilityCurve for PeakCurve {
+    fn speedup(&self, l: f64) -> f64 {
+        if l <= 0.0 {
+            return 0.0;
+        }
+        if l <= self.peak_l {
+            let t = ((l - 1.0) / (self.peak_l - 1.0)).clamp(0.0, 1.0);
+            1.0 + (self.peak_s - 1.0) * t.powf(self.rise_exp)
+        } else {
+            self.peak_s * (-self.decay * (l - self.peak_l)).exp()
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Perfectly linear scaling: `S(l) = l`. The intrinsic curve of the
+/// conflict-free read-only red-black tree (§4.6); the 64-context limit
+/// is imposed by the machine model, not the workload.
+#[derive(Debug, Clone, Default)]
+pub struct LinearCurve;
+
+impl ScalabilityCurve for LinearCurve {
+    fn speedup(&self, l: f64) -> f64 {
+        l.max(0.0)
+    }
+
+    fn name(&self) -> &str {
+        "linear"
+    }
+}
+
+/// A tabulated curve with linear interpolation between integer levels —
+/// for feeding *measured* scalability graphs (e.g. from the in-vivo
+/// sweep) back into the simulator.
+#[derive(Debug, Clone)]
+pub struct TableCurve {
+    /// `points[i]` is `S(i + 1)`.
+    points: Vec<f64>,
+    name: String,
+}
+
+impl TableCurve {
+    /// Creates a table curve from `S(1), S(2), ...`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn new(points: Vec<f64>, name: impl Into<String>) -> Self {
+        assert!(!points.is_empty(), "need at least one point");
+        TableCurve {
+            points,
+            name: name.into(),
+        }
+    }
+}
+
+impl ScalabilityCurve for TableCurve {
+    fn speedup(&self, l: f64) -> f64 {
+        if l <= 1.0 {
+            return self.points[0] * l.max(0.0);
+        }
+        let idx = l - 1.0;
+        let lo = idx.floor() as usize;
+        let hi = lo + 1;
+        if hi >= self.points.len() {
+            return *self.points.last().expect("non-empty");
+        }
+        let frac = idx - lo as f64;
+        self.points[lo] * (1.0 - frac) + self.points[hi] * frac
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared curve handle.
+pub type Curve = Arc<dyn ScalabilityCurve>;
+
+/// Intruder-like curve (Fig. 1): peak at 7 threads with ~3.5× speed-up,
+/// collapsing to < 0.5× sequential by 64 threads.
+#[must_use]
+pub fn intruder_like() -> Curve {
+    Arc::new(PeakCurve::new(7.0, 3.5, 0.9, 0.036))
+}
+
+/// Vacation-like curve (Fig. 6 middle of the spectrum): peak around 32
+/// threads at ~14×, with a gentle decline beyond.
+#[must_use]
+pub fn vacation_like() -> Curve {
+    Arc::new(PeakCurve::new(32.0, 14.0, 0.8, 0.006))
+}
+
+/// Red-black-tree 98 %-look-up curve: scales far (peak ~56 at ~30×) and
+/// declines only slightly.
+#[must_use]
+pub fn rbt_like() -> Curve {
+    Arc::new(PeakCurve::new(56.0, 30.0, 0.88, 0.002))
+}
+
+/// Conflict-free read-only red-black tree (§4.6): perfectly scalable;
+/// all limits come from the hardware.
+#[must_use]
+pub fn rbt_readonly() -> Curve {
+    Arc::new(LinearCurve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monotone_to_peak(c: &dyn ScalabilityCurve, peak: f64) {
+        let mut prev = 0.0;
+        let mut l = 1.0;
+        while l <= peak {
+            let s = c.speedup(l);
+            assert!(s >= prev - 1e-9, "{} not monotone at {l}", c.name());
+            prev = s;
+            l += 1.0;
+        }
+    }
+
+    #[test]
+    fn all_curves_start_at_one() {
+        let curves: Vec<Curve> = vec![
+            Arc::new(UslCurve::new(0.05, 0.001)),
+            Arc::new(AmdahlCurve::new(0.95)),
+            Arc::new(PeakCurve::new(7.0, 3.5, 0.9, 0.036)),
+            Arc::new(LinearCurve),
+            intruder_like(),
+            vacation_like(),
+            rbt_like(),
+            rbt_readonly(),
+        ];
+        for c in &curves {
+            assert!(
+                (c.speedup(1.0) - 1.0).abs() < 1e-9,
+                "{}: S(1) = {}",
+                c.name(),
+                c.speedup(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn usl_peak_location() {
+        let c = UslCurve::new(0.0, 0.01);
+        let peak = c.peak_level();
+        assert!((peak - 10.0).abs() < 1e-9);
+        assert!(c.speedup(peak) > c.speedup(peak + 5.0));
+        assert!(c.speedup(peak) > c.speedup(peak - 5.0));
+        monotone_to_peak(&c, peak);
+    }
+
+    #[test]
+    fn usl_kappa_zero_never_declines() {
+        let c = UslCurve::new(0.1, 0.0);
+        assert!(c.speedup(128.0) > c.speedup(64.0));
+        assert_eq!(c.peak_level(), f64::INFINITY);
+    }
+
+    #[test]
+    fn amdahl_saturates_at_serial_limit() {
+        let c = AmdahlCurve::new(0.9);
+        // Limit = 1/(1-p) = 10.
+        assert!(c.speedup(10_000.0) < 10.0);
+        assert!(c.speedup(10_000.0) > 9.9);
+        monotone_to_peak(&c, 100.0);
+    }
+
+    #[test]
+    fn intruder_matches_fig1_shape() {
+        let c = intruder_like();
+        monotone_to_peak(c.as_ref(), 7.0);
+        let s7 = c.speedup(7.0);
+        // Peak at 7: neighbours are lower.
+        assert!(s7 > c.speedup(6.0));
+        assert!(s7 > c.speedup(8.0));
+        // Collapse: at 64 threads, less than half of sequential.
+        assert!(
+            c.speedup(64.0) < 0.5,
+            "S(64) = {} not < 0.5",
+            c.speedup(64.0)
+        );
+    }
+
+    #[test]
+    fn vacation_peaks_mid_spectrum() {
+        let c = vacation_like();
+        monotone_to_peak(c.as_ref(), 32.0);
+        assert!(c.speedup(32.0) > c.speedup(40.0));
+        assert!(c.speedup(64.0) > 8.0, "decline too harsh");
+    }
+
+    #[test]
+    fn rbt_scales_far() {
+        let c = rbt_like();
+        monotone_to_peak(c.as_ref(), 56.0);
+        assert!(c.speedup(56.0) >= 29.0);
+        assert!(c.speedup(64.0) > 25.0);
+    }
+
+    #[test]
+    fn readonly_is_linear() {
+        let c = rbt_readonly();
+        assert_eq!(c.speedup(64.0), 64.0);
+        assert_eq!(c.speedup(1.0), 1.0);
+    }
+
+    #[test]
+    fn ordering_of_scalability_spectrum() {
+        // Fig. 6: at high thread counts RBT > Vacation > Intruder.
+        let (i, v, r) = (intruder_like(), vacation_like(), rbt_like());
+        for l in [16.0, 32.0, 48.0, 64.0] {
+            assert!(r.speedup(l) > v.speedup(l), "l={l}");
+            assert!(v.speedup(l) > i.speedup(l), "l={l}");
+        }
+    }
+
+    #[test]
+    fn table_curve_interpolates() {
+        let c = TableCurve::new(vec![1.0, 2.0, 4.0], "t");
+        assert_eq!(c.speedup(1.0), 1.0);
+        assert_eq!(c.speedup(2.0), 2.0);
+        assert!((c.speedup(1.5) - 1.5).abs() < 1e-12);
+        assert!((c.speedup(2.5) - 3.0).abs() < 1e-12);
+        // Clamps past the end.
+        assert_eq!(c.speedup(10.0), 4.0);
+        // Below 1 scales towards zero.
+        assert!((c.speedup(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_levels_are_smooth() {
+        let c = vacation_like();
+        let a = c.speedup(10.0);
+        let b = c.speedup(10.5);
+        let d = c.speedup(11.0);
+        assert!(a <= b && b <= d);
+    }
+}

@@ -1,0 +1,307 @@
+//! Experiment harness: repeated simulations with noise, aggregated the
+//! way the paper's evaluation reports them.
+//!
+//! §4.4: *"Each experiment lasts for 10 seconds and performance results
+//! are the average of 50 repeated experiments to minimize the
+//! evaluation noise."* [`Experiment::run`] performs exactly that —
+//! `repetitions` seeded runs with multiplicative measurement noise —
+//! and aggregates per-process speed-ups/levels and the system metrics
+//! (Nash product, total efficiency, total threads) into
+//! [`rubic_metrics::Summary`] statistics. The standard deviation of a
+//! process's mean allocation across repetitions is Fig. 8b / Fig. 9c's
+//! stability metric.
+
+use rubic_controllers::Policy;
+use rubic_metrics::Summary;
+
+use crate::curves::Curve;
+use crate::sim::{run, ProcessSpec, SimConfig};
+
+/// A workload entry for experiments: name + curve (+ optional arrival).
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Display name ("Intruder", "Vacation", "RBT", ...).
+    pub name: String,
+    /// Intrinsic scalability curve.
+    pub curve: Curve,
+    /// Arrival round (0 for co-start).
+    pub arrival_round: u64,
+}
+
+impl WorkloadSpec {
+    /// A workload present from round 0.
+    #[must_use]
+    pub fn new(name: impl Into<String>, curve: Curve) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            curve,
+            arrival_round: 0,
+        }
+    }
+
+    /// Sets the arrival round.
+    #[must_use]
+    pub fn arrives_at(mut self, round: u64) -> Self {
+        self.arrival_round = round;
+        self
+    }
+}
+
+/// A repeated experiment: a set of co-located workloads, one policy,
+/// `repetitions` noisy runs.
+pub struct Experiment {
+    /// The co-located workloads.
+    pub workloads: Vec<WorkloadSpec>,
+    /// The allocation policy applied by every process.
+    pub policy: Policy,
+    /// Simulation parameters (rounds, machine, controller config).
+    pub config: SimConfig,
+    /// Number of repetitions (paper: 50).
+    pub repetitions: u32,
+    /// Measurement-noise amplitude applied in each repetition.
+    pub noise: f64,
+    /// Base seed; repetition `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Experiment {
+    /// The paper's setup: 1000 rounds, 50 repetitions, 2% noise.
+    #[must_use]
+    pub fn paper(workloads: Vec<WorkloadSpec>, policy: Policy) -> Self {
+        let n = workloads.len() as u32;
+        Experiment {
+            workloads,
+            policy,
+            config: SimConfig::paper(n.max(1)),
+            repetitions: 50,
+            noise: 0.02,
+            base_seed: 1000,
+        }
+    }
+
+    /// Overrides the repetition count (tests use fewer).
+    #[must_use]
+    pub fn repetitions(mut self, n: u32) -> Self {
+        self.repetitions = n.max(1);
+        self
+    }
+
+    /// Overrides the noise amplitude.
+    #[must_use]
+    pub fn noise(mut self, amp: f64) -> Self {
+        self.noise = amp.max(0.0);
+        self
+    }
+
+    /// Runs all repetitions and aggregates.
+    #[must_use]
+    pub fn run(&self) -> ExperimentOutcome {
+        let specs: Vec<ProcessSpec> = self
+            .workloads
+            .iter()
+            .map(|w| {
+                ProcessSpec::new(w.name.clone(), w.curve.clone(), self.policy)
+                    .arrives_at(w.arrival_round)
+            })
+            .collect();
+
+        let mut per_process: Vec<ProcessStats> = self
+            .workloads
+            .iter()
+            .map(|w| ProcessStats {
+                name: w.name.clone(),
+                speedup: Summary::new(),
+                level: Summary::new(),
+                efficiency: Summary::new(),
+            })
+            .collect();
+        let mut nash = Summary::new();
+        let mut total_efficiency = Summary::new();
+        let mut total_threads = Summary::new();
+
+        for rep in 0..self.repetitions {
+            let cfg = self
+                .config
+                .clone()
+                .with_noise(self.noise, self.base_seed + u64::from(rep));
+            let result = run(&specs, &cfg);
+            for (stats, proc) in per_process.iter_mut().zip(&result.processes) {
+                stats.speedup.add(proc.mean_speedup());
+                stats.level.add(proc.mean_level());
+                stats.efficiency.add(proc.efficiency());
+            }
+            nash.add(result.nash_product());
+            total_efficiency.add(result.total_efficiency());
+            total_threads.add(result.mean_total_threads());
+        }
+
+        ExperimentOutcome {
+            policy: self.policy,
+            per_process,
+            nash,
+            total_efficiency,
+            total_threads,
+        }
+    }
+}
+
+/// Cross-repetition statistics for one process.
+pub struct ProcessStats {
+    /// Process name.
+    pub name: String,
+    /// Mean speed-up per repetition (Fig. 8a / 9a).
+    pub speedup: Summary,
+    /// Mean allocated threads per repetition (Fig. 8c / 9b); its
+    /// `stddev()` is the allocation-stability metric (Fig. 8b / 9c).
+    pub level: Summary,
+    /// Efficiency per repetition.
+    pub efficiency: Summary,
+}
+
+/// Aggregated outcome for one (workload set, policy) experiment.
+pub struct ExperimentOutcome {
+    /// The policy evaluated.
+    pub policy: Policy,
+    /// Per-process statistics.
+    pub per_process: Vec<ProcessStats>,
+    /// System Nash product across repetitions (Fig. 7a).
+    pub nash: Summary,
+    /// System total efficiency across repetitions (Fig. 7c).
+    pub total_efficiency: Summary,
+    /// Mean total software threads across repetitions (Fig. 7b).
+    pub total_threads: Summary,
+}
+
+/// Runs the paper's three pairwise experiments (§4.4: Int/Vac, Int/RBT,
+/// Vac/RBT) for one policy, with `repetitions` noisy runs each.
+#[must_use]
+pub fn pairwise_experiments(policy: Policy, repetitions: u32) -> Vec<(String, ExperimentOutcome)> {
+    use crate::curves::{intruder_like, rbt_like, vacation_like};
+    let pairs: [(&str, Curve, &str, Curve); 3] = [
+        ("Int/Vac", intruder_like(), "Vacation", vacation_like()),
+        ("Int/RBT", intruder_like(), "RBT", rbt_like()),
+        ("Vac/RBT", vacation_like(), "RBT", rbt_like()),
+    ];
+    let first_names = ["Intruder", "Intruder", "Vacation"];
+    pairs
+        .into_iter()
+        .zip(first_names)
+        .map(|((label, c1, name2, c2), name1)| {
+            let outcome = Experiment::paper(
+                vec![WorkloadSpec::new(name1, c1), WorkloadSpec::new(name2, c2)],
+                policy,
+            )
+            .repetitions(repetitions)
+            .run();
+            (label.to_string(), outcome)
+        })
+        .collect()
+}
+
+/// Runs the single-process experiments (§4.5.2) for one policy.
+#[must_use]
+pub fn single_process_experiments(
+    policy: Policy,
+    repetitions: u32,
+) -> Vec<(String, ExperimentOutcome)> {
+    use crate::curves::{intruder_like, rbt_like, vacation_like};
+    [
+        ("Intruder", intruder_like()),
+        ("Vacation", vacation_like()),
+        ("RBT", rbt_like()),
+    ]
+    .into_iter()
+    .map(|(name, curve)| {
+        let outcome = Experiment::paper(vec![WorkloadSpec::new(name, curve)], policy)
+            .repetitions(repetitions)
+            .run();
+        (name.to_string(), outcome)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves;
+
+    #[test]
+    fn outcome_shapes() {
+        let out = Experiment::paper(
+            vec![
+                WorkloadSpec::new("A", curves::vacation_like()),
+                WorkloadSpec::new("B", curves::rbt_like()),
+            ],
+            Policy::Rubic,
+        )
+        .repetitions(3)
+        .run();
+        assert_eq!(out.per_process.len(), 2);
+        assert_eq!(out.nash.count(), 3);
+        assert!(out.nash.mean() > 0.0);
+        assert!(out.total_threads.mean() > 0.0);
+    }
+
+    #[test]
+    fn repetitions_differ_under_noise() {
+        let out = Experiment::paper(
+            vec![WorkloadSpec::new("A", curves::rbt_like())],
+            Policy::Ebs,
+        )
+        .repetitions(5)
+        .noise(0.05)
+        .run();
+        assert!(
+            out.per_process[0].level.stddev() > 0.0,
+            "noise should produce cross-repetition variance"
+        );
+    }
+
+    #[test]
+    fn zero_noise_zero_variance() {
+        let out = Experiment::paper(
+            vec![WorkloadSpec::new("A", curves::rbt_like())],
+            Policy::Rubic,
+        )
+        .repetitions(4)
+        .noise(0.0)
+        .run();
+        assert_eq!(out.per_process[0].level.stddev(), 0.0);
+        assert_eq!(out.nash.stddev(), 0.0);
+    }
+
+    #[test]
+    fn pairwise_set_is_three_pairs() {
+        let outs = pairwise_experiments(Policy::Rubic, 2);
+        assert_eq!(outs.len(), 3);
+        let labels: Vec<&str> = outs.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["Int/Vac", "Int/RBT", "Vac/RBT"]);
+        for (_, o) in &outs {
+            assert_eq!(o.per_process.len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_process_set_is_three_workloads() {
+        let outs = single_process_experiments(Policy::Ebs, 2);
+        assert_eq!(outs.len(), 3);
+        for (_, o) in &outs {
+            assert_eq!(o.per_process.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rubic_beats_greedy_on_pairwise_nash() {
+        // The paper's headline ordering, at reduced repetition count.
+        let rubic = pairwise_experiments(Policy::Rubic, 3);
+        let greedy = pairwise_experiments(Policy::Greedy, 3);
+        for ((label, r), (_, g)) in rubic.iter().zip(&greedy) {
+            assert!(
+                r.nash.mean() > g.nash.mean(),
+                "{label}: RUBIC {} vs Greedy {}",
+                r.nash.mean(),
+                g.nash.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the simulator: machine-model laws, curve
+//! laws, and simulation-loop invariants for arbitrary process sets.
+
+use proptest::prelude::*;
+use rubic_controllers::Policy;
+use rubic_sim::curves::{self, PeakCurve, UslCurve};
+use rubic_sim::{run, Machine, ProcessSpec, SimConfig};
+
+fn any_eval_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Rubic),
+        Just(Policy::Ebs),
+        Just(Policy::F2c2),
+        Just(Policy::Aimd),
+        Just(Policy::Cimd),
+        Just(Policy::Greedy),
+        Just(Policy::EqualShare),
+    ]
+}
+
+fn any_curve() -> impl Strategy<Value = rubic_sim::Curve> {
+    prop_oneof![
+        Just(curves::intruder_like()),
+        Just(curves::vacation_like()),
+        Just(curves::rbt_like()),
+        Just(curves::rbt_readonly()),
+        (0.0f64..0.3, 0.0001f64..0.05)
+            .prop_map(|(s, k)| std::sync::Arc::new(UslCurve::new(s, k)) as rubic_sim::Curve),
+        (2.0f64..80.0, 1.5f64..40.0, 0.5f64..1.2, 0.0f64..0.1).prop_map(|(pl, ps, re, d)| {
+            std::sync::Arc::new(PeakCurve::new(pl, ps.max(1.0), re, d)) as rubic_sim::Curve
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Machine law: effective speed-up is monotone non-increasing in
+    /// total system threads, for any fixed intrinsic speed-up.
+    #[test]
+    fn effective_speedup_monotone_in_load(
+        contexts in 1u32..256,
+        delta in 0.0f64..1.0,
+        intrinsic in 0.1f64..128.0,
+        t1 in 1u32..512,
+        t2 in 1u32..512,
+    ) {
+        let m = Machine::with_contexts(contexts).penalty(delta);
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(
+            m.effective_speedup(intrinsic, lo) >= m.effective_speedup(intrinsic, hi) - 1e-12
+        );
+    }
+
+    /// Machine law: undersubscribed systems are transparent.
+    #[test]
+    fn undersubscribed_identity(
+        contexts in 1u32..256,
+        intrinsic in 0.0f64..128.0,
+        frac in 0.0f64..=1.0,
+    ) {
+        let m = Machine::with_contexts(contexts);
+        let t = ((f64::from(contexts) * frac) as u32).max(1).min(contexts);
+        prop_assert!((m.effective_speedup(intrinsic, t) - intrinsic).abs() < 1e-12);
+    }
+
+    /// Curve law: every provided curve starts at S(1) = 1 and stays
+    /// non-negative.
+    #[test]
+    fn curves_normalised_and_nonnegative(curve in any_curve(), l in 0.0f64..256.0) {
+        prop_assert!((curve.speedup(1.0) - 1.0).abs() < 1e-9, "{}", curve.name());
+        prop_assert!(curve.speedup(l) >= 0.0);
+    }
+
+    /// Simulation invariants for arbitrary 1-3 process systems: trace
+    /// lengths match active windows, levels stay within the pool, and
+    /// total_threads is the per-round sum of active levels.
+    #[test]
+    fn simulation_structural_invariants(
+        policies in proptest::collection::vec(any_eval_policy(), 1..4),
+        curve in any_curve(),
+        rounds in 10u64..200,
+        arrivals in proptest::collection::vec(0u64..150, 1..4),
+        noise in 0.0f64..0.1,
+        seed in 0u64..1000,
+    ) {
+        let n = policies.len().min(arrivals.len());
+        let specs: Vec<ProcessSpec> = (0..n)
+            .map(|i| {
+                ProcessSpec::new(format!("p{i}"), curve.clone(), policies[i])
+                    .arrives_at(arrivals[i])
+            })
+            .collect();
+        let mut cfg = SimConfig::paper(n as u32).with_rounds(rounds).with_noise(noise, seed);
+        cfg.policy_cfg.pool_size = 128;
+        let result = run(&specs, &cfg);
+
+        prop_assert_eq!(result.total_threads.len(), rounds as usize);
+        for (spec, proc_result) in specs.iter().zip(&result.processes) {
+            let expected = rounds.saturating_sub(spec.arrival_round) as usize;
+            prop_assert_eq!(proc_result.trace.len(), expected);
+            for p in proc_result.trace.points() {
+                prop_assert!(p.level >= 1 && p.level <= 128);
+                prop_assert!(p.throughput >= 0.0);
+            }
+        }
+        // Cross-check total_threads against the traces.
+        for round in 0..rounds {
+            let sum: u32 = result
+                .processes
+                .iter()
+                .flat_map(|p| p.trace.points().iter().filter(|q| q.round == round))
+                .map(|q| q.level)
+                .sum();
+            prop_assert_eq!(sum, result.total_threads[round as usize], "round {}", round);
+        }
+    }
+
+    /// Determinism: identical configs yield identical results even with
+    /// noise.
+    #[test]
+    fn noisy_runs_are_reproducible(seed in 0u64..10_000, noise in 0.0f64..0.1) {
+        let specs = [
+            ProcessSpec::new("a", curves::vacation_like(), Policy::Rubic),
+            ProcessSpec::new("b", curves::intruder_like(), Policy::Ebs),
+        ];
+        let cfg = SimConfig::paper(2).with_rounds(100).with_noise(noise, seed);
+        let r1 = run(&specs, &cfg);
+        let r2 = run(&specs, &cfg);
+        prop_assert_eq!(r1.nash_product(), r2.nash_product());
+        prop_assert_eq!(&r1.total_threads, &r2.total_threads);
+    }
+
+    /// The Nash product equals the product of per-process mean
+    /// speed-ups (metric plumbing).
+    #[test]
+    fn nash_is_product_of_speedups(seed in 0u64..500) {
+        let specs = [
+            ProcessSpec::new("a", curves::rbt_like(), Policy::Rubic),
+            ProcessSpec::new("b", curves::vacation_like(), Policy::Ebs),
+        ];
+        let cfg = SimConfig::paper(2).with_rounds(150).with_noise(0.02, seed);
+        let r = run(&specs, &cfg);
+        let manual: f64 = r.processes.iter().map(rubic_sim::ProcessResult::mean_speedup).product();
+        prop_assert!((r.nash_product() - manual).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Commit/abort accounting.
+//!
+//! Each [`crate::Stm`] instance owns one [`StmStats`]: cache-padded
+//! atomic totals updated once per transaction attempt with `Relaxed`
+//! ordering. That is deliberately *not* the paper's throughput path —
+//! §3.1's thread-local task counters live in `rubic-runtime`, and this
+//! module only provides the commit-rate diagnostics the evaluation
+//! reports (and the abort-rate visibility useful when tuning contention
+//! managers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Cumulative transaction statistics for one [`crate::Stm`] instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: CachePadded<AtomicU64>,
+    aborts: CachePadded<AtomicU64>,
+    reads: CachePadded<AtomicU64>,
+    writes: CachePadded<AtomicU64>,
+}
+
+impl StmStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        StmStats::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_commit(&self, reads: u64, writes: u64) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(reads, Ordering::Relaxed);
+        self.writes.fetch_add(writes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total committed transactions.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Total aborted attempts.
+    #[must_use]
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Total transactional reads performed by committed transactions.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total transactional writes performed by committed transactions.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of attempts that aborted: `aborts / (commits + aborts)`.
+    /// `0.0` before any attempt finishes.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let c = self.commits();
+        let a = self.aborts();
+        if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        }
+    }
+
+    /// Takes a point-in-time snapshot (the individual loads are relaxed
+    /// and not mutually atomic; fine for monitoring).
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits(),
+            aborts: self.aborts(),
+            reads: self.reads(),
+            writes: self.writes(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`StmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Reads by committed transactions.
+    pub reads: u64,
+    /// Writes by committed transactions.
+    pub writes: u64,
+}
+
+impl StatsSnapshot {
+    /// Element-wise difference (`self` must be the later snapshot); used
+    /// to compute per-interval commit rates.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = StmStats::new();
+        s.record_commit(3, 1);
+        s.record_commit(2, 0);
+        s.record_abort();
+        assert_eq!(s.commits(), 2);
+        assert_eq!(s.aborts(), 1);
+        assert_eq!(s.reads(), 5);
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    fn abort_rate() {
+        let s = StmStats::new();
+        assert_eq!(s.abort_rate(), 0.0);
+        s.record_commit(0, 0);
+        s.record_abort();
+        s.record_abort();
+        s.record_commit(0, 0);
+        assert!((s.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = StmStats::new();
+        s.record_commit(1, 1);
+        let a = s.snapshot();
+        s.record_commit(1, 1);
+        s.record_abort();
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_sum() {
+        use std::sync::Arc;
+        let s = Arc::new(StmStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_commit(1, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.commits(), 4000);
+        assert_eq!(s.reads(), 4000);
+    }
+}

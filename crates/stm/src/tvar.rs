@@ -1,0 +1,296 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is a shared, transactionally updated cell. Internally it
+//! pairs a [`crate::vlock::VLock`] with an epoch-managed pointer
+//! to an **immutable** heap value:
+//!
+//! * Committing writers allocate a fresh `T`, swap the pointer, and
+//!   retire the old allocation through `crossbeam-epoch`.
+//! * Readers pin the epoch, dereference, and clone. Because a published
+//!   value is never mutated in place, the dereference is data-race-free —
+//!   the versioned lock protocol only has to establish *which* snapshot
+//!   was read, not protect its bytes.
+//!
+//! This module is the only home of `unsafe` in the crate; each use is a
+//! guard-protected epoch dereference or the uniquely-owned drop.
+
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+
+use crate::vlock::VLock;
+use crate::TxValue;
+
+/// Internal state shared by all handles to one transactional variable.
+pub(crate) struct TVarCore<T> {
+    vlock: VLock,
+    data: Atomic<T>,
+}
+
+impl<T: TxValue> TVarCore<T> {
+    fn new(value: T) -> Self {
+        TVarCore {
+            // Version 0: the initial value is the only snapshot ever
+            // published for this variable, so it validates against any
+            // read version.
+            vlock: VLock::new(0),
+            data: Atomic::new(value),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn vlock(&self) -> &VLock {
+        &self.vlock
+    }
+
+    /// Clones the currently published value.
+    ///
+    /// The caller is responsible for the versioned-lock consistency
+    /// protocol (sample → load → re-sample); this method only guarantees
+    /// the clone itself is safe.
+    #[inline]
+    pub(crate) fn load_clone(&self, guard: &Guard) -> T {
+        let shared = self.data.load(std::sync::atomic::Ordering::Acquire, guard);
+        // SAFETY: `shared` was published by `TVarCore::new` or `publish`,
+        // both of which store a valid, initialized `T`. The pointer is
+        // retired only through `guard`-deferred destruction, and we hold
+        // a pinned guard, so it cannot be freed during this call.
+        // Published values are never mutated in place, so the shared
+        // borrow cannot race with a write.
+        unsafe { shared.deref() }.clone()
+    }
+
+    /// Applies `f` to the currently published value without cloning it.
+    ///
+    /// Same caller contract as [`load_clone`](Self::load_clone): the
+    /// versioned-lock protocol around this call decides whether the
+    /// observation was consistent.
+    #[inline]
+    pub(crate) fn with_value<R>(&self, guard: &Guard, f: impl FnOnce(&T) -> R) -> R {
+        let shared = self.data.load(std::sync::atomic::Ordering::Acquire, guard);
+        // SAFETY: identical argument to `load_clone` — valid initialized
+        // pointer, pinned guard prevents reclamation, published values
+        // are immutable.
+        f(unsafe { shared.deref() })
+    }
+
+    /// Publishes `value` as the new current snapshot and retires the old
+    /// one.
+    ///
+    /// # Contract
+    /// The caller must hold this variable's write lock (so no concurrent
+    /// `publish` runs) and must release it with the new version
+    /// afterwards.
+    pub(crate) fn publish(&self, value: T, guard: &Guard) {
+        let old: Shared<'_, T> = self.data.swap(
+            Owned::new(value),
+            std::sync::atomic::Ordering::Release,
+            guard,
+        );
+        debug_assert!(!old.is_null());
+        // SAFETY: `old` was the uniquely published snapshot; after the
+        // swap no new reader can acquire it, and existing readers hold
+        // epoch guards. Deferring destruction until all current guards
+        // are dropped is exactly the epoch-reclamation contract.
+        unsafe { guard.defer_destroy(old) };
+    }
+}
+
+impl<T> Drop for TVarCore<T> {
+    fn drop(&mut self) {
+        // SAFETY: having `&mut self` proves no other handle or reader
+        // exists (the last `Arc` is being dropped), so the current
+        // pointer is uniquely owned and can be reclaimed immediately.
+        let ptr = std::mem::replace(&mut self.data, Atomic::null());
+        unsafe {
+            let owned = ptr.try_into_owned();
+            drop(owned);
+        }
+    }
+}
+
+/// A shared transactional variable holding a `T`.
+///
+/// `TVar` is a cheap clonable handle (an `Arc` internally); clones refer
+/// to the same underlying cell. Values must implement [`TxValue`]
+/// (`Clone + Send + Sync + 'static`).
+///
+/// ```
+/// use rubic_stm::{Stm, TVar};
+/// let stm = Stm::default();
+/// let v = TVar::new(vec![1, 2, 3]);
+/// stm.atomically(|tx| {
+///     let mut cur = tx.read(&v)?;
+///     cur.push(4);
+///     tx.write(&v, cur)
+/// });
+/// assert_eq!(v.snapshot(), vec![1, 2, 3, 4]);
+/// ```
+pub struct TVar<T: TxValue> {
+    core: Arc<TVarCore<T>>,
+}
+
+impl<T: TxValue> TVar<T> {
+    /// Creates a new transactional variable holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        TVar {
+            core: Arc::new(TVarCore::new(value)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn core(&self) -> &Arc<TVarCore<T>> {
+        &self.core
+    }
+
+    /// Returns a consistent copy of the current committed value without
+    /// running a transaction.
+    ///
+    /// Spins while a committer holds the write lock (commit windows are
+    /// a few instructions long). Intended for post-run inspection and
+    /// monitoring, not for composing with transactional logic — a
+    /// snapshot taken outside a transaction has no atomicity relative to
+    /// anything else.
+    #[must_use]
+    pub fn snapshot(&self) -> T {
+        let guard = epoch::pin();
+        loop {
+            let w1 = self.core.vlock.sample();
+            if w1.is_locked() {
+                std::hint::spin_loop();
+                continue;
+            }
+            let value = self.core.load_clone(&guard);
+            if self.core.vlock.sample() == w1 {
+                return value;
+            }
+        }
+    }
+
+    /// The commit timestamp of the currently published value (0 for a
+    /// never-written variable). Diagnostic.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.core.vlock.sample().version()
+    }
+
+    /// True if `self` and `other` are handles to the same variable.
+    #[must_use]
+    pub fn ptr_eq(&self, other: &TVar<T>) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+}
+
+impl<T: TxValue> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T: TxValue + std::fmt::Debug> std::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TVar")
+            .field("value", &self.snapshot())
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+impl<T: TxValue + Default> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_snapshot_roundtrip() {
+        let v = TVar::new(41);
+        assert_eq!(v.snapshot(), 41);
+        assert_eq!(v.version(), 0);
+    }
+
+    #[test]
+    fn clone_shares_identity() {
+        let a = TVar::new(String::from("x"));
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        let c = TVar::new(String::from("x"));
+        assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn publish_swaps_value() {
+        let v = TVar::new(1);
+        let guard = epoch::pin();
+        let w = v.core.vlock().sample();
+        assert!(v.core.vlock().try_lock(w));
+        v.core.publish(2, &guard);
+        v.core.vlock().release_commit(7);
+        drop(guard);
+        assert_eq!(v.snapshot(), 2);
+        assert_eq!(v.version(), 7);
+    }
+
+    #[test]
+    fn drop_reclaims_value() {
+        // Drop a TVar holding an Arc and check the refcount falls — i.e.
+        // the inner allocation was actually freed, not leaked.
+        let tracker = Arc::new(());
+        let v = TVar::new(Arc::clone(&tracker));
+        assert_eq!(Arc::strong_count(&tracker), 2);
+        drop(v);
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn snapshot_spins_past_held_lock() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let v = Arc::new(TVar::new(10));
+        let locked = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let v2 = Arc::clone(&v);
+        let locked2 = Arc::clone(&locked);
+        let release2 = Arc::clone(&release);
+        let h = std::thread::spawn(move || {
+            let w = v2.core.vlock().sample();
+            assert!(v2.core.vlock().try_lock(w));
+            locked2.store(true, Ordering::Release);
+            while !release2.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            let guard = epoch::pin();
+            v2.core.publish(20, &guard);
+            v2.core.vlock().release_commit(3);
+        });
+        while !locked.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // Snapshot must not observe a half-committed state; let the
+        // writer finish while we spin.
+        release.store(true, Ordering::Release);
+        let got = v.snapshot();
+        assert!(got == 10 || got == 20);
+        h.join().unwrap();
+        assert_eq!(v.snapshot(), 20);
+    }
+
+    #[test]
+    fn debug_format_mentions_value() {
+        let v = TVar::new(5);
+        let s = format!("{v:?}");
+        assert!(s.contains('5'), "{s}");
+    }
+
+    #[test]
+    fn default_uses_value_default() {
+        let v: TVar<u64> = TVar::default();
+        assert_eq!(v.snapshot(), 0);
+    }
+}

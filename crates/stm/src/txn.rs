@@ -1,0 +1,703 @@
+//! The transaction engine: read/write sets, validation, timestamp
+//! extension, two-phase commit.
+//!
+//! # Protocol summary
+//!
+//! A transaction starts by sampling the global clock into its *read
+//! version* `rv`.
+//!
+//! **Read** (invisible): sample the variable's versioned lock; if locked
+//! by another transaction → conflict. Load and clone the snapshot, then
+//! re-sample the lock — if the word changed, another commit raced the
+//! read and we retry the sample/load/sample sequence. A consistent read
+//! whose version exceeds `rv` triggers a **timestamp extension**:
+//! revalidate the whole read set at the current clock and, if it still
+//! holds, adopt the newer read version (TinySTM/SwissTM; avoids TL2's
+//! false aborts).
+//!
+//! **Write** (eager lock, lazy value): the first write to a variable
+//! CAS-acquires its lock — failure means a concurrent writer owns it →
+//! conflict (eager W/W detection). If the variable was previously read,
+//! its version must still match the recorded one. The value is buffered
+//! in the private write set; repeated writes just replace the buffer.
+//!
+//! **Commit**: read-only transactions commit immediately — their read
+//! set was kept consistent incrementally. Writers draw a unique
+//! timestamp `wv` from the clock, validate the read set (skippable when
+//! `wv == rv + 1`, the TL2 fast path: nobody committed in between), then
+//! for each write publish the buffered value and release the lock
+//! stamped `wv`.
+//!
+//! **Abort**: release every held lock, restoring pre-lock versions, and
+//! drop the buffers.
+//!
+//! The engine guarantees *opacity* for code that propagates [`TxResult`]
+//! errors: a transaction never acts on two mutually inconsistent reads,
+//! because every read is validated against `rv` at the moment it
+//! happens.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Guard};
+
+use crate::clock;
+use crate::tvar::{TVar, TVarCore};
+use crate::vlock::{LockWord, VLock};
+use crate::TxValue;
+
+/// Why a transactional operation could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmError {
+    /// A conflicting transaction owns a lock or committed an overlapping
+    /// update; the current attempt must abort and retry.
+    Conflict,
+}
+
+impl std::fmt::Display for StmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StmError::Conflict => write!(f, "transactional conflict"),
+        }
+    }
+}
+
+impl std::error::Error for StmError {}
+
+/// Result alias for transactional operations.
+pub type TxResult<T> = Result<T, StmError>;
+
+/// Object-safe view of a `TVarCore<T>` for the read set.
+trait ReadHandle: Send + Sync {
+    fn vlock(&self) -> &VLock;
+}
+
+impl<T: TxValue> ReadHandle for TVarCore<T> {
+    fn vlock(&self) -> &VLock {
+        TVarCore::vlock(self)
+    }
+}
+
+struct ReadEntry {
+    handle: Arc<dyn ReadHandle>,
+    version: u64,
+}
+
+/// Object-safe view of a buffered write.
+trait WriteSlot: Send {
+    fn vlock(&self) -> &VLock;
+    /// Publishes the buffered value and releases the lock stamped `wv`.
+    fn publish(&mut self, wv: u64, guard: &Guard);
+    /// Releases the lock restoring the pre-lock version.
+    fn release_abort(&self);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct TypedSlot<T: TxValue> {
+    core: Arc<TVarCore<T>>,
+    pending: Option<T>,
+    prev: LockWord,
+}
+
+impl<T: TxValue> WriteSlot for TypedSlot<T> {
+    fn vlock(&self) -> &VLock {
+        self.core.vlock()
+    }
+
+    fn publish(&mut self, wv: u64, guard: &Guard) {
+        let value = self
+            .pending
+            .take()
+            .expect("write slot published twice or never filled");
+        self.core.publish(value, guard);
+        self.core.vlock().release_commit(wv);
+    }
+
+    fn release_abort(&self) {
+        self.core.vlock().release_abort(self.prev);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An in-flight transaction.
+///
+/// Obtained through [`crate::Stm::atomically`]; user code interacts with
+/// it via [`read`](Transaction::read), [`write`](Transaction::write) and
+/// the combinators built on them. All fallible operations return
+/// [`TxResult`]; propagate errors with `?` so a conflicted attempt
+/// unwinds promptly and retries.
+pub struct Transaction {
+    rv: u64,
+    read_index: HashMap<usize, u64>,
+    reads: Vec<ReadEntry>,
+    write_index: HashMap<usize, usize>,
+    writes: Vec<Box<dyn WriteSlot>>,
+    /// Operation counters for diagnostics (reported through `StmStats`).
+    n_reads: u64,
+    n_writes: u64,
+}
+
+impl Transaction {
+    /// Begins a fresh transaction at the current clock.
+    pub(crate) fn begin() -> Self {
+        Transaction {
+            rv: clock::now(),
+            read_index: HashMap::new(),
+            reads: Vec::new(),
+            write_index: HashMap::new(),
+            writes: Vec::new(),
+            n_reads: 0,
+            n_writes: 0,
+        }
+    }
+
+    /// Clears all buffered state and re-samples the clock, reusing the
+    /// allocations for the next attempt.
+    pub(crate) fn restart(&mut self) {
+        debug_assert!(
+            self.writes.iter().all(|w| !w.vlock().sample().is_locked()) || self.writes.is_empty(),
+            "restart with locks still held; abort first"
+        );
+        self.read_index.clear();
+        self.reads.clear();
+        self.write_index.clear();
+        self.writes.clear();
+        self.rv = clock::now();
+    }
+
+    /// The current read version (diagnostic).
+    #[must_use]
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// Number of distinct variables read so far.
+    #[must_use]
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of distinct variables written so far.
+    #[must_use]
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    pub(crate) fn op_counts(&self) -> (u64, u64) {
+        (self.n_reads, self.n_writes)
+    }
+
+    /// Transactionally reads `var`, returning a clone of the value this
+    /// transaction observes (its own pending write, if any, else the
+    /// committed snapshot consistent with the read version).
+    ///
+    /// # Errors
+    /// [`StmError::Conflict`] if the variable is locked by a concurrent
+    /// writer or the snapshot cannot be made consistent.
+    pub fn read<T: TxValue>(&mut self, var: &TVar<T>) -> TxResult<T> {
+        self.n_reads += 1;
+        let core = var.core();
+        let addr = core.vlock().addr();
+
+        // Read-your-writes.
+        if let Some(&slot_idx) = self.write_index.get(&addr) {
+            let slot = self.writes[slot_idx]
+                .as_any()
+                .downcast_ref::<TypedSlot<T>>()
+                .expect("write-slot type confusion");
+            return Ok(slot
+                .pending
+                .clone()
+                .expect("pending value missing before commit"));
+        }
+
+        let guard = epoch::pin();
+        loop {
+            let w1 = core.vlock().sample();
+            if w1.is_locked() {
+                // Invisible reads cannot tell who owns the lock; treat it
+                // as a conflict and let the contention manager space out
+                // the retry (SwissTM would consult the CM here too).
+                return Err(StmError::Conflict);
+            }
+            let value = core.load_clone(&guard);
+            if core.vlock().sample() != w1 {
+                // A commit raced between our two samples; re-read.
+                continue;
+            }
+            if w1.version() > self.rv {
+                // The snapshot is newer than our read version: extend.
+                self.extend()?;
+                // The extension moved rv past `w1.version()` (the clock
+                // is >= any published stamp), but the variable may have
+                // changed again while we validated; re-check.
+                if core.vlock().sample() != w1 {
+                    continue;
+                }
+            }
+            // Record (first read only; repeated reads must agree).
+            match self.read_index.entry(addr) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != w1.version() {
+                        return Err(StmError::Conflict);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(w1.version());
+                    self.reads.push(ReadEntry {
+                        handle: Arc::clone(core) as Arc<dyn ReadHandle>,
+                        version: w1.version(),
+                    });
+                }
+            }
+            return Ok(value);
+        }
+    }
+
+    /// Transactionally reads `var` and applies `f` to the value *in
+    /// place*, without cloning it — the zero-copy sibling of
+    /// [`read`](Self::read) for large values where only a projection is
+    /// needed (a map lookup, a field, an aggregate).
+    ///
+    /// `f` may run more than once (the consistency protocol retries
+    /// racing observations), so it must be pure. It receives either the
+    /// transaction's own pending write or the committed snapshot.
+    ///
+    /// # Errors
+    /// [`StmError::Conflict`] under the same conditions as `read`.
+    pub fn read_with<T: TxValue, R>(
+        &mut self,
+        var: &TVar<T>,
+        mut f: impl FnMut(&T) -> R,
+    ) -> TxResult<R> {
+        self.n_reads += 1;
+        let core = var.core();
+        let addr = core.vlock().addr();
+
+        if let Some(&slot_idx) = self.write_index.get(&addr) {
+            let slot = self.writes[slot_idx]
+                .as_any()
+                .downcast_ref::<TypedSlot<T>>()
+                .expect("write-slot type confusion");
+            return Ok(f(slot
+                .pending
+                .as_ref()
+                .expect("pending value missing before commit")));
+        }
+
+        let guard = epoch::pin();
+        loop {
+            let w1 = core.vlock().sample();
+            if w1.is_locked() {
+                return Err(StmError::Conflict);
+            }
+            let result = core.with_value(&guard, &mut f);
+            if core.vlock().sample() != w1 {
+                continue;
+            }
+            if w1.version() > self.rv {
+                self.extend()?;
+                if core.vlock().sample() != w1 {
+                    continue;
+                }
+            }
+            match self.read_index.entry(addr) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != w1.version() {
+                        return Err(StmError::Conflict);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(w1.version());
+                    self.reads.push(ReadEntry {
+                        handle: Arc::clone(core) as Arc<dyn ReadHandle>,
+                        version: w1.version(),
+                    });
+                }
+            }
+            return Ok(result);
+        }
+    }
+
+    /// Transactionally writes `value` into `var`.
+    ///
+    /// The first write eagerly acquires the variable's lock (SwissTM
+    /// W/W detection); later writes replace the private buffer.
+    ///
+    /// # Errors
+    /// [`StmError::Conflict`] if another transaction holds the lock, or
+    /// if this transaction previously read a version of `var` that has
+    /// since been overwritten.
+    pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> TxResult<()> {
+        self.n_writes += 1;
+        let core = var.core();
+        let addr = core.vlock().addr();
+
+        if let Some(&slot_idx) = self.write_index.get(&addr) {
+            let slot = self.writes[slot_idx]
+                .as_any_mut()
+                .downcast_mut::<TypedSlot<T>>()
+                .expect("write-slot type confusion");
+            slot.pending = Some(value);
+            return Ok(());
+        }
+
+        let w = core.vlock().sample();
+        if w.is_locked() {
+            return Err(StmError::Conflict);
+        }
+        // Write-after-read consistency: the version we read must still
+        // be current, or our earlier read is stale.
+        if let Some(&recorded) = self.read_index.get(&addr) {
+            if w.version() != recorded {
+                return Err(StmError::Conflict);
+            }
+        }
+        if !core.vlock().try_lock(w) {
+            return Err(StmError::Conflict);
+        }
+        self.write_index.insert(addr, self.writes.len());
+        self.writes.push(Box::new(TypedSlot {
+            core: Arc::clone(core),
+            pending: Some(value),
+            prev: w,
+        }));
+        Ok(())
+    }
+
+    /// Reads `var`, applies `f`, and writes the result back — the
+    /// classic read-modify-write helper.
+    ///
+    /// # Errors
+    /// Propagates conflicts from the underlying read or write.
+    pub fn modify<T: TxValue>(&mut self, var: &TVar<T>, f: impl FnOnce(T) -> T) -> TxResult<()> {
+        let current = self.read(var)?;
+        self.write(var, f(current))
+    }
+
+    /// Validates the read set: every recorded variable must be unlocked
+    /// (or locked by this transaction) and still carry its recorded
+    /// version.
+    fn validate(&self) -> TxResult<()> {
+        for entry in &self.reads {
+            let w = entry.handle.vlock().sample();
+            if w.version() != entry.version {
+                return Err(StmError::Conflict);
+            }
+            if w.is_locked() && !self.write_index.contains_key(&entry.handle.vlock().addr()) {
+                return Err(StmError::Conflict);
+            }
+        }
+        Ok(())
+    }
+
+    /// Timestamp extension: attempt to move `rv` up to the present.
+    fn extend(&mut self) -> TxResult<()> {
+        let new_rv = clock::now();
+        self.validate()?;
+        self.rv = new_rv;
+        Ok(())
+    }
+
+    /// Attempts to commit. On success all writes are visible atomically;
+    /// on failure the caller must [`abort`](Self::abort).
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        if self.writes.is_empty() {
+            // Read-only: incremental validation (reads + extensions)
+            // already guarantees a consistent snapshot at `rv`.
+            return Ok(());
+        }
+        let wv = clock::tick();
+        if wv != self.rv + 1 {
+            // Someone committed since we started; make sure none of our
+            // reads were invalidated (TL2 fast path skips this when the
+            // clock tells us nobody did).
+            self.validate()?;
+        }
+        let guard = epoch::pin();
+        for slot in &mut self.writes {
+            slot.publish(wv, &guard);
+        }
+        // Slots are spent; prevent a double publish if the transaction
+        // object is reused.
+        self.write_index.clear();
+        self.writes.clear();
+        Ok(())
+    }
+
+    /// Releases every held lock and discards buffered state.
+    pub(crate) fn abort(&mut self) {
+        for slot in &self.writes {
+            slot.release_abort();
+        }
+        self.write_index.clear();
+        self.writes.clear();
+        self.read_index.clear();
+        self.reads.clear();
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_write() {
+        let v = TVar::new(1);
+        let mut tx = Transaction::begin();
+        assert_eq!(tx.read(&v).unwrap(), 1);
+        tx.write(&v, 5).unwrap();
+        assert_eq!(tx.read(&v).unwrap(), 5);
+        tx.write(&v, 9).unwrap();
+        assert_eq!(tx.read(&v).unwrap(), 9);
+        tx.commit().unwrap();
+        assert_eq!(v.snapshot(), 9);
+    }
+
+    #[test]
+    fn uncommitted_writes_are_invisible() {
+        let v = TVar::new(1);
+        let mut tx = Transaction::begin();
+        tx.write(&v, 2).unwrap();
+        // The lock is held, but the published value is unchanged.
+        assert!(v.core().vlock().sample().is_locked());
+        tx.abort();
+        assert_eq!(v.snapshot(), 1);
+        assert!(!v.core().vlock().sample().is_locked());
+    }
+
+    #[test]
+    fn write_write_conflict_detected_eagerly() {
+        let v = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        let mut t2 = Transaction::begin();
+        t1.write(&v, 1).unwrap();
+        assert_eq!(t2.write(&v, 2), Err(StmError::Conflict));
+        t1.abort();
+        // After t1 aborts, t2 can retry from scratch.
+        t2.restart();
+        t2.write(&v, 2).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(v.snapshot(), 2);
+    }
+
+    #[test]
+    fn read_of_locked_var_conflicts() {
+        let v = TVar::new(0);
+        let mut writer = Transaction::begin();
+        writer.write(&v, 1).unwrap();
+        let mut reader = Transaction::begin();
+        assert_eq!(reader.read(&v), Err(StmError::Conflict));
+        writer.abort();
+    }
+
+    #[test]
+    fn stale_read_set_fails_commit() {
+        let x = TVar::new(0);
+        let y = TVar::new(0);
+        // T1 reads x, then T2 commits a change to x, then T1 tries to
+        // commit a write to y: T1's read of x is stale.
+        let mut t1 = Transaction::begin();
+        assert_eq!(t1.read(&x).unwrap(), 0);
+
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 99).unwrap();
+        t2.commit().unwrap();
+
+        t1.write(&y, 1).unwrap();
+        assert_eq!(t1.commit(), Err(StmError::Conflict));
+        t1.abort();
+        assert_eq!(y.snapshot(), 0, "failed commit must not publish");
+    }
+
+    #[test]
+    fn extension_allows_reading_fresh_values() {
+        let x = TVar::new(0);
+        let y = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        // Another transaction bumps y's version past t1's rv.
+        let mut t2 = Transaction::begin();
+        t2.write(&y, 7).unwrap();
+        t2.commit().unwrap();
+        // t1 can still read y (extension succeeds: empty read set so
+        // far), and then read x consistently.
+        assert_eq!(t1.read(&y).unwrap(), 7);
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn extension_fails_when_earlier_read_went_stale() {
+        let x = TVar::new(0);
+        let y = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        // T2 commits to BOTH x and y: now t1's read of x is stale and
+        // reading y (whose version is fresh) must fail the extension.
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 1).unwrap();
+        t2.write(&y, 1).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(t1.read(&y), Err(StmError::Conflict));
+        t1.abort();
+    }
+
+    #[test]
+    fn write_after_stale_read_conflicts() {
+        let x = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 5).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(t1.write(&x, 9), Err(StmError::Conflict));
+        t1.abort();
+    }
+
+    #[test]
+    fn blind_write_to_updated_var_is_allowed() {
+        // No prior read: overwriting a variable someone else updated is
+        // fine (last-writer-wins is serialisable for blind writes).
+        let x = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 5).unwrap();
+        t2.commit().unwrap();
+        t1.write(&x, 9).unwrap();
+        t1.commit().unwrap();
+        assert_eq!(x.snapshot(), 9);
+    }
+
+    #[test]
+    fn read_only_commit_never_fails() {
+        let x = TVar::new(1);
+        let mut t1 = Transaction::begin();
+        assert_eq!(t1.read(&x).unwrap(), 1);
+        // Even if x changes afterwards, t1 committed a consistent
+        // snapshot of the past.
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 2).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(t1.commit(), Ok(()));
+    }
+
+    #[test]
+    fn modify_composes_read_and_write() {
+        let x = TVar::new(10);
+        let mut t = Transaction::begin();
+        t.modify(&x, |v| v * 3).unwrap();
+        t.commit().unwrap();
+        assert_eq!(x.snapshot(), 30);
+    }
+
+    #[test]
+    fn abort_releases_all_locks() {
+        let vars: Vec<TVar<i32>> = (0..10).map(TVar::new).collect();
+        let mut t = Transaction::begin();
+        for v in &vars {
+            t.write(v, 0).unwrap();
+        }
+        t.abort();
+        for v in &vars {
+            assert!(!v.core().vlock().sample().is_locked());
+        }
+    }
+
+    #[test]
+    fn commit_publishes_all_or_nothing() {
+        let a = TVar::new(0);
+        let b = TVar::new(0);
+        let mut t = Transaction::begin();
+        t.write(&a, 1).unwrap();
+        t.write(&b, 1).unwrap();
+        t.commit().unwrap();
+        assert_eq!((a.snapshot(), b.snapshot()), (1, 1));
+        assert_eq!(a.version(), b.version(), "one commit, one timestamp");
+    }
+
+    #[test]
+    fn restart_resets_state() {
+        let x = TVar::new(0);
+        let mut t = Transaction::begin();
+        t.read(&x).unwrap();
+        t.abort();
+        t.restart();
+        assert_eq!(t.read_set_len(), 0);
+        assert_eq!(t.write_set_len(), 0);
+    }
+
+    #[test]
+    fn read_with_projects_without_clone() {
+        let v = TVar::new(vec![10, 20, 30]);
+        let mut t = Transaction::begin();
+        let len = t.read_with(&v, Vec::len).unwrap();
+        assert_eq!(len, 3);
+        let second = t.read_with(&v, |xs| xs[1]).unwrap();
+        assert_eq!(second, 20);
+        assert_eq!(t.read_set_len(), 1, "same var recorded once");
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn read_with_sees_own_write() {
+        let v = TVar::new(1);
+        let mut t = Transaction::begin();
+        t.write(&v, 42).unwrap();
+        assert_eq!(t.read_with(&v, |x| *x).unwrap(), 42);
+        t.abort();
+    }
+
+    #[test]
+    fn read_with_conflicts_on_locked() {
+        let v = TVar::new(0);
+        let mut writer = Transaction::begin();
+        writer.write(&v, 1).unwrap();
+        let mut reader = Transaction::begin();
+        assert_eq!(reader.read_with(&v, |x| *x), Err(StmError::Conflict));
+        writer.abort();
+    }
+
+    #[test]
+    fn read_with_participates_in_validation() {
+        let x = TVar::new(0);
+        let y = TVar::new(0);
+        let mut t1 = Transaction::begin();
+        assert_eq!(t1.read_with(&x, |v| *v).unwrap(), 0);
+        let mut t2 = Transaction::begin();
+        t2.write(&x, 9).unwrap();
+        t2.commit().unwrap();
+        // t1's projection-read of x is stale; an update commit must fail.
+        t1.write(&y, 1).unwrap();
+        assert_eq!(t1.commit(), Err(StmError::Conflict));
+        t1.abort();
+    }
+
+    #[test]
+    fn repeated_read_same_version_ok() {
+        let x = TVar::new(4);
+        let mut t = Transaction::begin();
+        assert_eq!(t.read(&x).unwrap(), 4);
+        assert_eq!(t.read(&x).unwrap(), 4);
+        assert_eq!(t.read_set_len(), 1, "duplicate reads are not re-recorded");
+        t.commit().unwrap();
+    }
+}

@@ -1,0 +1,233 @@
+//! Versioned write-locks.
+//!
+//! Every [`crate::TVar`] embeds one `VLock`: a single `AtomicU64` that is
+//! either
+//!
+//! * **unlocked**, encoding the version (commit timestamp) of the
+//!   currently published value as `version << 1`, or
+//! * **locked**, encoding the *pre-lock* version as
+//!   `(version << 1) | 1`.
+//!
+//! Keeping the previous version inside the locked word means an aborting
+//! writer can restore the lock with a plain store and no side metadata,
+//! and transactions never need an owner identity: "do I hold this lock?"
+//! is answered by the write-set index (a transaction locks a variable at
+//! most once), and everyone else treats a locked word as a conflict.
+//!
+//! The LSB-as-lock-bit encoding is the classic TL2/TinySTM ownership
+//! record layout, applied per-object instead of to a striped global
+//! table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a versioned lock word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockWord(u64);
+
+impl LockWord {
+    /// True if the word is write-locked.
+    #[inline]
+    #[must_use]
+    pub fn is_locked(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The version carried by the word (the pre-lock version when
+    /// locked).
+    #[inline]
+    #[must_use]
+    pub fn version(self) -> u64 {
+        self.0 >> 1
+    }
+
+    /// Raw encoded value (for CAS loops).
+    #[inline]
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A versioned write-lock.
+#[derive(Debug)]
+pub struct VLock {
+    word: AtomicU64,
+}
+
+impl VLock {
+    /// Creates an unlocked lock carrying `version`.
+    #[must_use]
+    pub fn new(version: u64) -> Self {
+        debug_assert!(version < u64::MAX >> 1, "version overflow");
+        VLock {
+            word: AtomicU64::new(version << 1),
+        }
+    }
+
+    /// Samples the lock word.
+    ///
+    /// `Acquire`: a reader that observes version `v` unlocked must also
+    /// observe the value published together with `v`.
+    #[inline]
+    #[must_use]
+    pub fn sample(&self) -> LockWord {
+        LockWord(self.word.load(Ordering::Acquire))
+    }
+
+    /// Attempts to acquire the write lock, transitioning
+    /// `expected` (which must be unlocked) → locked with the same
+    /// version preserved.
+    ///
+    /// Returns `true` on success. `Acquire` on success orders subsequent
+    /// buffered-write bookkeeping after lock ownership is established.
+    #[inline]
+    #[must_use]
+    pub fn try_lock(&self, expected: LockWord) -> bool {
+        debug_assert!(!expected.is_locked());
+        self.word
+            .compare_exchange(
+                expected.raw(),
+                expected.raw() | 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Releases a held lock, restoring the pre-lock version (abort
+    /// path).
+    ///
+    /// # Contract
+    /// The caller must hold the lock; `prev` must be the `LockWord`
+    /// observed at acquisition time.
+    #[inline]
+    pub fn release_abort(&self, prev: LockWord) {
+        debug_assert!(self.sample().is_locked());
+        self.word.store(prev.raw() & !1, Ordering::Release);
+    }
+
+    /// Releases a held lock, installing the fresh commit timestamp
+    /// `new_version` (commit path).
+    ///
+    /// `Release`: the value swap performed just before must be visible to
+    /// any reader that observes the new version.
+    ///
+    /// # Contract
+    /// The caller must hold the lock and must have already published the
+    /// new value.
+    #[inline]
+    pub fn release_commit(&self, new_version: u64) {
+        debug_assert!(self.sample().is_locked());
+        debug_assert!(new_version < u64::MAX >> 1, "version overflow");
+        self.word.store(new_version << 1, Ordering::Release);
+    }
+
+    /// Stable address used as this lock's identity in read/write-set
+    /// indices.
+    #[inline]
+    #[must_use]
+    pub fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_lock_is_unlocked_with_version() {
+        let l = VLock::new(42);
+        let w = l.sample();
+        assert!(!w.is_locked());
+        assert_eq!(w.version(), 42);
+    }
+
+    #[test]
+    fn lock_preserves_version() {
+        let l = VLock::new(7);
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        let locked = l.sample();
+        assert!(locked.is_locked());
+        assert_eq!(locked.version(), 7);
+    }
+
+    #[test]
+    fn second_lock_fails() {
+        let l = VLock::new(0);
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        assert!(!l.try_lock(LockWord(w.raw())));
+    }
+
+    #[test]
+    fn stale_cas_fails() {
+        let l = VLock::new(3);
+        let stale = l.sample();
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        l.release_commit(9);
+        // `stale` still encodes version 3; the lock now holds 9.
+        assert!(!l.try_lock(stale));
+        let fresh = l.sample();
+        assert_eq!(fresh.version(), 9);
+        assert!(l.try_lock(fresh));
+    }
+
+    #[test]
+    fn abort_restores_previous_version() {
+        let l = VLock::new(11);
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        l.release_abort(l.sample());
+        let after = l.sample();
+        assert!(!after.is_locked());
+        assert_eq!(after.version(), 11);
+    }
+
+    #[test]
+    fn commit_installs_new_version() {
+        let l = VLock::new(1);
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        l.release_commit(5);
+        let after = l.sample();
+        assert!(!after.is_locked());
+        assert_eq!(after.version(), 5);
+    }
+
+    #[test]
+    fn addr_is_stable_identity() {
+        let l = VLock::new(0);
+        let a1 = l.addr();
+        let w = l.sample();
+        assert!(l.try_lock(w));
+        assert_eq!(l.addr(), a1);
+        let other = VLock::new(0);
+        assert_ne!(other.addr(), a1);
+    }
+
+    #[test]
+    fn contended_lock_single_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let lock = Arc::new(VLock::new(0));
+        let winners = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let winners = Arc::clone(&winners);
+            handles.push(std::thread::spawn(move || {
+                let w = lock.sample();
+                if !w.is_locked() && lock.try_lock(w) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+}

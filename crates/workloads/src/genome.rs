@@ -1,0 +1,309 @@
+//! Genome — a port of the STAMP gene-sequencing benchmark, an
+//! extension beyond the paper's three evaluated workloads.
+//!
+//! STAMP's genome reassembles a reference string from overlapping
+//! segments in three phases: (1) **deduplicate** the segment pool in a
+//! shared hash set; (2) **match** unique segments by overlap, linking
+//! each segment to the one its suffix continues into; (3) serially walk
+//! the links to rebuild the sequence. Phases 1–2 are transactional and
+//! dominate the runtime.
+//!
+//! This port keeps the three phases and their shared structures
+//! (dedup set + link table in `TMap`s) but streams batches of segments
+//! for sustained throughput, like the other ports: one task = one
+//! segment processed through dedup + matching. The serial
+//! reconstruction ([`GenomeWorkload::reconstruct`]) doubles as the
+//! correctness oracle: tests reassemble the original genome exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rubic_runtime::Workload;
+use rubic_stm::Stm;
+
+use crate::tmap::TMap;
+
+/// A segment: `segment_len` consecutive bases from the genome.
+pub type Segment = Vec<u8>;
+
+/// Genome parameters (STAMP flags in brackets).
+#[derive(Debug, Clone, Copy)]
+pub struct GenomeConfig {
+    /// Genome length in bases (`-g`).
+    pub genome_len: usize,
+    /// Segment length (`-s`).
+    pub segment_len: usize,
+    /// Segments generated per batch, drawn with duplicates (`-n` is the
+    /// STAMP total; batches stream forever here).
+    pub segments_per_batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenomeConfig {
+    /// A small configuration whose reconstruction is fast to verify.
+    #[must_use]
+    pub fn small() -> Self {
+        GenomeConfig {
+            genome_len: 256,
+            segment_len: 16,
+            segments_per_batch: 64,
+            seed: 0x5EED_000A,
+        }
+    }
+}
+
+/// The shared sequencing state.
+pub struct GenomeWorkload {
+    /// The hidden reference string segments are drawn from.
+    genome: Vec<u8>,
+    /// Phase 1: the set of unique segments, keyed by content. The value
+    /// is the segment's start-of-suffix lookup key (see `links`).
+    unique: TMap<Segment, ()>,
+    /// Phase 2: `prefix(segment) → segment` — each unique segment
+    /// registered under its (segment_len − 1)-base prefix, so a segment
+    /// whose suffix equals that prefix can link to it.
+    by_prefix: TMap<Segment, Segment>,
+    cfg: GenomeConfig,
+    stm: Stm,
+    duplicates: AtomicU64,
+    uniques: AtomicU64,
+}
+
+impl GenomeWorkload {
+    /// Generates a random genome over {A, C, G, T}.
+    #[must_use]
+    pub fn new(cfg: GenomeConfig, stm: Stm) -> Self {
+        assert!(cfg.segment_len >= 2, "segments need at least 2 bases");
+        assert!(
+            cfg.genome_len >= cfg.segment_len,
+            "genome shorter than a segment"
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let bases = [b'A', b'C', b'G', b'T'];
+        let genome: Vec<u8> = (0..cfg.genome_len)
+            .map(|_| bases[rng.gen_range(0..4)])
+            .collect();
+        GenomeWorkload {
+            genome,
+            unique: TMap::new(),
+            by_prefix: TMap::new(),
+            cfg,
+            stm,
+            duplicates: AtomicU64::new(0),
+            uniques: AtomicU64::new(0),
+        }
+    }
+
+    /// The reference genome (tests).
+    #[must_use]
+    pub fn genome(&self) -> &[u8] {
+        &self.genome
+    }
+
+    /// The STM runtime.
+    #[must_use]
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// Unique segments admitted so far.
+    #[must_use]
+    pub fn uniques(&self) -> u64 {
+        self.uniques.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate segments rejected so far.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Processes one segment: transactional dedup insert + prefix
+    /// registration (phases 1–2). Returns `true` if the segment was
+    /// fresh.
+    pub fn process_segment(&self, segment: &Segment) -> bool {
+        let fresh = self.stm.atomically(|tx| {
+            if self.unique.contains(tx, segment)? {
+                return Ok(false);
+            }
+            self.unique.insert(tx, segment.clone(), ())?;
+            let prefix = segment[..segment.len() - 1].to_vec();
+            self.by_prefix.insert(tx, prefix, segment.clone())?;
+            Ok(true)
+        });
+        if fresh {
+            self.uniques.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Phase 3 (serial): starting from the segment at genome position
+    /// 0, repeatedly follow `suffix → registered prefix` links,
+    /// extending by one base per hop — reconstructing the genome if
+    /// every consecutive segment was processed.
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<u8> {
+        let s = self.cfg.segment_len;
+        let start: Segment = self.genome[..s].to_vec();
+        let by_prefix = self.by_prefix.snapshot();
+        let mut out = start.clone();
+        let mut current = start;
+        while out.len() < self.cfg.genome_len {
+            let suffix: Segment = current[1..].to_vec();
+            let Some(next) = by_prefix.get(&suffix) else {
+                break;
+            };
+            out.push(*next.last().expect("segments are non-empty"));
+            current = next.clone();
+        }
+        out
+    }
+
+    /// Generates one batch of segments: every consecutive window once
+    /// (so reconstruction is possible), plus random duplicates, shuffled.
+    #[must_use]
+    pub fn generate_batch(&self, rng: &mut SmallRng) -> Vec<Segment> {
+        let s = self.cfg.segment_len;
+        let windows = self.genome.len() - s + 1;
+        let mut batch: Vec<Segment> = Vec::with_capacity(self.cfg.segments_per_batch);
+        for _ in 0..self.cfg.segments_per_batch {
+            let at = rng.gen_range(0..windows);
+            batch.push(self.genome[at..at + s].to_vec());
+        }
+        batch.shuffle(rng);
+        batch
+    }
+}
+
+/// Per-worker state: the segment stream.
+pub struct GenomeWorkerState {
+    rng: SmallRng,
+    pending: Vec<Segment>,
+}
+
+impl Workload for GenomeWorkload {
+    type WorkerState = GenomeWorkerState;
+
+    fn init_worker(&self, tid: usize) -> GenomeWorkerState {
+        GenomeWorkerState {
+            rng: SmallRng::seed_from_u64(
+                self.cfg.seed ^ (tid as u64).wrapping_mul(0x94D0_49BB_1331_11EB),
+            ),
+            pending: Vec::new(),
+        }
+    }
+
+    fn run_task(&self, state: &mut GenomeWorkerState) {
+        if state.pending.is_empty() {
+            state.pending = self.generate_batch(&mut state.rng);
+        }
+        let segment = state.pending.pop().expect("just refilled");
+        let _ = self.process_segment(&segment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all_windows(w: &GenomeWorkload) {
+        let s = w.cfg.segment_len;
+        for at in 0..=(w.genome().len() - s) {
+            let seg = w.genome()[at..at + s].to_vec();
+            w.process_segment(&seg);
+        }
+    }
+
+    #[test]
+    fn dedup_counts() {
+        let w = GenomeWorkload::new(GenomeConfig::small(), Stm::default());
+        let seg = w.genome()[0..16].to_vec();
+        assert!(w.process_segment(&seg));
+        assert!(!w.process_segment(&seg));
+        assert_eq!(w.uniques(), 1);
+        assert_eq!(w.duplicates(), 1);
+    }
+
+    #[test]
+    fn full_window_coverage_reconstructs_genome() {
+        let w = GenomeWorkload::new(GenomeConfig::small(), Stm::default());
+        drain_all_windows(&w);
+        let rebuilt = w.reconstruct();
+        assert_eq!(rebuilt, w.genome(), "reconstruction mismatch");
+    }
+
+    #[test]
+    fn partial_coverage_reconstructs_partially() {
+        let w = GenomeWorkload::new(GenomeConfig::small(), Stm::default());
+        // Only the first 10 windows: reconstruction stops early.
+        for at in 0..10 {
+            let seg = w.genome()[at..at + 16].to_vec();
+            w.process_segment(&seg);
+        }
+        let rebuilt = w.reconstruct();
+        assert!(rebuilt.len() < w.genome().len());
+        assert_eq!(&rebuilt[..], &w.genome()[..rebuilt.len()]);
+    }
+
+    #[test]
+    fn workload_stream_eventually_covers_genome() {
+        let w = GenomeWorkload::new(GenomeConfig::small(), Stm::default());
+        let mut st = w.init_worker(0);
+        // Coupon-collector over 241 windows at 64 segments/batch: a few
+        // thousand tasks suffice with overwhelming probability.
+        for _ in 0..8_000 {
+            w.run_task(&mut st);
+        }
+        assert_eq!(w.reconstruct(), w.genome());
+        assert!(w.duplicates() > 0, "stream should produce duplicates");
+    }
+
+    #[test]
+    fn concurrent_processing_is_exact() {
+        use std::sync::Arc;
+        let w = Arc::new(GenomeWorkload::new(GenomeConfig::small(), Stm::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let mut st = w.init_worker(t);
+                    for _ in 0..2_000 {
+                        w.run_task(&mut st);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let windows = (w.genome().len() - 16 + 1) as u64;
+        assert!(w.uniques() <= windows, "more uniques than windows");
+        assert_eq!(
+            w.uniques() + w.duplicates(),
+            4 * 2_000,
+            "every task accounted exactly once"
+        );
+        // The dedup set and the prefix table must agree.
+        assert_eq!(
+            w.unique.snapshot().len(),
+            w.uniques() as usize,
+            "unique-set size mismatch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "genome shorter")]
+    fn rejects_degenerate_config() {
+        let cfg = GenomeConfig {
+            genome_len: 4,
+            segment_len: 16,
+            ..GenomeConfig::small()
+        };
+        let _ = GenomeWorkload::new(cfg, Stm::default());
+    }
+}

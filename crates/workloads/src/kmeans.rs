@@ -1,0 +1,297 @@
+//! KMeans — a port of the STAMP clustering benchmark in its online
+//! (MacQueen) formulation, an extension beyond the paper's three
+//! evaluated workloads.
+//!
+//! STAMP's kmeans runs Lloyd iterations where threads transactionally
+//! accumulate partial sums per cluster; the transactional hot spot is
+//! the cluster-accumulator update. The sustained-throughput variant
+//! here streams points: each task reads all `K` cluster centres
+//! (read-only unless updating), assigns the point to the nearest, and
+//! transactionally folds it into that cluster's running mean — one
+//! short transaction with `K` reads and one write. Conflict probability
+//! scales as ~1/K, so the cluster count is a contention dial, like
+//! STAMP's low/high variants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rubic_runtime::Workload;
+use rubic_stm::{Stm, TVar};
+
+/// One cluster's running state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Current centre.
+    pub center: Vec<f64>,
+    /// Points folded in so far.
+    pub count: u64,
+}
+
+impl Cluster {
+    /// Online mean update (MacQueen's k-means):
+    /// `center += (point - center) / (count + 1)`.
+    #[must_use]
+    pub fn absorb(&self, point: &[f64]) -> Cluster {
+        let count = self.count + 1;
+        let center = self
+            .center
+            .iter()
+            .zip(point)
+            .map(|(c, p)| c + (p - c) / count as f64)
+            .collect();
+        Cluster { center, count }
+    }
+}
+
+/// Squared Euclidean distance.
+#[must_use]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// KMeans parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters `K` (STAMP `-n`; the contention dial).
+    pub clusters: usize,
+    /// Point dimensionality (STAMP `-d`).
+    pub dims: usize,
+    /// Spread of the synthetic Gaussian-ish blobs around their true
+    /// centres.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// High contention: few clusters (STAMP `kmeans-high` uses fewer
+    /// centres).
+    #[must_use]
+    pub fn high_contention() -> Self {
+        KMeansConfig {
+            clusters: 4,
+            dims: 8,
+            noise: 0.05,
+            seed: 0x5EED_0008,
+        }
+    }
+
+    /// Low contention: many clusters.
+    #[must_use]
+    pub fn low_contention() -> Self {
+        KMeansConfig {
+            clusters: 16,
+            dims: 8,
+            noise: 0.05,
+            seed: 0x5EED_0009,
+        }
+    }
+}
+
+/// The KMeans workload: `K` transactional cluster accumulators fed by
+/// a synthetic mixture whose true centres are the unit axes scaled by
+/// the cluster index (well separated, so convergence is testable).
+pub struct KMeansWorkload {
+    clusters: Vec<TVar<Cluster>>,
+    true_centers: Vec<Vec<f64>>,
+    cfg: KMeansConfig,
+    stm: Stm,
+    assigned: AtomicU64,
+}
+
+impl KMeansWorkload {
+    /// Creates the workload; cluster `i` starts at its true centre
+    /// perturbed (warm start, as STAMP seeds centres from the input).
+    #[must_use]
+    pub fn new(cfg: KMeansConfig, stm: Stm) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let true_centers: Vec<Vec<f64>> = (0..cfg.clusters)
+            .map(|i| {
+                (0..cfg.dims)
+                    .map(|d| {
+                        if d == i % cfg.dims {
+                            1.0 + i as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let clusters = true_centers
+            .iter()
+            .map(|c| {
+                let jittered: Vec<f64> = c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect();
+                TVar::new(Cluster {
+                    center: jittered,
+                    count: 1,
+                })
+            })
+            .collect();
+        KMeansWorkload {
+            clusters,
+            true_centers,
+            cfg,
+            stm,
+            assigned: AtomicU64::new(0),
+        }
+    }
+
+    /// The STM runtime.
+    #[must_use]
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// Points assigned so far.
+    #[must_use]
+    pub fn assigned(&self) -> u64 {
+        self.assigned.load(Ordering::Relaxed)
+    }
+
+    /// Current centres (non-transactional snapshot).
+    #[must_use]
+    pub fn centers(&self) -> Vec<Vec<f64>> {
+        self.clusters.iter().map(|c| c.snapshot().center).collect()
+    }
+
+    /// Worst distance between a learned centre and its ground-truth
+    /// blob centre.
+    #[must_use]
+    pub fn max_center_error(&self) -> f64 {
+        self.centers()
+            .iter()
+            .zip(&self.true_centers)
+            .map(|(c, t)| dist2(c, t).sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    fn sample_point(&self, rng: &mut SmallRng) -> Vec<f64> {
+        let blob = rng.gen_range(0..self.cfg.clusters);
+        self.true_centers[blob]
+            .iter()
+            .map(|c| c + rng.gen_range(-self.cfg.noise..=self.cfg.noise))
+            .collect()
+    }
+
+    /// Assigns one point: nearest-centre search over the transaction's
+    /// consistent view, then a single cluster update. Returns the
+    /// cluster index.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        let idx = self.stm.atomically(|tx| {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, cvar) in self.clusters.iter().enumerate() {
+                let c = tx.read(cvar)?;
+                let d = dist2(&c.center, point);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            let cluster = tx.read(&self.clusters[best])?;
+            tx.write(&self.clusters[best], cluster.absorb(point))?;
+            Ok(best)
+        });
+        self.assigned.fetch_add(1, Ordering::Relaxed);
+        idx
+    }
+}
+
+/// Per-worker state: the point stream.
+pub struct KMeansWorkerState {
+    rng: SmallRng,
+}
+
+impl Workload for KMeansWorkload {
+    type WorkerState = KMeansWorkerState;
+
+    fn init_worker(&self, tid: usize) -> KMeansWorkerState {
+        KMeansWorkerState {
+            rng: SmallRng::seed_from_u64(
+                self.cfg.seed ^ (tid as u64).wrapping_mul(0xB5AD_4ECE_DA1C_E2A9),
+            ),
+        }
+    }
+
+    fn run_task(&self, state: &mut KMeansWorkerState) {
+        let point = self.sample_point(&mut state.rng);
+        let _ = self.assign(&point);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_is_running_mean() {
+        let c = Cluster {
+            center: vec![0.0, 0.0],
+            count: 1,
+        };
+        let c2 = c.absorb(&[2.0, 4.0]);
+        assert_eq!(c2.count, 2);
+        assert!((c2.center[0] - 1.0).abs() < 1e-12);
+        assert!((c2.center[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist2_basics() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn centers_converge_to_blobs() {
+        let w = KMeansWorkload::new(KMeansConfig::high_contention(), Stm::default());
+        let mut st = w.init_worker(0);
+        for _ in 0..2_000 {
+            w.run_task(&mut st);
+        }
+        let err = w.max_center_error();
+        assert!(err < 0.25, "centres did not converge: max error {err}");
+        assert_eq!(w.assigned(), 2_000);
+    }
+
+    #[test]
+    fn points_land_on_their_own_blob() {
+        let w = KMeansWorkload::new(KMeansConfig::low_contention(), Stm::default());
+        // A point exactly at blob 3's centre must be assigned there.
+        let target = w.true_centers[3].clone();
+        assert_eq!(w.assign(&target), 3);
+    }
+
+    #[test]
+    fn concurrent_assignment_counts_are_exact() {
+        use std::sync::Arc;
+        let w = Arc::new(KMeansWorkload::new(
+            KMeansConfig::high_contention(),
+            Stm::default(),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let mut st = w.init_worker(t);
+                    for _ in 0..300 {
+                        w.run_task(&mut st);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.assigned(), 1200);
+        // Total folded-in points = initial K seeds + all assignments.
+        let total: u64 = w.clusters.iter().map(|c| c.snapshot().count).sum();
+        assert_eq!(total, 1200 + w.cfg.clusters as u64);
+    }
+
+    #[test]
+    fn config_presets_differ_in_contention_dial() {
+        assert!(KMeansConfig::low_contention().clusters > KMeansConfig::high_contention().clusters);
+    }
+}

@@ -1,0 +1,434 @@
+//! Labyrinth — a port of the STAMP maze-routing benchmark (Lee's
+//! algorithm), an extension beyond the paper's three evaluated
+//! workloads (STAMP is the suite the paper draws from).
+//!
+//! Threads route source→destination pairs through a shared grid:
+//! each task plans a shortest path over a *snapshot* of the grid
+//! (breadth-first search, pure computation) and then transactionally
+//! claims the path's cells. Two concurrently planned paths that share
+//! a cell conflict; the loser replans against the updated grid —
+//! exactly STAMP's transaction pattern (plan privately, commit
+//! globally). Long transactions + large write footprints make this the
+//! coarse-conflict end of the workload spectrum.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rubic_runtime::Workload;
+use rubic_stm::{Stm, TVar};
+
+use crate::pers::PMap;
+
+/// Grid coordinates packed as `y * width + x`.
+pub type Cell = u32;
+
+/// The routing grid: claimed cells map to the id of the route that owns
+/// them. Stored as one persistent map snapshot per STAMP's
+/// plan-then-claim discipline (see DESIGN.md §2b).
+pub struct Maze {
+    width: u32,
+    height: u32,
+    grid: TVar<PMap<Cell, u64>>,
+}
+
+impl Maze {
+    /// Creates an empty grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "degenerate maze");
+        Maze {
+            width,
+            height,
+            grid: TVar::new(PMap::new()),
+        }
+    }
+
+    /// Grid width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn pack(&self, x: u32, y: u32) -> Cell {
+        y * self.width + x
+    }
+
+    /// Breadth-first shortest path over `claimed`, avoiding owned cells
+    /// (endpoints included). Pure: operates on a snapshot.
+    fn plan(&self, claimed: &PMap<Cell, u64>, src: Cell, dst: Cell) -> Option<Vec<Cell>> {
+        if claimed.contains(&src) || claimed.contains(&dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = (self.width * self.height) as usize;
+        let mut prev: Vec<Cell> = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        prev[src as usize] = src;
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            let (x, y) = (cur % self.width, cur / self.width);
+            let neighbours = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            for (nx, ny) in neighbours {
+                if nx >= self.width || ny >= self.height {
+                    continue;
+                }
+                let next = self.pack(nx, ny);
+                if prev[next as usize] != u32::MAX || claimed.contains(&next) {
+                    continue;
+                }
+                prev[next as usize] = cur;
+                if next == dst {
+                    // Reconstruct.
+                    let mut path = vec![dst];
+                    let mut at = dst;
+                    while at != src {
+                        at = prev[at as usize];
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Plans and transactionally claims a route. Returns the claimed
+    /// path, or `None` if no path exists in the current grid.
+    ///
+    /// The plan runs on the transaction's snapshot; the claim writes the
+    /// updated grid. A concurrent claim that invalidates the snapshot
+    /// aborts the transaction and the whole plan re-runs — the STAMP
+    /// pattern.
+    pub fn route(&self, stm: &Stm, route_id: u64, src: Cell, dst: Cell) -> Option<Vec<Cell>> {
+        stm.atomically(|tx| {
+            let snapshot = tx.read(&self.grid)?;
+            let Some(path) = self.plan(&snapshot, src, dst) else {
+                return Ok(None);
+            };
+            let mut next = snapshot;
+            for &cell in &path {
+                next = next.insert(cell, route_id).0;
+            }
+            tx.write(&self.grid, next)?;
+            Ok(Some(path))
+        })
+    }
+
+    /// Releases every cell owned by `route_id` (used to keep the grid
+    /// from saturating in sustained-throughput runs).
+    pub fn release(&self, stm: &Stm, route_id: u64, path: &[Cell]) {
+        stm.atomically(|tx| {
+            let mut grid = tx.read(&self.grid)?;
+            for cell in path {
+                if grid.get(cell) == Some(&route_id) {
+                    grid = grid.remove(cell).0;
+                }
+            }
+            tx.write(&self.grid, grid)?;
+            Ok(())
+        });
+    }
+
+    /// Number of currently claimed cells.
+    #[must_use]
+    pub fn claimed_cells(&self) -> usize {
+        self.grid.snapshot().len()
+    }
+
+    /// Consistency check: every cell of every live path is owned by the
+    /// claiming route and paths are 4-connected.
+    #[must_use]
+    pub fn verify_path(&self, route_id: u64, path: &[Cell]) -> bool {
+        let grid = self.grid.snapshot();
+        if !path.iter().all(|c| grid.get(c) == Some(&route_id)) {
+            return false;
+        }
+        path.windows(2).all(|w| {
+            let (ax, ay) = (w[0] % self.width, w[0] / self.width);
+            let (bx, by) = (w[1] % self.width, w[1] / self.width);
+            ax.abs_diff(bx) + ay.abs_diff(by) == 1
+        })
+    }
+}
+
+/// Labyrinth parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LabyrinthConfig {
+    /// Grid width (STAMP `-x`).
+    pub width: u32,
+    /// Grid height (STAMP `-y`).
+    pub height: u32,
+    /// A route is released after this many subsequent routes by the
+    /// same worker (keeps steady-state occupancy bounded for sustained
+    /// throughput; STAMP instead routes a fixed input list once).
+    pub live_routes_per_worker: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LabyrinthConfig {
+    /// A 32×32 grid with 4 live routes per worker.
+    #[must_use]
+    pub fn small() -> Self {
+        LabyrinthConfig {
+            width: 32,
+            height: 32,
+            live_routes_per_worker: 4,
+            seed: 0x5EED_0007,
+        }
+    }
+}
+
+/// The Labyrinth workload: route random pairs, recycling old routes.
+pub struct LabyrinthWorkload {
+    maze: Maze,
+    cfg: LabyrinthConfig,
+    stm: Stm,
+    routed: AtomicU64,
+    failed: AtomicU64,
+    next_route_id: AtomicU64,
+}
+
+impl LabyrinthWorkload {
+    /// Creates the workload over an empty maze.
+    #[must_use]
+    pub fn new(cfg: LabyrinthConfig, stm: Stm) -> Self {
+        LabyrinthWorkload {
+            maze: Maze::new(cfg.width, cfg.height),
+            cfg,
+            stm,
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            next_route_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The maze (inspection).
+    #[must_use]
+    pub fn maze(&self) -> &Maze {
+        &self.maze
+    }
+
+    /// The STM runtime.
+    #[must_use]
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// Successfully claimed routes so far.
+    #[must_use]
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Route attempts that found no path.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker state: RNG plus the worker's window of live routes.
+pub struct LabyrinthWorkerState {
+    rng: SmallRng,
+    live: VecDeque<(u64, Vec<Cell>)>,
+}
+
+impl Workload for LabyrinthWorkload {
+    type WorkerState = LabyrinthWorkerState;
+
+    fn init_worker(&self, tid: usize) -> LabyrinthWorkerState {
+        LabyrinthWorkerState {
+            rng: SmallRng::seed_from_u64(
+                self.cfg.seed ^ (tid as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7),
+            ),
+            live: VecDeque::new(),
+        }
+    }
+
+    fn run_task(&self, state: &mut LabyrinthWorkerState) {
+        // Recycle the oldest route once the window is full.
+        if state.live.len() >= self.cfg.live_routes_per_worker {
+            if let Some((id, path)) = state.live.pop_front() {
+                self.maze.release(&self.stm, id, &path);
+            }
+        }
+        let src_x = state.rng.gen_range(0..self.cfg.width);
+        let src_y = state.rng.gen_range(0..self.cfg.height);
+        let dst_x = state.rng.gen_range(0..self.cfg.width);
+        let dst_y = state.rng.gen_range(0..self.cfg.height);
+        let src = src_y * self.cfg.width + src_x;
+        let dst = dst_y * self.cfg.width + dst_x;
+        let id = self.next_route_id.fetch_add(1, Ordering::Relaxed);
+        match self.maze.route(&self.stm, id, src, dst) {
+            Some(path) => {
+                self.routed.fetch_add(1, Ordering::Relaxed);
+                state.live.push_back((id, path));
+            }
+            None => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_route() {
+        let stm = Stm::default();
+        let maze = Maze::new(8, 8);
+        let path = maze.route(&stm, 1, 0, 7).expect("path exists");
+        assert_eq!(path.len(), 8, "shortest path along the top row");
+        assert!(maze.verify_path(1, &path));
+        assert_eq!(maze.claimed_cells(), 8);
+    }
+
+    #[test]
+    fn route_around_obstacle() {
+        let stm = Stm::default();
+        let maze = Maze::new(5, 5);
+        // Wall down column 2, except the bottom row.
+        let wall: Vec<Cell> = (0..4).map(|y| y * 5 + 2).collect();
+        stm.atomically(|tx| {
+            let mut g = tx.read(&maze.grid)?;
+            for &c in &wall {
+                g = g.insert(c, 999).0;
+            }
+            tx.write(&maze.grid, g)?;
+            Ok(())
+        });
+        // Route from (0,0) to (4,0): must detour under the wall.
+        let path = maze.route(&stm, 1, 0, 4).expect("detour exists");
+        assert!(path.len() > 5, "must be longer than the straight line");
+        assert!(maze.verify_path(1, &path));
+    }
+
+    #[test]
+    fn blocked_route_returns_none() {
+        let stm = Stm::default();
+        let maze = Maze::new(3, 3);
+        // Full wall down the middle column.
+        stm.atomically(|tx| {
+            let mut g = tx.read(&maze.grid)?;
+            for y in 0..3 {
+                g = g.insert(y * 3 + 1, 7).0;
+            }
+            tx.write(&maze.grid, g)?;
+            Ok(())
+        });
+        assert_eq!(maze.route(&stm, 1, 0, 2), None);
+    }
+
+    #[test]
+    fn occupied_endpoint_fails() {
+        let stm = Stm::default();
+        let maze = Maze::new(4, 4);
+        let p = maze.route(&stm, 1, 0, 3).unwrap();
+        assert!(maze.verify_path(1, &p));
+        // Destination now owned by route 1.
+        assert_eq!(maze.route(&stm, 2, 12, 3), None);
+    }
+
+    #[test]
+    fn release_frees_cells() {
+        let stm = Stm::default();
+        let maze = Maze::new(4, 1);
+        let p = maze.route(&stm, 1, 0, 3).unwrap();
+        maze.release(&stm, 1, &p);
+        assert_eq!(maze.claimed_cells(), 0);
+        // The corridor is routable again.
+        assert!(maze.route(&stm, 2, 0, 3).is_some());
+    }
+
+    #[test]
+    fn concurrent_routes_never_overlap() {
+        use std::sync::Arc;
+        let stm = Stm::default();
+        let maze = Arc::new(Maze::new(24, 24));
+        type ClaimedPaths = Vec<(u64, Vec<Cell>)>;
+        let paths: Arc<parking_lot_stub::Mutex<ClaimedPaths>> =
+            Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let stm = stm.clone();
+                let maze = Arc::clone(&maze);
+                let paths = Arc::clone(&paths);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t);
+                    for i in 0..30 {
+                        let id = t * 1000 + i;
+                        let src = rng.gen_range(0..24 * 24);
+                        let dst = rng.gen_range(0..24 * 24);
+                        if let Some(p) = maze.route(&stm, id, src, dst) {
+                            paths.lock().push((id, p));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let claimed = paths.lock().clone();
+        assert!(!claimed.is_empty());
+        // No cell owned by two routes; every path verified.
+        let mut seen = std::collections::HashSet::new();
+        for (id, path) in &claimed {
+            assert!(maze.verify_path(*id, path), "route {id} corrupted");
+            for c in path {
+                assert!(seen.insert(*c), "cell {c} claimed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_sustains_throughput() {
+        let w = LabyrinthWorkload::new(LabyrinthConfig::small(), Stm::default());
+        let mut st = w.init_worker(0);
+        for _ in 0..200 {
+            w.run_task(&mut st);
+        }
+        assert!(w.routed() > 0);
+        // Recycling keeps the board from saturating completely.
+        let occupancy = w.maze().claimed_cells() as f64 / f64::from(32u32 * 32);
+        assert!(occupancy < 0.9, "board saturated: {occupancy}");
+    }
+
+    // Minimal local mutex shim so the test has no extra dev-deps; the
+    // crate already depends on parking_lot transitively via rubic-stm,
+    // but using std keeps the test self-contained.
+    mod parking_lot_stub {
+        pub struct Mutex<T>(std::sync::Mutex<T>);
+        impl<T> Mutex<T> {
+            pub fn new(v: T) -> Self {
+                Mutex(std::sync::Mutex::new(v))
+            }
+            pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+                self.0.lock().unwrap()
+            }
+        }
+    }
+}

@@ -1,0 +1,870 @@
+//! A persistent (immutable, structurally shared) red-black tree map.
+//!
+//! This is the ordered-map substrate behind the STM workloads: the
+//! red-black-tree microbenchmark and Vacation's four relation tables
+//! store a [`PMap`] inside a single `TVar`. Updates build a new tree
+//! that shares all untouched subtrees with the old one (`Arc` nodes), so
+//! a transactional update is "read snapshot → functional update → write
+//! snapshot" — exactly the snapshot discipline our STM's immutable
+//! published values require (see `rubic-stm`'s crate docs and DESIGN.md
+//! §3).
+//!
+//! Algorithms: Okasaki's classic balancing insert and Kahrs' deletion
+//! (the standard functional red-black deletion that *preserves both
+//! red-black invariants*), ported from the Haskell reference. The
+//! [`PMap::check_invariants`] method verifies (1) BST ordering, (2) no
+//! red node has a red child, and (3) equal black height on every path —
+//! the property-based tests run it after every operation.
+
+use std::cmp::Ordering as Ord_;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+use Color::{Black, Red};
+
+/// `None` = empty (all leaves are black nil nodes conceptually).
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    color: Color,
+    left: Link<K, V>,
+    key: K,
+    value: V,
+    right: Link<K, V>,
+}
+
+fn node<K, V>(color: Color, left: Link<K, V>, key: K, value: V, right: Link<K, V>) -> Link<K, V> {
+    Some(Arc::new(Node {
+        color,
+        left,
+        key,
+        value,
+        right,
+    }))
+}
+
+fn color_of<K, V>(link: &Link<K, V>) -> Color {
+    match link {
+        Some(n) => n.color,
+        None => Black,
+    }
+}
+
+/// A persistent ordered map with red-black balancing.
+///
+/// Cloning is `O(1)` (shares the whole structure); all updates return
+/// new maps. `len` is maintained incrementally.
+///
+/// ```
+/// use rubic_workloads::pers::PMap;
+/// let m0: PMap<u32, &str> = PMap::new();
+/// let m1 = m0.insert(2, "two").0;
+/// let m2 = m1.insert(1, "one").0;
+/// assert_eq!(m2.get(&2), Some(&"two"));
+/// assert_eq!(m1.get(&1), None, "persistence: m1 is unchanged");
+/// assert_eq!(m2.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+    len: usize,
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap::new()
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// The empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        PMap { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// Looks up `key`.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ord_::Less => cur = &n.left,
+                Ord_::Greater => cur = &n.right,
+                Ord_::Equal => return Some(&n.value),
+            }
+        }
+        None
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The smallest key (with its value), if any.
+    #[must_use]
+    pub fn min(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(l) = cur.left.as_ref() {
+            cur = l;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// The largest key (with its value), if any.
+    #[must_use]
+    pub fn max(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(r) = cur.right.as_ref() {
+            cur = r;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// Inserts `key → value`; returns the new map and the previous
+    /// value, if the key was present.
+    #[must_use]
+    pub fn insert(&self, key: K, value: V) -> (Self, Option<V>) {
+        let mut replaced = None;
+        let root = ins(&self.root, key, value, &mut replaced);
+        // Blacken the root.
+        let root = root.map(|n| {
+            if n.color == Red {
+                Arc::new(Node {
+                    color: Black,
+                    left: n.left.clone(),
+                    key: n.key.clone(),
+                    value: n.value.clone(),
+                    right: n.right.clone(),
+                })
+            } else {
+                n
+            }
+        });
+        let len = if replaced.is_some() {
+            self.len
+        } else {
+            self.len + 1
+        };
+        (PMap { root, len }, replaced)
+    }
+
+    /// Removes `key`; returns the new map and the removed value, if the
+    /// key was present. Removing an absent key returns a clone of
+    /// `self` untouched.
+    #[must_use]
+    pub fn remove(&self, key: &K) -> (Self, Option<V>) {
+        if !self.contains(key) {
+            return (self.clone(), None);
+        }
+        let mut removed = None;
+        let root = del(&self.root, key, &mut removed);
+        debug_assert!(removed.is_some());
+        // Blacken the root.
+        let root = root.map(|n| {
+            if n.color == Red {
+                Arc::new(Node {
+                    color: Black,
+                    left: n.left.clone(),
+                    key: n.key.clone(),
+                    value: n.value.clone(),
+                    right: n.right.clone(),
+                })
+            } else {
+                n
+            }
+        });
+        (
+            PMap {
+                root,
+                len: self.len - 1,
+            },
+            removed,
+        )
+    }
+
+    /// In-order `(key, value)` pairs.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<K: Clone, V: Clone>(link: &Link<K, V>, out: &mut Vec<(K, V)>) {
+            if let Some(n) = link {
+                walk(&n.left, out);
+                out.push((n.key.clone(), n.value.clone()));
+                walk(&n.right, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// In-order keys.
+    #[must_use]
+    pub fn keys(&self) -> Vec<K> {
+        self.entries().into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Verifies the red-black invariants and the BST ordering; returns
+    /// the tree's black height or a description of the violation.
+    ///
+    /// # Errors
+    /// Describes the first violated invariant.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        if color_of(&self.root) == Red {
+            return Err("root is red".into());
+        }
+        fn walk<K: Ord, V>(link: &Link<K, V>) -> Result<usize, String> {
+            match link {
+                None => Ok(1),
+                Some(n) => {
+                    if n.color == Red && (color_of(&n.left) == Red || color_of(&n.right) == Red) {
+                        return Err("red node with red child".into());
+                    }
+                    if let Some(l) = &n.left {
+                        if l.key >= n.key {
+                            return Err("BST order violated (left)".into());
+                        }
+                    }
+                    if let Some(r) = &n.right {
+                        if r.key <= n.key {
+                            return Err("BST order violated (right)".into());
+                        }
+                    }
+                    let hl = walk(&n.left)?;
+                    let hr = walk(&n.right)?;
+                    if hl != hr {
+                        return Err(format!("black height mismatch: {hl} vs {hr}"));
+                    }
+                    Ok(hl + usize::from(n.color == Black))
+                }
+            }
+        }
+        let h = walk(&self.root)?;
+        let counted = count(&self.root);
+        if counted != self.len {
+            return Err(format!("len {} but counted {}", self.len, counted));
+        }
+        Ok(h)
+    }
+}
+
+fn count<K, V>(link: &Link<K, V>) -> usize {
+    match link {
+        None => 0,
+        Some(n) => 1 + count(&n.left) + count(&n.right),
+    }
+}
+
+// --- Okasaki insertion ---------------------------------------------------
+
+fn ins<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+    replaced: &mut Option<V>,
+) -> Link<K, V> {
+    match link {
+        None => node(Red, None, key, value, None),
+        Some(n) => match key.cmp(&n.key) {
+            Ord_::Less => balance(
+                n.color,
+                ins(&n.left, key, value, replaced),
+                n.key.clone(),
+                n.value.clone(),
+                n.right.clone(),
+            ),
+            Ord_::Greater => balance(
+                n.color,
+                n.left.clone(),
+                n.key.clone(),
+                n.value.clone(),
+                ins(&n.right, key, value, replaced),
+            ),
+            Ord_::Equal => {
+                *replaced = Some(n.value.clone());
+                node(n.color, n.left.clone(), key, value, n.right.clone())
+            }
+        },
+    }
+}
+
+/// Okasaki's four-case rotation. Only black parents rebalance; red
+/// parents are rebuilt verbatim (the red-red violation, if any, is
+/// resolved one level up).
+fn balance<K: Clone, V: Clone>(
+    color: Color,
+    left: Link<K, V>,
+    key: K,
+    value: V,
+    right: Link<K, V>,
+) -> Link<K, V> {
+    if color == Black {
+        // Case 1: left child red with red left grandchild.
+        if let Some(l) = &left {
+            if l.color == Red {
+                if let Some(ll) = &l.left {
+                    if ll.color == Red {
+                        return node(
+                            Red,
+                            node(
+                                Black,
+                                ll.left.clone(),
+                                ll.key.clone(),
+                                ll.value.clone(),
+                                ll.right.clone(),
+                            ),
+                            l.key.clone(),
+                            l.value.clone(),
+                            node(Black, l.right.clone(), key, value, right),
+                        );
+                    }
+                }
+                // Case 2: left child red with red right grandchild.
+                if let Some(lr) = &l.right {
+                    if lr.color == Red {
+                        return node(
+                            Red,
+                            node(
+                                Black,
+                                l.left.clone(),
+                                l.key.clone(),
+                                l.value.clone(),
+                                lr.left.clone(),
+                            ),
+                            lr.key.clone(),
+                            lr.value.clone(),
+                            node(Black, lr.right.clone(), key, value, right),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(r) = &right {
+            if r.color == Red {
+                // Case 3: right child red with red left grandchild.
+                if let Some(rl) = &r.left {
+                    if rl.color == Red {
+                        return node(
+                            Red,
+                            node(Black, left, key, value, rl.left.clone()),
+                            rl.key.clone(),
+                            rl.value.clone(),
+                            node(
+                                Black,
+                                rl.right.clone(),
+                                r.key.clone(),
+                                r.value.clone(),
+                                r.right.clone(),
+                            ),
+                        );
+                    }
+                }
+                // Case 4: right child red with red right grandchild.
+                if let Some(rr) = &r.right {
+                    if rr.color == Red {
+                        return node(
+                            Red,
+                            node(Black, left, key, value, r.left.clone()),
+                            r.key.clone(),
+                            r.value.clone(),
+                            node(
+                                Black,
+                                rr.left.clone(),
+                                rr.key.clone(),
+                                rr.value.clone(),
+                                rr.right.clone(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    node(color, left, key, value, right)
+}
+
+// --- Kahrs deletion -------------------------------------------------------
+
+/// `del` returns a tree that may have a red root (blackened by the
+/// caller) and, when the input subtree root was black, may be "short"
+/// (black height reduced by one) — the `bal_left`/`bal_right` helpers
+/// repair shortness on the way up, exactly as in Kahrs' Haskell.
+fn del<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: &K,
+    removed: &mut Option<V>,
+) -> Link<K, V> {
+    match link {
+        None => None,
+        Some(n) => match key.cmp(&n.key) {
+            Ord_::Less => del_left(n, key, removed),
+            Ord_::Greater => del_right(n, key, removed),
+            Ord_::Equal => {
+                *removed = Some(n.value.clone());
+                fuse(&n.left, &n.right)
+            }
+        },
+    }
+}
+
+fn del_left<K: Ord + Clone, V: Clone>(
+    n: &Node<K, V>,
+    key: &K,
+    removed: &mut Option<V>,
+) -> Link<K, V> {
+    let new_left = del(&n.left, key, removed);
+    if color_of(&n.left) == Black && n.left.is_some() {
+        bal_left(new_left, n.key.clone(), n.value.clone(), &n.right)
+    } else {
+        node(
+            Red,
+            new_left,
+            n.key.clone(),
+            n.value.clone(),
+            n.right.clone(),
+        )
+    }
+}
+
+fn del_right<K: Ord + Clone, V: Clone>(
+    n: &Node<K, V>,
+    key: &K,
+    removed: &mut Option<V>,
+) -> Link<K, V> {
+    let new_right = del(&n.right, key, removed);
+    if color_of(&n.right) == Black && n.right.is_some() {
+        bal_right(&n.left, n.key.clone(), n.value.clone(), new_right)
+    } else {
+        node(
+            Red,
+            n.left.clone(),
+            n.key.clone(),
+            n.value.clone(),
+            new_right,
+        )
+    }
+}
+
+/// Makes a black node red (Kahrs' `sub1`). Precondition: `link` is a
+/// black non-empty node.
+fn redden<K: Clone, V: Clone>(link: &Link<K, V>) -> Link<K, V> {
+    let n = link.as_ref().expect("redden: empty");
+    debug_assert_eq!(n.color, Black, "redden: node not black");
+    node(
+        Red,
+        n.left.clone(),
+        n.key.clone(),
+        n.value.clone(),
+        n.right.clone(),
+    )
+}
+
+/// `balance` specialised to a black root (Kahrs' standalone `balance`).
+fn balance_b<K: Clone, V: Clone>(
+    left: Link<K, V>,
+    key: K,
+    value: V,
+    right: Link<K, V>,
+) -> Link<K, V> {
+    balance(Black, left, key, value, right)
+}
+
+/// Repairs a left subtree that lost one unit of black height.
+fn bal_left<K: Clone, V: Clone>(
+    left: Link<K, V>,
+    key: K,
+    value: V,
+    right: &Link<K, V>,
+) -> Link<K, V> {
+    // Case 1: short subtree has a red root — paint it black.
+    if color_of(&left) == Red {
+        let l = left.as_ref().unwrap();
+        return node(
+            Red,
+            node(
+                Black,
+                l.left.clone(),
+                l.key.clone(),
+                l.value.clone(),
+                l.right.clone(),
+            ),
+            key,
+            value,
+            right.clone(),
+        );
+    }
+    let r = right
+        .as_ref()
+        .expect("bal_left: right sibling cannot be empty");
+    match r.color {
+        // Case 2: black sibling — merge and rebalance.
+        Black => balance_b(left, key, value, redden(right)),
+        // Case 3: red sibling with black children.
+        Red => {
+            let rl = r
+                .left
+                .as_ref()
+                .expect("bal_left: red sibling must have children");
+            debug_assert_eq!(rl.color, Black);
+            node(
+                Red,
+                node(Black, left, key, value, rl.left.clone()),
+                rl.key.clone(),
+                rl.value.clone(),
+                balance_b(
+                    rl.right.clone(),
+                    r.key.clone(),
+                    r.value.clone(),
+                    redden(&r.right),
+                ),
+            )
+        }
+    }
+}
+
+/// Mirror image of [`bal_left`].
+fn bal_right<K: Clone, V: Clone>(
+    left: &Link<K, V>,
+    key: K,
+    value: V,
+    right: Link<K, V>,
+) -> Link<K, V> {
+    if color_of(&right) == Red {
+        let r = right.as_ref().unwrap();
+        return node(
+            Red,
+            left.clone(),
+            key,
+            value,
+            node(
+                Black,
+                r.left.clone(),
+                r.key.clone(),
+                r.value.clone(),
+                r.right.clone(),
+            ),
+        );
+    }
+    let l = left
+        .as_ref()
+        .expect("bal_right: left sibling cannot be empty");
+    match l.color {
+        Black => balance_b(redden(left), key, value, right),
+        Red => {
+            let lr = l
+                .right
+                .as_ref()
+                .expect("bal_right: red sibling must have children");
+            debug_assert_eq!(lr.color, Black);
+            node(
+                Red,
+                balance_b(
+                    redden(&l.left),
+                    l.key.clone(),
+                    l.value.clone(),
+                    lr.left.clone(),
+                ),
+                lr.key.clone(),
+                lr.value.clone(),
+                node(Black, lr.right.clone(), key, value, right),
+            )
+        }
+    }
+}
+
+/// Joins two subtrees of equal black height whose keys are ordered
+/// (every key in `left` < every key in `right`) — Kahrs' `app`.
+fn fuse<K: Clone, V: Clone>(left: &Link<K, V>, right: &Link<K, V>) -> Link<K, V> {
+    match (left, right) {
+        (None, _) => right.clone(),
+        (_, None) => left.clone(),
+        (Some(l), Some(r)) => match (l.color, r.color) {
+            (Red, Red) => {
+                let mid = fuse(&l.right, &r.left);
+                if color_of(&mid) == Red {
+                    let m = mid.as_ref().unwrap();
+                    node(
+                        Red,
+                        node(
+                            Red,
+                            l.left.clone(),
+                            l.key.clone(),
+                            l.value.clone(),
+                            m.left.clone(),
+                        ),
+                        m.key.clone(),
+                        m.value.clone(),
+                        node(
+                            Red,
+                            m.right.clone(),
+                            r.key.clone(),
+                            r.value.clone(),
+                            r.right.clone(),
+                        ),
+                    )
+                } else {
+                    node(
+                        Red,
+                        l.left.clone(),
+                        l.key.clone(),
+                        l.value.clone(),
+                        node(Red, mid, r.key.clone(), r.value.clone(), r.right.clone()),
+                    )
+                }
+            }
+            (Black, Black) => {
+                let mid = fuse(&l.right, &r.left);
+                if color_of(&mid) == Red {
+                    let m = mid.as_ref().unwrap();
+                    node(
+                        Red,
+                        node(
+                            Black,
+                            l.left.clone(),
+                            l.key.clone(),
+                            l.value.clone(),
+                            m.left.clone(),
+                        ),
+                        m.key.clone(),
+                        m.value.clone(),
+                        node(
+                            Black,
+                            m.right.clone(),
+                            r.key.clone(),
+                            r.value.clone(),
+                            r.right.clone(),
+                        ),
+                    )
+                } else {
+                    bal_left(
+                        l.left.clone(),
+                        l.key.clone(),
+                        l.value.clone(),
+                        &node(Black, mid, r.key.clone(), r.value.clone(), r.right.clone()),
+                    )
+                }
+            }
+            // Exactly one red: absorb it towards the join point.
+            (_, Red) => node(
+                Red,
+                fuse(left, &r.left),
+                r.key.clone(),
+                r.value.clone(),
+                r.right.clone(),
+            ),
+            (Red, _) => node(
+                Red,
+                l.left.clone(),
+                l.key.clone(),
+                l.value.clone(),
+                fuse(&l.right, right),
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn check<K: Ord + Clone + std::fmt::Debug, V: Clone>(m: &PMap<K, V>) {
+        if let Err(e) = m.check_invariants() {
+            panic!("invariant violated: {e}; keys={:?}", m.keys());
+        }
+    }
+
+    #[test]
+    fn empty_map() {
+        let m: PMap<u32, u32> = PMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        check(&m);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = PMap::new();
+        for k in [5, 2, 8, 1, 9, 3, 7, 4, 6, 0] {
+            m = m.insert(k, k * 10).0;
+            check(&m);
+        }
+        assert_eq!(m.len(), 10);
+        for k in 0..10 {
+            assert_eq!(m.get(&k), Some(&(k * 10)));
+        }
+        assert_eq!(m.min(), Some((&0, &0)));
+        assert_eq!(m.max(), Some((&9, &90)));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let m = PMap::new().insert(1, "a").0;
+        let (m2, old) = m.insert(1, "b");
+        assert_eq!(old, Some("a"));
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2.get(&1), Some(&"b"));
+        // Persistence: the original still maps to "a".
+        assert_eq!(m.get(&1), Some(&"a"));
+    }
+
+    #[test]
+    fn ascending_and_descending_inserts_stay_balanced() {
+        let mut up = PMap::new();
+        let mut down = PMap::new();
+        for k in 0..512 {
+            up = up.insert(k, ()).0;
+            down = down.insert(511 - k, ()).0;
+        }
+        check(&up);
+        check(&down);
+        // Balanced: black height of a 512-element RB tree is small.
+        let h = up.check_invariants().unwrap();
+        assert!(h <= 10, "black height {h} too large for 512 elements");
+    }
+
+    #[test]
+    fn remove_missing_is_noop() {
+        let m = PMap::new().insert(1, 1).0;
+        let (m2, removed) = m.remove(&99);
+        assert_eq!(removed, None);
+        assert_eq!(m2.len(), 1);
+        check(&m2);
+    }
+
+    #[test]
+    fn remove_all_elements() {
+        let mut m = PMap::new();
+        for k in 0..128 {
+            m = m.insert(k, k).0;
+        }
+        for k in 0..128 {
+            let (next, removed) = m.remove(&k);
+            assert_eq!(removed, Some(k), "key {k}");
+            m = next;
+            check(&m);
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_in_random_order() {
+        let keys: Vec<i64> = (0..200).map(|i| (i * 37) % 200).collect();
+        let mut m = PMap::new();
+        for &k in &keys {
+            m = m.insert(k, k).0;
+            check(&m);
+        }
+        let removal: Vec<i64> = (0..200).map(|i| (i * 73 + 11) % 200).collect();
+        for &k in &removal {
+            let (next, removed) = m.remove(&k);
+            assert_eq!(removed, Some(k));
+            m = next;
+            check(&m);
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let mut m = PMap::new();
+        for k in [3, 1, 4, 1, 5, 9, 2, 6] {
+            m = m.insert(k, ()).0;
+        }
+        let keys = m.keys();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn persistence_under_removal() {
+        let mut versions = vec![PMap::new()];
+        for k in 0..50 {
+            let next = versions.last().unwrap().insert(k, k).0;
+            versions.push(next);
+        }
+        // Each version i contains exactly the keys 0..i.
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(v.len(), i);
+            for k in 0..50 {
+                assert_eq!(v.contains(&k), (k as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_mixed_ops() {
+        // Deterministic pseudo-random op sequence cross-checked against
+        // the standard library ordered map.
+        let mut model = BTreeMap::new();
+        let mut m = PMap::new();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for _ in 0..3000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 64) as i64;
+            let op = (x >> 8) % 3;
+            match op {
+                0 | 1 => {
+                    let v = (x >> 16) as i64;
+                    let expected = model.insert(key, v);
+                    let (next, got) = m.insert(key, v);
+                    assert_eq!(got, expected);
+                    m = next;
+                }
+                _ => {
+                    let expected = model.remove(&key);
+                    let (next, got) = m.remove(&key);
+                    assert_eq!(got, expected);
+                    m = next;
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        check(&m);
+        let entries = m.entries();
+        let expected: Vec<(i64, i64)> = model.into_iter().collect();
+        assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn large_tree_black_height_logarithmic() {
+        let mut m = PMap::new();
+        for k in 0..10_000 {
+            m = m.insert(k, ()).0;
+        }
+        let h = m.check_invariants().unwrap();
+        // 2*log2(10001) ≈ 26.6; black height is at most half the total
+        // height, so ~14 is the loose ceiling.
+        assert!(h <= 15, "black height {h}");
+    }
+}

@@ -1,0 +1,244 @@
+//! A persistent FIFO queue (Okasaki's two-list "banker's queue",
+//! rebalanced eagerly).
+//!
+//! Used for the Intruder workload's shared packet queue: stored in one
+//! `TVar`, so a transactional pop is "read snapshot → functional pop →
+//! write snapshot" with O(1) amortised work and full structural sharing,
+//! instead of cloning a `VecDeque` on every pop.
+
+use std::sync::Arc;
+
+/// Persistent cons list (`None` in the wrapping `Option` is nil).
+#[derive(Debug)]
+struct ListNode<T>(T, List<T>);
+
+#[derive(Debug)]
+struct List<T>(Option<Arc<ListNode<T>>>);
+
+impl<T> Clone for List<T> {
+    fn clone(&self) -> Self {
+        List(self.0.clone())
+    }
+}
+
+impl<T: Clone> List<T> {
+    fn nil() -> Self {
+        List(None)
+    }
+
+    fn cons(head: T, tail: List<T>) -> Self {
+        List(Some(Arc::new(ListNode(head, tail))))
+    }
+
+    fn head_tail(&self) -> Option<(&T, &List<T>)> {
+        self.0.as_deref().map(|ListNode(h, t)| (h, t))
+    }
+
+    fn rev(&self) -> List<T> {
+        let mut out = List::nil();
+        let mut cur = self.clone();
+        while let Some((h, t)) = cur.head_tail().map(|(h, t)| (h.clone(), t.clone())) {
+            out = List::cons(h, out);
+            cur = t;
+        }
+        out
+    }
+}
+
+/// A persistent FIFO queue with O(1) amortised push/pop and O(1) clone.
+///
+/// ```
+/// use rubic_workloads::pqueue::PQueue;
+/// let q = PQueue::new().push(1).push(2).push(3);
+/// let (q, x) = q.pop();
+/// assert_eq!(x, Some(1));
+/// let (q, x) = q.pop();
+/// assert_eq!(x, Some(2));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PQueue<T> {
+    front: List<T>,
+    back: List<T>,
+    len: usize,
+}
+
+impl<T> Clone for PQueue<T> {
+    fn clone(&self) -> Self {
+        PQueue {
+            front: self.front.clone(),
+            back: self.back.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Clone> Default for PQueue<T> {
+    fn default() -> Self {
+        PQueue::new()
+    }
+}
+
+impl<T: Clone> PQueue<T> {
+    /// The empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        PQueue {
+            front: List::nil(),
+            back: List::nil(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `item` at the back.
+    #[must_use]
+    pub fn push(&self, item: T) -> Self {
+        PQueue {
+            front: self.front.clone(),
+            back: List::cons(item, self.back.clone()),
+            len: self.len + 1,
+        }
+    }
+
+    /// Dequeues from the front; returns the new queue and the item (or
+    /// `None` when empty, in which case the queue is returned
+    /// unchanged).
+    #[must_use]
+    pub fn pop(&self) -> (Self, Option<T>) {
+        if let Some((h, t)) = self.front.head_tail() {
+            return (
+                PQueue {
+                    front: t.clone(),
+                    back: self.back.clone(),
+                    len: self.len - 1,
+                },
+                Some(h.clone()),
+            );
+        }
+        // Front exhausted: reverse the back into the front.
+        let reversed = self.back.rev();
+        match reversed.head_tail() {
+            None => (self.clone(), None),
+            Some((h, t)) => (
+                PQueue {
+                    front: t.clone(),
+                    back: List::nil(),
+                    len: self.len - 1,
+                },
+                Some(h.clone()),
+            ),
+        }
+    }
+
+    /// Drains into a `Vec` in FIFO order (diagnostics/tests).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut q = self.clone();
+        loop {
+            let (next, item) = q.pop();
+            match item {
+                Some(x) => out.push(x),
+                None => break,
+            }
+            q = next;
+        }
+        out
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut q = PQueue::new();
+        for x in iter {
+            q = q.push(x);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q: PQueue<u32> = (0..10).collect();
+        assert_eq!(q.to_vec(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_empty() {
+        let q: PQueue<u32> = PQueue::new();
+        let (q2, x) = q.pop();
+        assert_eq!(x, None);
+        assert_eq!(q2.len(), 0);
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let q = PQueue::new().push('a').push('b');
+        assert_eq!(q.len(), 2);
+        let (q, _) = q.pop();
+        assert_eq!(q.len(), 1);
+        let (q, _) = q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn persistence() {
+        let q1 = PQueue::new().push(1).push(2);
+        let (q2, _) = q1.pop();
+        assert_eq!(q1.len(), 2, "original untouched");
+        assert_eq!(q2.len(), 1);
+        assert_eq!(q1.to_vec(), vec![1, 2]);
+        assert_eq!(q2.to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = PQueue::new();
+        let mut model = std::collections::VecDeque::new();
+        let mut x: u64 = 0xDEAD_BEEF;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !x.is_multiple_of(3) {
+                q = q.push(x);
+                model.push_back(x);
+            } else {
+                let (next, got) = q.pop();
+                q = next;
+                assert_eq!(got, model.pop_front());
+            }
+            assert_eq!(q.len(), model.len());
+        }
+        assert_eq!(q.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn long_reverse_is_correct() {
+        // Force the rebalance path with a long back list.
+        let mut q = PQueue::new();
+        for i in 0..1000 {
+            q = q.push(i);
+        }
+        let (q, first) = q.pop();
+        assert_eq!(first, Some(0));
+        assert_eq!(q.len(), 999);
+        assert_eq!(q.to_vec()[0], 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! `TMap` — a transactional ordered map.
+//!
+//! Couples the persistent red-black tree ([`crate::pers::PMap`]) with a
+//! single `TVar`: a transactional read clones an `Arc` handle to an
+//! immutable snapshot (O(1)), pure tree code does the work, and updates
+//! write the new snapshot back. Structural sharing keeps updates at
+//! O(log n) allocation.
+//!
+//! Concurrency profile (documented in DESIGN.md): *lookups never
+//! conflict with anything* (read-only snapshot transactions), while
+//! updates to the same map serialise on the map's root `TVar` — the
+//! snapshot-map discipline standard for immutable-value STMs (Haskell/
+//! Clojure lineage). STAMP's C trees instead take per-node locks;
+//! the difference only shifts *where* update-update conflicts appear,
+//! and the evaluation's scalability curves come from the simulator's
+//! fitted curves either way.
+
+use rubic_stm::{TVar, Transaction, TxResult, TxValue};
+
+use crate::pers::PMap;
+
+/// Key bound for transactional maps.
+pub trait TKey: Ord + Clone + Send + Sync + 'static {}
+impl<K: Ord + Clone + Send + Sync + 'static> TKey for K {}
+
+/// A transactional ordered map.
+///
+/// ```
+/// use rubic_stm::Stm;
+/// use rubic_workloads::tmap::TMap;
+///
+/// let stm = Stm::default();
+/// let m: TMap<u64, u64> = TMap::new();
+/// stm.atomically(|tx| m.insert(tx, 7, 70));
+/// let v = stm.atomically(|tx| m.get(tx, &7));
+/// assert_eq!(v, Some(70));
+/// ```
+pub struct TMap<K: TKey, V: TxValue> {
+    cell: TVar<PMap<K, V>>,
+}
+
+impl<K: TKey, V: TxValue> TMap<K, V> {
+    /// Creates an empty transactional map.
+    #[must_use]
+    pub fn new() -> Self {
+        TMap {
+            cell: TVar::new(PMap::new()),
+        }
+    }
+
+    /// Looks up `key` within `tx`.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn get(&self, tx: &mut Transaction, key: &K) -> TxResult<Option<V>> {
+        tx.read_with(&self.cell, |m| m.get(key).cloned())
+    }
+
+    /// Membership test within `tx`.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn contains(&self, tx: &mut Transaction, key: &K) -> TxResult<bool> {
+        tx.read_with(&self.cell, |m| m.contains(key))
+    }
+
+    /// Inserts `key → value`; returns the previous value if present.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn insert(&self, tx: &mut Transaction, key: K, value: V) -> TxResult<Option<V>> {
+        let snap = tx.read(&self.cell)?;
+        let (next, old) = snap.insert(key, value);
+        tx.write(&self.cell, next)?;
+        Ok(old)
+    }
+
+    /// Removes `key`; returns the removed value if present.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn remove(&self, tx: &mut Transaction, key: &K) -> TxResult<Option<V>> {
+        let snap = tx.read(&self.cell)?;
+        if !snap.contains(key) {
+            // Avoid a write (and the W/W serialisation it implies) for
+            // no-op removals — a big deal for delete-heavy mixes on
+            // sparse key ranges.
+            return Ok(None);
+        }
+        let (next, old) = snap.remove(key);
+        tx.write(&self.cell, next)?;
+        Ok(old)
+    }
+
+    /// Reads `key`, applies `f`, writes the result back; inserts
+    /// `default` first when absent. Returns the new value.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn update_or(
+        &self,
+        tx: &mut Transaction,
+        key: K,
+        default: V,
+        f: impl FnOnce(&V) -> V,
+    ) -> TxResult<V> {
+        let snap = tx.read(&self.cell)?;
+        let new_value = match snap.get(&key) {
+            Some(v) => f(v),
+            None => default,
+        };
+        let (next, _) = snap.insert(key, new_value.clone());
+        tx.write(&self.cell, next)?;
+        Ok(new_value)
+    }
+
+    /// Number of entries within `tx`.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn len(&self, tx: &mut Transaction) -> TxResult<usize> {
+        tx.read_with(&self.cell, PMap::len)
+    }
+
+    /// True when empty within `tx`.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn is_empty(&self, tx: &mut Transaction) -> TxResult<bool> {
+        tx.read_with(&self.cell, PMap::is_empty)
+    }
+
+    /// Non-transactional consistent snapshot (monitoring/inspection).
+    #[must_use]
+    pub fn snapshot(&self) -> PMap<K, V> {
+        self.cell.snapshot()
+    }
+
+    /// The map's persistent snapshot as observed by `tx` — for bulk
+    /// reads (iteration, aggregation) that must be consistent with the
+    /// rest of the transaction.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn read_snapshot(&self, tx: &mut Transaction) -> TxResult<PMap<K, V>> {
+        tx.read(&self.cell)
+    }
+}
+
+impl<K: TKey, V: TxValue> Default for TMap<K, V> {
+    fn default() -> Self {
+        TMap::new()
+    }
+}
+
+impl<K: TKey, V: TxValue> Clone for TMap<K, V> {
+    /// Clones the *handle*: both handles address the same transactional
+    /// map.
+    fn clone(&self) -> Self {
+        TMap {
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubic_stm::Stm;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove() {
+        let stm = Stm::default();
+        let m: TMap<u32, String> = TMap::new();
+        assert_eq!(stm.atomically(|tx| m.insert(tx, 1, "one".into())), None);
+        assert_eq!(
+            stm.atomically(|tx| m.insert(tx, 1, "uno".into())),
+            Some("one".to_string())
+        );
+        assert_eq!(stm.atomically(|tx| m.get(tx, &1)), Some("uno".to_string()));
+        assert_eq!(
+            stm.atomically(|tx| m.remove(tx, &1)),
+            Some("uno".to_string())
+        );
+        assert_eq!(stm.atomically(|tx| m.get(tx, &1)), None);
+    }
+
+    #[test]
+    fn remove_missing_avoids_write() {
+        let stm = Stm::default();
+        let m: TMap<u32, u32> = TMap::new();
+        stm.atomically(|tx| m.insert(tx, 1, 1));
+        let writes_before = stm.stats().writes();
+        assert_eq!(stm.atomically(|tx| m.remove(tx, &99)), None);
+        assert_eq!(
+            stm.stats().writes(),
+            writes_before,
+            "no-op removal must not write"
+        );
+    }
+
+    #[test]
+    fn update_or_inserts_then_updates() {
+        let stm = Stm::default();
+        let m: TMap<u32, u64> = TMap::new();
+        assert_eq!(stm.atomically(|tx| m.update_or(tx, 5, 1, |v| v + 1)), 1);
+        assert_eq!(stm.atomically(|tx| m.update_or(tx, 5, 1, |v| v + 1)), 2);
+        assert_eq!(stm.atomically(|tx| m.get(tx, &5)), Some(2));
+    }
+
+    #[test]
+    fn multi_map_transaction_is_atomic() {
+        let stm = Stm::default();
+        let a: TMap<u32, u32> = TMap::new();
+        let b: TMap<u32, u32> = TMap::new();
+        stm.atomically(|tx| {
+            a.insert(tx, 1, 10)?;
+            b.insert(tx, 1, 20)?;
+            Ok(())
+        });
+        let (va, vb) = stm.atomically(|tx| Ok((a.get(tx, &1)?, b.get(tx, &1)?)));
+        assert_eq!((va, vb), (Some(10), Some(20)));
+    }
+
+    #[test]
+    fn concurrent_disjoint_key_inserts_all_land() {
+        let stm = Stm::default();
+        let m: Arc<TMap<u64, u64>> = Arc::new(TMap::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let stm = stm.clone();
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let key = t * 1000 + i;
+                        stm.atomically(|tx| m.insert(tx, key, key));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 400);
+        snap.check_invariants().expect("rb invariants");
+    }
+
+    #[test]
+    fn snapshot_len_matches_tx_len() {
+        let stm = Stm::default();
+        let m: TMap<u8, u8> = TMap::new();
+        for k in 0..50 {
+            stm.atomically(|tx| m.insert(tx, k, k));
+        }
+        assert_eq!(m.snapshot().len(), 50);
+        assert_eq!(stm.atomically(|tx| m.len(tx)), 50);
+        assert!(!stm.atomically(|tx| m.is_empty(tx)));
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let stm = Stm::default();
+        let a: TMap<u8, u8> = TMap::new();
+        let b = a.clone();
+        stm.atomically(|tx| a.insert(tx, 1, 1));
+        assert_eq!(stm.atomically(|tx| b.get(tx, &1)), Some(1));
+    }
+}

@@ -1,0 +1,605 @@
+//! Vacation — a port of the STAMP travel-reservation benchmark
+//! (Minh et al., IISWC '08), one of the two STAMP applications in the
+//! paper's evaluation (§4.4).
+//!
+//! The system emulates an online travel agency: four relation tables —
+//! **cars**, **flights**, **rooms** (id → availability/price records)
+//! and **customers** (id → held reservations) — updated by client
+//! sessions. Each task is one client session, a single transaction of
+//! one of three kinds (STAMP's action mix):
+//!
+//! * **Make reservation** (`user_pct`%): query `queries_per_task` random
+//!   items, remember the highest-priced available item of each resource
+//!   type, then reserve those for a random customer (creating the
+//!   customer record on demand).
+//! * **Delete customer** (half the remainder): bill a random customer —
+//!   sum the prices of their reservations, release each one, and remove
+//!   the record.
+//! * **Update tables** (other half): `queries_per_task` random
+//!   add-or-remove operations on item availability/prices.
+//!
+//! STAMP's canonical "low contention" parameters (`vacation-low`:
+//! `-n2 -q90 -u98`) and "high contention" (`vacation-high`:
+//! `-n4 -q60 -u90`) are provided as presets; the paper's Fig. 6 places
+//! Vacation in the middle of the scalability spectrum.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rubic_runtime::Workload;
+use rubic_stm::{Stm, Transaction, TxResult};
+
+use crate::tmap::TMap;
+
+/// One of the three reservable resource types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Rental cars.
+    Car,
+    /// Flight seats.
+    Flight,
+    /// Hotel rooms.
+    Room,
+}
+
+impl ResourceKind {
+    const ALL: [ResourceKind; 3] = [ResourceKind::Car, ResourceKind::Flight, ResourceKind::Room];
+}
+
+/// Availability record for one reservable item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Total units (e.g. seats).
+    pub total: u32,
+    /// Units currently reserved.
+    pub used: u32,
+    /// Price per unit.
+    pub price: u64,
+}
+
+impl Resource {
+    /// Units still available.
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        self.total - self.used
+    }
+}
+
+/// A customer's held reservation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Booking {
+    /// Resource type.
+    pub kind: ResourceKind,
+    /// Item id within that type's table.
+    pub id: u64,
+    /// Price paid.
+    pub price: u64,
+}
+
+/// A customer record: the list of reservations they hold.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Customer {
+    /// Held reservations.
+    pub bookings: Vec<Booking>,
+}
+
+/// Benchmark parameters (STAMP flag names in brackets).
+#[derive(Debug, Clone, Copy)]
+pub struct VacationConfig {
+    /// Rows per relation table (`-r`).
+    pub relations: u64,
+    /// Queries per client session (`-n`).
+    pub queries_per_task: u32,
+    /// Percentage of the id space sessions may touch (`-q`).
+    pub query_range_pct: u32,
+    /// Percentage of sessions that are reservations (`-u`); the rest
+    /// split evenly between delete-customer and update-tables.
+    pub user_pct: u32,
+    /// RNG seed for population and worker streams.
+    pub seed: u64,
+}
+
+impl VacationConfig {
+    /// STAMP `vacation-low`: `-n2 -q90 -u98` (scaled-down tables by
+    /// default; pass your own `relations` for full size).
+    #[must_use]
+    pub fn low_contention(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            queries_per_task: 2,
+            query_range_pct: 90,
+            user_pct: 98,
+            seed: 0x5EED_0003,
+        }
+    }
+
+    /// STAMP `vacation-high`: `-n4 -q60 -u90`.
+    #[must_use]
+    pub fn high_contention(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            queries_per_task: 4,
+            query_range_pct: 60,
+            user_pct: 90,
+            seed: 0x5EED_0004,
+        }
+    }
+}
+
+/// The reservation-system state: STAMP's `manager_t`.
+pub struct Manager {
+    cars: TMap<u64, Resource>,
+    flights: TMap<u64, Resource>,
+    rooms: TMap<u64, Resource>,
+    customers: TMap<u64, Customer>,
+}
+
+impl Manager {
+    /// Creates empty tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Manager {
+            cars: TMap::new(),
+            flights: TMap::new(),
+            rooms: TMap::new(),
+            customers: TMap::new(),
+        }
+    }
+
+    fn table(&self, kind: ResourceKind) -> &TMap<u64, Resource> {
+        match kind {
+            ResourceKind::Car => &self.cars,
+            ResourceKind::Flight => &self.flights,
+            ResourceKind::Room => &self.rooms,
+        }
+    }
+
+    /// Adds `units` of item `id` at `price` (creating the row on
+    /// demand) — STAMP's `manager_add*`.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn add_resource(
+        &self,
+        tx: &mut Transaction,
+        kind: ResourceKind,
+        id: u64,
+        units: u32,
+        price: u64,
+    ) -> TxResult<()> {
+        let table = self.table(kind);
+        let updated = match table.get(tx, &id)? {
+            Some(r) => Resource {
+                total: r.total + units,
+                used: r.used,
+                price,
+            },
+            None => Resource {
+                total: units,
+                used: 0,
+                price,
+            },
+        };
+        table.insert(tx, id, updated)?;
+        Ok(())
+    }
+
+    /// Retires up to `units` unreserved units of item `id`; removes the
+    /// row if it empties — STAMP's `manager_delete*`. Returns whether
+    /// anything was retired.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn retire_resource(
+        &self,
+        tx: &mut Transaction,
+        kind: ResourceKind,
+        id: u64,
+        units: u32,
+    ) -> TxResult<bool> {
+        let table = self.table(kind);
+        let Some(r) = table.get(tx, &id)? else {
+            return Ok(false);
+        };
+        let removable = units.min(r.free());
+        if removable == 0 {
+            return Ok(false);
+        }
+        let total = r.total - removable;
+        if total == 0 {
+            table.remove(tx, &id)?;
+        } else {
+            table.insert(
+                tx,
+                id,
+                Resource {
+                    total,
+                    used: r.used,
+                    price: r.price,
+                },
+            )?;
+        }
+        Ok(true)
+    }
+
+    /// Item price, if the row exists.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn query(
+        &self,
+        tx: &mut Transaction,
+        kind: ResourceKind,
+        id: u64,
+    ) -> TxResult<Option<Resource>> {
+        self.table(kind).get(tx, &id)
+    }
+
+    /// Reserves one unit of item `id` for `customer`, creating the
+    /// customer record on demand. Returns `false` (without changing
+    /// anything) when the item is missing or fully booked.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn reserve(
+        &self,
+        tx: &mut Transaction,
+        kind: ResourceKind,
+        customer: u64,
+        id: u64,
+    ) -> TxResult<bool> {
+        let table = self.table(kind);
+        let Some(r) = table.get(tx, &id)? else {
+            return Ok(false);
+        };
+        if r.free() == 0 {
+            return Ok(false);
+        }
+        table.insert(
+            tx,
+            id,
+            Resource {
+                total: r.total,
+                used: r.used + 1,
+                price: r.price,
+            },
+        )?;
+        let mut record = self.customers.get(tx, &customer)?.unwrap_or_default();
+        record.bookings.push(Booking {
+            kind,
+            id,
+            price: r.price,
+        });
+        self.customers.insert(tx, customer, record)?;
+        Ok(true)
+    }
+
+    /// Bills and removes `customer`, releasing every reservation they
+    /// hold. Returns the bill, or `None` if the customer is unknown.
+    ///
+    /// # Errors
+    /// Propagates transactional conflicts.
+    pub fn delete_customer(&self, tx: &mut Transaction, customer: u64) -> TxResult<Option<u64>> {
+        let Some(record) = self.customers.get(tx, &customer)? else {
+            return Ok(None);
+        };
+        let mut bill = 0u64;
+        for booking in &record.bookings {
+            bill += booking.price;
+            let table = self.table(booking.kind);
+            if let Some(r) = table.get(tx, &booking.id)? {
+                table.insert(
+                    tx,
+                    booking.id,
+                    Resource {
+                        total: r.total,
+                        used: r.used.saturating_sub(1),
+                        price: r.price,
+                    },
+                )?;
+            }
+        }
+        self.customers.remove(tx, &customer)?;
+        Ok(Some(bill))
+    }
+
+    /// Sum of reserved units across the three resource tables, read in
+    /// one consistent transaction.
+    #[must_use]
+    pub fn total_reserved_units(&self, stm: &Stm) -> u64 {
+        stm.atomically(|tx| {
+            let mut sum = 0u64;
+            for kind in ResourceKind::ALL {
+                let snap = self.table(kind).read_snapshot(tx)?;
+                for (_, r) in snap.entries() {
+                    sum += u64::from(r.used);
+                }
+            }
+            Ok(sum)
+        })
+    }
+
+    /// Sum of bookings held by all customers (inspection).
+    #[must_use]
+    pub fn total_customer_bookings(&self) -> u64 {
+        self.customers
+            .snapshot()
+            .entries()
+            .iter()
+            .map(|(_, c)| c.bookings.len() as u64)
+            .sum()
+    }
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Manager::new()
+    }
+}
+
+/// The Vacation workload: a populated [`Manager`] plus the client-session
+/// task generator.
+pub struct VacationWorkload {
+    manager: Manager,
+    cfg: VacationConfig,
+    stm: Stm,
+}
+
+impl VacationWorkload {
+    /// Populates the four tables: every relation row gets 100–500 units
+    /// at a random price (STAMP's initialisation), customers start
+    /// empty.
+    #[must_use]
+    pub fn new(cfg: VacationConfig, stm: Stm) -> Self {
+        let manager = Manager::new();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        for id in 0..cfg.relations {
+            for kind in ResourceKind::ALL {
+                let units = rng.gen_range(1..=5) * 100;
+                let price = rng.gen_range(1..=5) * 10 + 50;
+                stm.atomically(|tx| manager.add_resource(tx, kind, id, units, price));
+            }
+        }
+        VacationWorkload { manager, cfg, stm }
+    }
+
+    /// The reservation manager (inspection).
+    #[must_use]
+    pub fn manager(&self) -> &Manager {
+        &self.manager
+    }
+
+    /// The STM runtime.
+    #[must_use]
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    fn query_range(&self) -> u64 {
+        (self.cfg.relations * u64::from(self.cfg.query_range_pct) / 100).max(1)
+    }
+
+    fn session_make_reservation(&self, rng: &mut SmallRng) {
+        let range = self.query_range();
+        let customer = rng.gen_range(0..range);
+        // Collect the queries up front (STAMP builds the query arrays
+        // before the transaction).
+        let queries: Vec<(ResourceKind, u64)> = (0..self.cfg.queries_per_task)
+            .map(|_| {
+                (
+                    ResourceKind::ALL[rng.gen_range(0..3)],
+                    rng.gen_range(0..range),
+                )
+            })
+            .collect();
+        self.stm.atomically(|tx| {
+            // Highest-priced available item per type (STAMP semantics).
+            let mut best: [Option<(u64, u64)>; 3] = [None, None, None];
+            for &(kind, id) in &queries {
+                if let Some(r) = self.manager.query(tx, kind, id)? {
+                    if r.free() > 0 {
+                        let slot = &mut best[kind as usize];
+                        if slot.is_none_or(|(_, price)| r.price > price) {
+                            *slot = Some((id, r.price));
+                        }
+                    }
+                }
+            }
+            for kind in ResourceKind::ALL {
+                if let Some((id, _)) = best[kind as usize] {
+                    self.manager.reserve(tx, kind, customer, id)?;
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn session_delete_customer(&self, rng: &mut SmallRng) {
+        let customer = rng.gen_range(0..self.query_range());
+        self.stm
+            .atomically(|tx| self.manager.delete_customer(tx, customer));
+    }
+
+    fn session_update_tables(&self, rng: &mut SmallRng) {
+        let ops: Vec<(ResourceKind, u64, bool, u64)> = (0..self.cfg.queries_per_task)
+            .map(|_| {
+                (
+                    ResourceKind::ALL[rng.gen_range(0..3)],
+                    rng.gen_range(0..self.cfg.relations),
+                    rng.gen_bool(0.5),
+                    rng.gen_range(1..=5) * 10 + 50,
+                )
+            })
+            .collect();
+        self.stm.atomically(|tx| {
+            for &(kind, id, add, price) in &ops {
+                if add {
+                    self.manager.add_resource(tx, kind, id, 100, price)?;
+                } else {
+                    self.manager.retire_resource(tx, kind, id, 100)?;
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Per-worker state for Vacation.
+pub struct VacationWorkerState {
+    rng: SmallRng,
+}
+
+impl Workload for VacationWorkload {
+    type WorkerState = VacationWorkerState;
+
+    fn init_worker(&self, tid: usize) -> VacationWorkerState {
+        VacationWorkerState {
+            rng: SmallRng::seed_from_u64(
+                self.cfg.seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+            ),
+        }
+    }
+
+    fn run_task(&self, state: &mut VacationWorkerState) {
+        let dice = state.rng.gen_range(0..100);
+        if dice < self.cfg.user_pct {
+            self.session_make_reservation(&mut state.rng);
+        } else if dice < self.cfg.user_pct + (100 - self.cfg.user_pct) / 2 {
+            self.session_delete_customer(&mut state.rng);
+        } else {
+            self.session_update_tables(&mut state.rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VacationConfig {
+        VacationConfig {
+            relations: 64,
+            ..VacationConfig::low_contention(64)
+        }
+    }
+
+    #[test]
+    fn population_fills_tables() {
+        let w = VacationWorkload::new(small(), Stm::default());
+        for kind in ResourceKind::ALL {
+            assert_eq!(w.manager().table(kind).snapshot().len(), 64);
+        }
+        assert_eq!(w.manager().customers.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn reserve_and_delete_customer_roundtrip() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        stm.atomically(|tx| m.add_resource(tx, ResourceKind::Car, 1, 10, 99));
+        let ok = stm.atomically(|tx| m.reserve(tx, ResourceKind::Car, 7, 1));
+        assert!(ok);
+        let r = stm
+            .atomically(|tx| m.query(tx, ResourceKind::Car, 1))
+            .unwrap();
+        assert_eq!(r.used, 1);
+        let bill = stm.atomically(|tx| m.delete_customer(tx, 7));
+        assert_eq!(bill, Some(99));
+        let r = stm
+            .atomically(|tx| m.query(tx, ResourceKind::Car, 1))
+            .unwrap();
+        assert_eq!(r.used, 0, "deleting the customer releases the unit");
+    }
+
+    #[test]
+    fn reserve_fails_when_full() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        stm.atomically(|tx| m.add_resource(tx, ResourceKind::Room, 2, 1, 50));
+        assert!(stm.atomically(|tx| m.reserve(tx, ResourceKind::Room, 1, 2)));
+        assert!(!stm.atomically(|tx| m.reserve(tx, ResourceKind::Room, 2, 2)));
+    }
+
+    #[test]
+    fn reserve_missing_item_fails() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        assert!(!stm.atomically(|tx| m.reserve(tx, ResourceKind::Flight, 1, 42)));
+    }
+
+    #[test]
+    fn retire_respects_reservations() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        stm.atomically(|tx| m.add_resource(tx, ResourceKind::Car, 1, 100, 10));
+        assert!(stm.atomically(|tx| m.reserve(tx, ResourceKind::Car, 1, 1)));
+        // 99 free; retiring 100 only retires 99.
+        assert!(stm.atomically(|tx| m.retire_resource(tx, ResourceKind::Car, 1, 100)));
+        let r = stm
+            .atomically(|tx| m.query(tx, ResourceKind::Car, 1))
+            .unwrap();
+        assert_eq!(r.total, 1);
+        assert_eq!(r.used, 1);
+        assert_eq!(r.free(), 0);
+        // Nothing free: retiring again is a no-op.
+        assert!(!stm.atomically(|tx| m.retire_resource(tx, ResourceKind::Car, 1, 1)));
+    }
+
+    #[test]
+    fn retire_to_zero_removes_row() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        stm.atomically(|tx| m.add_resource(tx, ResourceKind::Room, 3, 100, 10));
+        assert!(stm.atomically(|tx| m.retire_resource(tx, ResourceKind::Room, 3, 100)));
+        assert_eq!(
+            stm.atomically(|tx| m.query(tx, ResourceKind::Room, 3)),
+            None
+        );
+    }
+
+    #[test]
+    fn delete_unknown_customer_is_none() {
+        let stm = Stm::default();
+        let m = Manager::new();
+        assert_eq!(stm.atomically(|tx| m.delete_customer(tx, 12345)), None);
+    }
+
+    #[test]
+    fn bookkeeping_invariant_used_equals_bookings() {
+        // After any mix of sessions, units marked used in the tables
+        // must equal bookings held by customers.
+        let stm = Stm::default();
+        let w = VacationWorkload::new(small(), stm);
+        let mut state = w.init_worker(0);
+        for _ in 0..500 {
+            w.run_task(&mut state);
+        }
+        let used = w.manager().total_reserved_units(w.stm());
+        let held = w.manager().total_customer_bookings();
+        assert_eq!(used, held, "reservation ledger out of balance");
+    }
+
+    #[test]
+    fn sessions_commit() {
+        let w = VacationWorkload::new(small(), Stm::default());
+        let before = w.stm().stats().commits();
+        let mut state = w.init_worker(1);
+        for _ in 0..50 {
+            w.run_task(&mut state);
+        }
+        assert!(w.stm().stats().commits() >= before + 50);
+    }
+
+    #[test]
+    fn presets_match_stamp_flags() {
+        let low = VacationConfig::low_contention(1000);
+        assert_eq!(
+            (low.queries_per_task, low.query_range_pct, low.user_pct),
+            (2, 90, 98)
+        );
+        let high = VacationConfig::high_contention(1000);
+        assert_eq!(
+            (high.queries_per_task, high.query_range_pct, high.user_pct),
+            (4, 60, 90)
+        );
+    }
+}

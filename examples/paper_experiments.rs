@@ -1,0 +1,87 @@
+//! Reproduce the paper's simulated evaluation interactively.
+//!
+//! ```text
+//! cargo run --release --example paper_experiments
+//! ```
+//!
+//! Runs a condensed version of Section 4's evaluation on the
+//! 64-context machine model: the three pairwise co-location
+//! experiments for all five policies (Fig. 7), and the §4.6
+//! convergence scenario (Fig. 10) with an ASCII rendering of the level
+//! traces. The full-resolution regenerators (50 repetitions, CSV
+//! output) live in the `figures` binary of `rubic-bench`; this example
+//! shows how to drive the same machinery from the public API.
+
+use rubic::prelude::*;
+use rubic::sim::{pairwise_experiments, ProcessSpec, SimConfig};
+
+fn main() {
+    let reps = 10;
+    println!("=== Pairwise co-location (Fig. 7a), {reps} repetitions ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "Int/Vac", "Int/RBT", "Vac/RBT", "GeoAvg"
+    );
+    for policy in Policy::EVALUATED {
+        let outcomes = pairwise_experiments(policy, reps);
+        let nash: Vec<f64> = outcomes.iter().map(|(_, o)| o.nash.mean()).collect();
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            policy.label(),
+            nash[0],
+            nash[1],
+            nash[2],
+            geometric_mean(&nash)
+        );
+    }
+    println!("(higher is better: the Nash product of the two processes' speed-ups)");
+
+    println!("\n=== Convergence after a late arrival (Fig. 10) ===");
+    println!("Two conflict-free processes; P2 arrives at t = 5s; fair split = 32/32.\n");
+    for policy in [Policy::F2c2, Policy::Ebs, Policy::Rubic] {
+        let specs = [
+            ProcessSpec::new("P1", curves::rbt_readonly(), policy),
+            ProcessSpec::new("P2", curves::rbt_readonly(), policy).arrives_at(500),
+        ];
+        let cfg = SimConfig::paper(2).with_noise(0.02, 2016);
+        let result = rubic::sim::run(&specs, &cfg);
+        let p1 = &result.processes[0].trace;
+        let p2 = &result.processes[1].trace;
+        println!("--- {} ---", policy.label());
+        // One sample every 500 ms, drawn as bars scaled to 64 = 32 chars.
+        println!("      t     P1  P2   (each # = 4 threads; | marks 64)");
+        for round in (0..1000).step_by(50) {
+            let l1 = p1
+                .points()
+                .iter()
+                .find(|p| p.round == round)
+                .map_or(0, |p| p.level);
+            let l2 = p2
+                .points()
+                .iter()
+                .find(|p| p.round == round)
+                .map_or(0, |p| p.level);
+            let bar = |l: u32| {
+                let n = (l as usize).div_ceil(4);
+                let mut s = "#".repeat(n.min(16));
+                if l > 64 {
+                    s.push('!');
+                }
+                s
+            };
+            println!(
+                "  {:>5}ms {:>3} {:>3}  P1 {:<17} P2 {}",
+                round * 10,
+                l1,
+                l2,
+                bar(l1),
+                bar(l2)
+            );
+        }
+        println!(
+            "  post-arrival means (8-10s): P1 {:.1}, P2 {:.1}\n",
+            p1.mean_level_in(800, 1000),
+            p2.mean_level_in(800, 1000)
+        );
+    }
+}

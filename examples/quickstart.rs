@@ -1,0 +1,52 @@
+//! Quickstart: tune a transactional workload's thread count online with
+//! RUBIC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's red-black-tree micro-benchmark (98% look-ups) on
+//! the bundled STM, wraps it in a malleable thread pool, and lets the
+//! RUBIC controller pick the parallelism level every 10 ms. At the end
+//! it prints the level trace the controller produced and the commit
+//! statistics of the underlying STM.
+
+use std::time::Duration;
+
+use rubic::prelude::*;
+
+fn main() {
+    // 1. A software-transactional-memory runtime and a shared workload:
+    //    a 512-element red-black tree hit with 98% look-ups / 2% updates.
+    let stm = Stm::default();
+    let workload = RbTreeWorkload::new(RbTreeConfig::small(), stm.clone());
+
+    // 2. A tenant: a pool of workers whose *active* count is retuned by
+    //    the RUBIC controller from the pool's own task commit-rate.
+    let pool_size = std::thread::available_parallelism().map_or(4, |n| n.get() as u32) * 2;
+    let spec = TenantSpec::new("rbtree-demo", pool_size, Policy::Rubic)
+        .monitor_period(Duration::from_millis(10));
+
+    println!("running {pool_size}-worker pool under RUBIC for 2 seconds...");
+    let report = run_tenant(Tenant::new(spec, workload), Duration::from_secs(2));
+
+    // 3. What happened.
+    println!("\ntasks completed : {}", report.report.total_tasks);
+    println!("mean throughput : {:.0} tasks/s", report.throughput());
+    println!(
+        "mean level      : {:.1} active threads",
+        report.mean_level()
+    );
+    println!(
+        "stm commits     : {} ({} aborts, abort rate {:.1}%)",
+        stm.stats().commits(),
+        stm.stats().aborts(),
+        stm.stats().abort_rate() * 100.0
+    );
+
+    println!("\nlevel trace (one line per 100 ms):");
+    for chunk in report.report.trace.points().chunks(10) {
+        let levels: Vec<String> = chunk.iter().map(|p| format!("{:>3}", p.level)).collect();
+        println!("  t={:>4}ms  {}", chunk[0].round * 10, levels.join(" "));
+    }
+}

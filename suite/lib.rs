@@ -1,0 +1,4 @@
+//! `rubic-suite` hosts the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). The library itself only re-exports the
+//! `rubic` facade so examples and tests share one import path.
+pub use rubic::*;

@@ -1,0 +1,154 @@
+//! Property-based tests for the controllers: safety invariants that
+//! must hold for *any* throughput feedback sequence, plus cubic-growth
+//! function laws.
+
+use proptest::prelude::*;
+use rubic::prelude::*;
+use rubic_controllers::cubic_level;
+
+fn any_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Rubic),
+        Just(Policy::Ebs),
+        Just(Policy::F2c2),
+        Just(Policy::Aimd),
+        Just(Policy::Cimd),
+        Just(Policy::Greedy),
+        Just(Policy::EqualShare),
+        (1u32..256).prop_map(Policy::Fixed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every policy keeps the level in `[1, pool_size]` for arbitrary
+    /// (even adversarial) throughput sequences.
+    #[test]
+    fn levels_always_in_bounds(
+        policy in any_policy(),
+        pool in 1u32..256,
+        throughputs in proptest::collection::vec(0.0f64..1e9, 1..300),
+    ) {
+        let cfg = PolicyConfig {
+            pool_size: pool,
+            hw_contexts: 64,
+            ..PolicyConfig::paper(2)
+        };
+        let mut ctl = policy.build(&cfg);
+        let mut level = 1u32;
+        for (round, &thr) in throughputs.iter().enumerate() {
+            level = ctl.decide(Sample { throughput: thr, level, round: round as u64 });
+            prop_assert!(level >= 1, "{}: level 0", ctl.name());
+            prop_assert!(level <= pool, "{}: level {} > pool {}", ctl.name(), level, pool);
+        }
+    }
+
+    /// `reset()` makes a controller behave exactly like a fresh one.
+    #[test]
+    fn reset_equals_fresh(
+        policy in any_policy(),
+        warmup in proptest::collection::vec(0.0f64..1e6, 1..100),
+        probe in proptest::collection::vec(0.0f64..1e6, 1..50),
+    ) {
+        let cfg = PolicyConfig::paper(2);
+        let mut used = policy.build(&cfg);
+        let mut level = 1u32;
+        for (round, &thr) in warmup.iter().enumerate() {
+            level = used.decide(Sample { throughput: thr, level, round: round as u64 });
+        }
+        used.reset();
+
+        let mut fresh = policy.build(&cfg);
+        let mut l_used = 1u32;
+        let mut l_fresh = 1u32;
+        for (round, &thr) in probe.iter().enumerate() {
+            l_used = used.decide(Sample { throughput: thr, level: l_used, round: round as u64 });
+            l_fresh = fresh.decide(Sample { throughput: thr, level: l_fresh, round: round as u64 });
+            prop_assert_eq!(l_used, l_fresh, "{} diverged after reset", used.name());
+        }
+    }
+
+    /// Monotonically improving throughput never makes any adaptive
+    /// policy decrease its level.
+    #[test]
+    fn improving_feedback_never_decreases(
+        policy in prop_oneof![
+            Just(Policy::Rubic), Just(Policy::Ebs),
+            Just(Policy::F2c2), Just(Policy::Aimd), Just(Policy::Cimd),
+        ],
+        steps in 2u64..100,
+    ) {
+        let cfg = PolicyConfig::paper(1);
+        let mut ctl = policy.build(&cfg);
+        let mut level = 1u32;
+        let mut prev_level = 1u32;
+        for round in 0..steps {
+            // Strictly improving throughput.
+            let thr = 1000.0 + round as f64;
+            level = ctl.decide(Sample { throughput: thr, level, round });
+            prop_assert!(
+                level >= prev_level,
+                "{} decreased {} -> {} on improving feedback",
+                ctl.name(), prev_level, level
+            );
+            prev_level = level;
+        }
+    }
+
+    /// Cubic function laws: monotone in Δt, plateau exactly at L_max
+    /// when Δt = K (TCP convention), and scale-covariant in L_max.
+    #[test]
+    fn cubic_function_laws(
+        l_max in 2.0f64..512.0,
+        alpha in 0.05f64..0.95,
+        beta in 0.01f64..2.0,
+        dt in 0.0f64..64.0,
+    ) {
+        let f = |t: f64| cubic_level(l_max, t, alpha, beta, CubicKConvention::TcpCubic);
+        // Monotone non-decreasing.
+        prop_assert!(f(dt + 0.5) >= f(dt) - 1e-9);
+        // Starts at alpha * L_max.
+        prop_assert!((f(0.0) - alpha * l_max).abs() < 1e-6 * l_max.max(1.0));
+        // Plateau: at dt = K the value equals L_max.
+        let k = (l_max * (1.0 - alpha) / beta).cbrt();
+        prop_assert!((f(k) - l_max).abs() < 1e-6 * l_max);
+    }
+
+    /// Policy parse/label round-trips for all evaluated policies.
+    #[test]
+    fn policy_parse_roundtrip(policy in any_policy()) {
+        if let Policy::Fixed(n) = policy {
+            prop_assert_eq!(Policy::parse(&format!("fixed:{n}")), Some(policy));
+        } else {
+            prop_assert_eq!(Policy::parse(policy.label()), Some(policy));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// RUBIC settles near the knee of any well-formed unimodal curve:
+    /// generic convergence, not just the 64-thread special case.
+    #[test]
+    fn rubic_settles_near_any_knee(peak in 6u32..100) {
+        let mut ctl = Rubic::new(RubicConfig::default(), 256);
+        let peak_f = f64::from(peak);
+        let mut level = 1u32;
+        let mut trace = Vec::new();
+        for round in 0..800u64 {
+            let l = f64::from(level);
+            let thr = if l <= peak_f { l } else { peak_f - 0.5 * (l - peak_f) };
+            level = ctl.decide(Sample { throughput: thr, level, round });
+            trace.push(level);
+        }
+        let tail = &trace[600..];
+        let mean: f64 = tail.iter().map(|&l| f64::from(l)).sum::<f64>() / tail.len() as f64;
+        prop_assert!(
+            (peak_f * 0.7..=peak_f * 1.45).contains(&mean),
+            "knee {}: settled at {:.1}",
+            peak, mean
+        );
+    }
+}

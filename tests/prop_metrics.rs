@@ -1,0 +1,137 @@
+//! Property-based tests for the metrics layer: algebraic laws of the
+//! fairness/efficiency functions and the streaming statistics.
+
+use proptest::prelude::*;
+use rubic::metrics::{
+    efficiency, geometric_mean, jain_index, nash_product, speedup, LevelTrace, Summary,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Nash product is permutation-invariant and multiplicative.
+    #[test]
+    fn nash_permutation_invariant(mut xs in proptest::collection::vec(0.01f64..100.0, 0..8)) {
+        let a = nash_product(&xs);
+        xs.reverse();
+        let b = nash_product(&xs);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    /// Jain index is bounded by [1/n, 1] for positive allocations and
+    /// scale-invariant.
+    #[test]
+    fn jain_bounds_and_scale(
+        xs in proptest::collection::vec(0.001f64..1000.0, 1..32),
+        scale in 0.01f64..100.0,
+    ) {
+        let j = jain_index(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j >= 1.0 / n - 1e-9, "below 1/n: {j}");
+        prop_assert!(j <= 1.0 + 1e-9, "above 1: {j}");
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-6);
+    }
+
+    /// AM-GM: the geometric mean never exceeds the arithmetic mean.
+    #[test]
+    fn am_gm_inequality(xs in proptest::collection::vec(0.001f64..1000.0, 1..32)) {
+        let g = geometric_mean(&xs);
+        let a = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!(g <= a + 1e-9 * a.max(1.0));
+    }
+
+    /// Speed-up and efficiency chain: E * L == S for positive inputs.
+    #[test]
+    fn efficiency_inverts_level(t_par in 0.1f64..1e6, t_seq in 0.1f64..1e6, level in 1.0f64..256.0) {
+        let s = speedup(t_par, t_seq);
+        let e = efficiency(s, level);
+        prop_assert!((e * level - s).abs() < 1e-9 * s.max(1.0));
+    }
+
+    /// Summary::merge is equivalent to a single-pass summary for any
+    /// split point (mean/variance/min/max).
+    #[test]
+    fn summary_merge_any_split(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let whole = Summary::from_slice(&xs);
+        let mut left = Summary::from_slice(&xs[..split]);
+        let right = Summary::from_slice(&xs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                < 1e-5 * whole.variance().abs().max(1.0)
+        );
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// The trace's mean level always lies between its min and max
+    /// recorded levels, and utilisation is their ratio to contexts.
+    #[test]
+    fn trace_mean_bounded(levels in proptest::collection::vec(1u32..256, 1..200)) {
+        let mut t = LevelTrace::new();
+        for (i, &l) in levels.iter().enumerate() {
+            t.push(i as u64, l, f64::from(l));
+        }
+        let mean = t.mean_level();
+        let lo = f64::from(*levels.iter().min().unwrap());
+        let hi = f64::from(*levels.iter().max().unwrap());
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert!((t.utilization(64) - mean / 64.0).abs() < 1e-12);
+    }
+
+    /// convergence_round: when it returns Some(r), every sample from r
+    /// on is inside the band; when None, the last sample is outside or
+    /// the trace ends outside the band at some suffix point.
+    #[test]
+    fn convergence_round_is_sound(
+        levels in proptest::collection::vec(1u32..100, 1..150),
+        target in 1.0f64..100.0,
+        tol in 0.0f64..20.0,
+    ) {
+        let mut t = LevelTrace::new();
+        for (i, &l) in levels.iter().enumerate() {
+            t.push(i as u64, l, 0.0);
+        }
+        match t.convergence_round(target, tol) {
+            Some(r) => {
+                for p in t.points().iter().filter(|p| p.round >= r) {
+                    prop_assert!(
+                        (f64::from(p.level) - target).abs() <= tol,
+                        "round {} escaped the band after convergence at {}",
+                        p.round, r
+                    );
+                }
+                // The sample just before r (if any) is outside the band.
+                if r > 0 {
+                    let prev = &t.points()[(r - 1) as usize];
+                    prop_assert!((f64::from(prev.level) - target).abs() > tol);
+                }
+            }
+            None => {
+                let last = t.points().last().unwrap();
+                prop_assert!(
+                    (f64::from(last.level) - target).abs() > tol,
+                    "trace ends in-band but convergence_round returned None"
+                );
+            }
+        }
+    }
+
+    /// total_work equals throughput sum times the round duration.
+    #[test]
+    fn total_work_linear(thrs in proptest::collection::vec(0.0f64..1e5, 1..100), dt in 0.001f64..1.0) {
+        let mut t = LevelTrace::new();
+        for (i, &x) in thrs.iter().enumerate() {
+            t.push(i as u64, 1, x);
+        }
+        let expected: f64 = thrs.iter().sum::<f64>() * dt;
+        prop_assert!((t.total_work(dt) - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+}

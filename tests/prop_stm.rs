@@ -1,0 +1,170 @@
+//! Property-based tests for the STM: sequential equivalence against a
+//! plain model, atomicity of arbitrary multi-variable updates, and
+//! snapshot-consistency invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rubic::prelude::*;
+
+#[derive(Debug, Clone)]
+enum TxOp {
+    Read(usize),
+    Write(usize, i64),
+    Add(usize, i64),
+}
+
+fn tx_op(n_vars: usize) -> impl Strategy<Value = TxOp> {
+    prop_oneof![
+        (0..n_vars).prop_map(TxOp::Read),
+        (0..n_vars, -100i64..100).prop_map(|(i, v)| TxOp::Write(i, v)),
+        (0..n_vars, -100i64..100).prop_map(|(i, v)| TxOp::Add(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single-threaded sequence of transactions over TVars behaves
+    /// exactly like the same operations on a plain array.
+    #[test]
+    fn sequential_equivalence(
+        txs in proptest::collection::vec(
+            proptest::collection::vec(tx_op(8), 1..12),
+            1..40,
+        ),
+    ) {
+        let stm = Stm::default();
+        let vars: Vec<TVar<i64>> = (0..8).map(|_| TVar::new(0)).collect();
+        let mut model = [0i64; 8];
+        for ops in txs {
+            // Run the whole op list as ONE transaction against the STM
+            // and as direct updates against the model.
+            stm.atomically(|tx| {
+                for op in &ops {
+                    match *op {
+                        TxOp::Read(i) => {
+                            let _ = tx.read(&vars[i])?;
+                        }
+                        TxOp::Write(i, v) => tx.write(&vars[i], v)?,
+                        TxOp::Add(i, v) => tx.modify(&vars[i], |x| x + v)?,
+                    }
+                }
+                Ok(())
+            });
+            for op in &ops {
+                match *op {
+                    TxOp::Read(_) => {}
+                    TxOp::Write(i, v) => model[i] = v,
+                    TxOp::Add(i, v) => model[i] += v,
+                }
+            }
+            for (var, expected) in vars.iter().zip(&model) {
+                prop_assert_eq!(var.snapshot(), *expected);
+            }
+        }
+        prop_assert_eq!(stm.stats().aborts(), 0, "single thread must never abort");
+    }
+
+    /// Atomicity under concurrency: every transaction applies a
+    /// zero-sum delta vector, so the total is invariant no matter how
+    /// the schedules interleave.
+    #[test]
+    fn zero_sum_updates_preserve_total(
+        deltas in proptest::collection::vec((-50i64..50, 0usize..6, 0usize..6), 10..60),
+    ) {
+        let stm = Stm::default();
+        let vars: Arc<Vec<TVar<i64>>> = Arc::new((0..6).map(|_| TVar::new(1000)).collect());
+        let chunks: Vec<Vec<(i64, usize, usize)>> =
+            deltas.chunks(10).map(<[(i64, usize, usize)]>::to_vec).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let stm = stm.clone();
+                let vars = Arc::clone(&vars);
+                std::thread::spawn(move || {
+                    for (amount, from, to) in chunk {
+                        stm.atomically(|tx| {
+                            tx.modify(&vars[from], |x| x - amount)?;
+                            tx.modify(&vars[to], |x| x + amount)?;
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = vars.iter().map(TVar::snapshot).sum();
+        prop_assert_eq!(total, 6000);
+    }
+
+    /// Write-then-read inside one transaction always observes the
+    /// pending value, for arbitrary interleavings of ops.
+    #[test]
+    fn read_your_writes_always(ops in proptest::collection::vec((0usize..4, any::<i64>()), 1..30)) {
+        let stm = Stm::default();
+        let vars: Vec<TVar<i64>> = (0..4).map(|_| TVar::new(-1)).collect();
+        stm.atomically(|tx| {
+            let mut pending: [Option<i64>; 4] = [None; 4];
+            for &(i, v) in &ops {
+                tx.write(&vars[i], v)?;
+                pending[i] = Some(v);
+                for (j, p) in pending.iter().enumerate() {
+                    let seen = tx.read(&vars[j])?;
+                    let expected = p.unwrap_or(-1);
+                    if seen != expected {
+                        return Err(StmError::Conflict); // fail loudly via assert below
+                    }
+                }
+            }
+            Ok(())
+        });
+        // Reaching here means the closure committed on its first try
+        // (no other threads), so all read-your-writes checks passed.
+        prop_assert_eq!(stm.stats().commits(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TMap transactions compose with raw TVar operations atomically:
+    /// an index cell always matches the map's size.
+    #[test]
+    fn tmap_and_tvar_compose(keys in proptest::collection::vec(0u64..64, 1..60)) {
+        let stm = Stm::default();
+        let map: Arc<TMap<u64, u64>> = Arc::new(TMap::new());
+        let size_cell = Arc::new(TVar::new(0usize));
+        let handles: Vec<_> = keys
+            .chunks(15)
+            .map(|chunk| {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                let size_cell = Arc::clone(&size_cell);
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for k in chunk {
+                        stm.atomically(|tx| {
+                            let fresh = map.insert(tx, k, k)?.is_none();
+                            if fresh {
+                                tx.modify(&size_cell, |s| s + 1)?;
+                            }
+                            Ok(())
+                        });
+                        // Invariant visible to concurrent readers.
+                        let (len, cell) = stm.atomically(|tx| {
+                            Ok((map.len(tx)?, tx.read(&size_cell)?))
+                        });
+                        assert_eq!(len, cell, "size cell diverged from map");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(map.snapshot().len(), size_cell.snapshot());
+    }
+}

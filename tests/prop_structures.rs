@@ -1,0 +1,117 @@
+//! Property-based tests for the persistent data-structure substrates:
+//! the red-black-tree map against `BTreeMap`, the persistent queue
+//! against `VecDeque` — with structural invariants checked after every
+//! step.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use proptest::prelude::*;
+use rubic::workloads::pers::PMap;
+use rubic::workloads::pqueue::PQueue;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(i16, i32),
+    Remove(i16),
+    Get(i16),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<i16>(), any::<i32>()).prop_map(|(k, v)| MapOp::Insert(k % 200, v)),
+        any::<i16>().prop_map(|k| MapOp::Remove(k % 200)),
+        any::<i16>().prop_map(|k| MapOp::Get(k % 200)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The persistent map behaves exactly like BTreeMap and keeps its
+    /// red-black invariants after every operation.
+    #[test]
+    fn pmap_matches_btreemap(ops in proptest::collection::vec(map_op(), 1..400)) {
+        let mut model: BTreeMap<i16, i32> = BTreeMap::new();
+        let mut map: PMap<i16, i32> = PMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let expected = model.insert(k, v);
+                    let (next, got) = map.insert(k, v);
+                    prop_assert_eq!(got, expected);
+                    map = next;
+                }
+                MapOp::Remove(k) => {
+                    let expected = model.remove(&k);
+                    let (next, got) = map.remove(&k);
+                    prop_assert_eq!(got, expected);
+                    map = next;
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            if let Err(e) = map.check_invariants() {
+                prop_assert!(false, "invariant violated: {}", e);
+            }
+        }
+        let entries = map.entries();
+        let expected: Vec<(i16, i32)> = model.into_iter().collect();
+        prop_assert_eq!(entries, expected);
+    }
+
+    /// Persistence: mutating a derived version never changes the base.
+    #[test]
+    fn pmap_versions_are_immutable(
+        base_keys in proptest::collection::btree_set(0i16..100, 0..50),
+        extra in 100i16..200,
+    ) {
+        let mut base: PMap<i16, ()> = PMap::new();
+        for &k in &base_keys {
+            base = base.insert(k, ()).0;
+        }
+        let snapshot_entries = base.entries();
+        // Derive and mutate heavily.
+        let (mut derived, _) = base.insert(extra, ());
+        for &k in &base_keys {
+            derived = derived.remove(&k).0;
+        }
+        // The base is untouched.
+        prop_assert_eq!(base.entries(), snapshot_entries);
+        prop_assert_eq!(derived.len(), 1);
+    }
+
+    /// Min/max agree with the sorted entry list.
+    #[test]
+    fn pmap_min_max(keys in proptest::collection::btree_set(any::<i16>(), 1..64)) {
+        let mut map: PMap<i16, ()> = PMap::new();
+        for &k in &keys {
+            map = map.insert(k, ()).0;
+        }
+        prop_assert_eq!(map.min().map(|(k, ())| *k), keys.iter().next().copied());
+        prop_assert_eq!(map.max().map(|(k, ())| *k), keys.iter().next_back().copied());
+    }
+
+    /// The persistent queue is observationally a VecDeque.
+    #[test]
+    fn pqueue_matches_vecdeque(ops in proptest::collection::vec(any::<Option<u32>>(), 1..300)) {
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut q: PQueue<u32> = PQueue::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q = q.push(v);
+                    model.push_back(v);
+                }
+                None => {
+                    let (next, got) = q.pop();
+                    q = next;
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        prop_assert_eq!(q.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -23,9 +23,7 @@ pub fn scalability_sweeps(per_level: Duration, max_level: u32) -> Figure {
     let levels: Vec<u32> = (1..=max_level).collect();
     let mut f = Figure::new(
         "invivo-fig6",
-        format!(
-            "Measured throughput (tasks/s) at fixed levels 1..={max_level} on this host"
-        ),
+        format!("Measured throughput (tasks/s) at fixed levels 1..={max_level} on this host"),
         vec!["RBT".into(), "Vacation".into(), "Intruder".into()],
     );
 
@@ -34,7 +32,10 @@ pub fn scalability_sweeps(per_level: Duration, max_level: u32) -> Figure {
         VacationConfig::low_contention(256),
         Stm::default(),
     ));
-    let intr = Arc::new(IntruderWorkload::new(IntruderConfig::paper(), Stm::default()));
+    let intr = Arc::new(IntruderWorkload::new(
+        IntruderConfig::paper(),
+        Stm::default(),
+    ));
 
     let rbt_pts = scalability_sweep(rbt, &levels, per_level);
     let vac_pts = scalability_sweep(vac, &levels, per_level);
@@ -61,19 +62,15 @@ pub fn adaptive_runs(duration: Duration) -> Figure {
     let mut f = Figure::new(
         "invivo-adaptive",
         "Live tuned runs on the RBT workload (this host)",
-        vec![
-            "tasks/s".into(),
-            "mean level".into(),
-            "abort %".into(),
-        ],
+        vec!["tasks/s".into(), "mean level".into(), "abort %".into()],
     );
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
     let pool = (hw * 2).max(4);
     for policy in [Policy::Rubic, Policy::Ebs, Policy::F2c2, Policy::Greedy] {
         let stm = Stm::default();
         let workload = RbTreeWorkload::new(RbTreeConfig::small(), stm.clone());
-        let spec = TenantSpec::new(policy.label(), pool, policy)
-            .monitor_period(Duration::from_millis(10));
+        let spec =
+            TenantSpec::new(policy.label(), pool, policy).monitor_period(Duration::from_millis(10));
         let report = run_tenant(Tenant::new(spec, workload), duration);
         f.push_row(
             policy.label(),

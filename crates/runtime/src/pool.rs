@@ -42,6 +42,12 @@ pub struct PoolConfig {
     /// itself down once the budget is exhausted (the paper's
     /// "task queue drained, workers terminate" mode).
     pub task_budget: Option<u64>,
+    /// Livelock watchdog: after this many *consecutive* monitor rounds
+    /// with zero completed tasks (while workers are supposedly active),
+    /// the monitor emits a diagnostic and counts a stall warning in the
+    /// [`RunReport`]. An abort storm that commits nothing looks exactly
+    /// like this. Default 100 rounds (1 s at the paper's 10 ms period).
+    pub stall_rounds: u32,
     /// Label used in thread names and reports.
     pub name: String,
 }
@@ -56,6 +62,7 @@ impl PoolConfig {
             initial_level: 1,
             period: Duration::from_millis(10),
             task_budget: None,
+            stall_rounds: 100,
             name: "rubic-pool".to_string(),
         }
     }
@@ -81,6 +88,14 @@ impl PoolConfig {
         self
     }
 
+    /// Sets the livelock watchdog threshold (consecutive zero-progress
+    /// monitor rounds before a stall warning; minimum 1).
+    #[must_use]
+    pub fn stall_rounds(mut self, rounds: u32) -> Self {
+        self.stall_rounds = rounds.max(1);
+        self
+    }
+
     /// Names the pool (thread names, reports).
     #[must_use]
     pub fn name(mut self, name: impl Into<String>) -> Self {
@@ -103,6 +118,10 @@ struct Shared {
     /// Remaining task budget; negative means "exhausted, stop".
     /// `i64::MAX` when unbounded.
     budget: AtomicI64,
+    /// Tasks that panicked instead of completing (see `worker_loop`).
+    panics: AtomicU64,
+    /// Stall warnings raised by the monitor's livelock watchdog.
+    stalls: AtomicU64,
 }
 
 impl Shared {
@@ -118,6 +137,8 @@ impl Shared {
                 cfg.task_budget
                     .map_or(i64::MAX, |b| i64::try_from(b).unwrap_or(i64::MAX)),
             ),
+            panics: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
         }
     }
 
@@ -177,9 +198,10 @@ impl MalleablePool {
         let monitor = {
             let shared = Arc::clone(&shared);
             let period = cfg.period;
+            let stall_rounds = cfg.stall_rounds.max(1);
             std::thread::Builder::new()
                 .name(format!("{}-monitor", cfg.name))
-                .spawn(move || monitor_loop(&shared, period, controller))
+                .spawn(move || monitor_loop(&shared, period, stall_rounds, controller))
                 .expect("failed to spawn monitor thread")
         };
 
@@ -223,6 +245,11 @@ impl MalleablePool {
     /// Stops the pool, joins all threads, and reports the run.
     #[must_use]
     pub fn stop(mut self) -> RunReport {
+        // Capture the duration at the moment shutdown is *initiated*:
+        // joining can take up to a park-timeout per worker, and counting
+        // that drain into `elapsed` deflates every throughput number
+        // derived from the report (the shorter the run, the worse).
+        let elapsed = self.started.elapsed();
         self.shared.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -232,7 +259,6 @@ impl MalleablePool {
             .take()
             .map(|m| m.join().unwrap_or_default())
             .unwrap_or_default();
-        let elapsed = self.started.elapsed();
         let per_worker: Vec<u64> = self
             .shared
             .counters
@@ -244,6 +270,8 @@ impl MalleablePool {
             total_tasks: per_worker.iter().sum(),
             per_worker,
             elapsed,
+            worker_panics: self.shared.panics.load(Ordering::Relaxed),
+            stall_warnings: self.shared.stalls.load(Ordering::Relaxed),
             trace,
         }
     }
@@ -271,8 +299,16 @@ pub struct RunReport {
     /// Tasks per worker (index = tid). Gated workers show the effect of
     /// the level trace directly: high tids complete few or no tasks.
     pub per_worker: Vec<u64>,
-    /// Wall-clock duration from start to stop.
+    /// Wall-clock duration from start to the moment `stop` was called
+    /// (thread-join drain time excluded).
     pub elapsed: Duration,
+    /// Tasks whose `run_task` panicked. The panics are caught, the
+    /// worker survives with freshly initialised state, and the count
+    /// surfaces here so a harness can fail loudly on any non-zero value.
+    pub worker_panics: u64,
+    /// Times the livelock watchdog fired (no completed task for
+    /// `stall_rounds` consecutive monitor rounds).
+    pub stall_warnings: u64,
     /// `(round, level, throughput)` trace recorded by the monitor.
     pub trace: LevelTrace,
 }
@@ -314,7 +350,20 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
             break;
         }
 
-        workload.run_task(&mut state);
+        // A panicking task must not take the whole pool down (the pool
+        // is a shared runtime; one bad task is the workload's bug, not
+        // grounds to deadlock `stop()` on a dead worker). Catch it,
+        // count it, and rebuild the scratch state — the panic may have
+        // left it half-updated.
+        let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            workload.run_task(&mut state);
+        }))
+        .is_ok();
+        if !completed {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            state = workload.init_worker(tid);
+            continue; // the task did not complete; don't count it
+        }
 
         // Single-writer counter: plain add, relaxed. Only the monitor
         // reads it.
@@ -328,12 +377,14 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
 fn monitor_loop(
     shared: &Shared,
     period: Duration,
+    stall_rounds: u32,
     mut controller: Box<dyn Controller>,
 ) -> LevelTrace {
     let mut trace = LevelTrace::new();
     let mut prev_total = 0u64;
     let mut prev_instant = Instant::now();
     let mut round = 0u64;
+    let mut zero_progress_rounds = 0u32;
 
     while shared.running.load(Ordering::Acquire) {
         std::thread::sleep(period);
@@ -342,14 +393,39 @@ fn monitor_loop(
         prev_instant = now;
 
         let total = shared.total_tasks();
+        let delta = total - prev_total;
         let t_c = if elapsed > 0.0 {
-            (total - prev_total) as f64 / elapsed
+            delta as f64 / elapsed
         } else {
             0.0
         };
         prev_total = total;
 
         let level = shared.level.load(Ordering::Relaxed);
+
+        // Livelock watchdog: active workers that complete nothing round
+        // after round are stuck — classically an abort storm where every
+        // transaction keeps conflicting and none commits. There is no
+        // safe automatic remedy (lowering the level further masks the
+        // bug), so diagnose loudly and keep counting.
+        if delta == 0 && shared.running.load(Ordering::Acquire) {
+            zero_progress_rounds += 1;
+            if zero_progress_rounds >= stall_rounds {
+                shared.stalls.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "[{}] watchdog: no task completed for {} monitor rounds \
+                     (round {}, level {}) — possible abort storm or livelock",
+                    std::thread::current().name().unwrap_or("rubic-monitor"),
+                    zero_progress_rounds,
+                    round,
+                    level,
+                );
+                zero_progress_rounds = 0;
+            }
+        } else {
+            zero_progress_rounds = 0;
+        }
+
         let new_level = controller
             .decide(Sample {
                 throughput: t_c,
@@ -372,6 +448,17 @@ fn monitor_loop(
             // Workers above the new level park themselves at their next
             // gate check; no action needed here.
         }
+    }
+
+    // The shutdown flag flips mid-sleep, so the loop exits with a
+    // partial interval unrecorded. Short runs (a handful of periods)
+    // lose a measurable share of their trace without it — fold the tail
+    // in as a final sample instead of discarding the work it measured.
+    let elapsed = prev_instant.elapsed().as_secs_f64();
+    let total = shared.total_tasks();
+    if elapsed > 0.0 && total > prev_total {
+        let t_c = (total - prev_total) as f64 / elapsed;
+        trace.push(round, shared.level.load(Ordering::Relaxed), t_c);
     }
     trace
 }

@@ -141,7 +141,10 @@ fn disabled_worker_stops_progressing() {
     std::thread::sleep(Duration::from_millis(60));
     let w1_final = counters[1].load(Ordering::Relaxed);
     let _ = pool.stop();
-    assert_eq!(stable, w1_final, "worker 1 kept completing tasks while gated");
+    assert_eq!(
+        stable, w1_final,
+        "worker 1 kept completing tasks while gated"
+    );
     assert!(
         counters[0].load(Ordering::Relaxed) >= w0_before,
         "worker 0 should keep running"

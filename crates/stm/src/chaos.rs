@@ -1,0 +1,308 @@
+//! Deterministic fault injection ("chaos") for the STM protocol.
+//!
+//! The transaction engine consults this module at its three racy
+//! protocol points — lock sampling, read-set validation, and commit
+//! publication. In normal builds the hook compiles to nothing. With the
+//! crate feature **`chaos`** enabled, a test can [`install`] a
+//! [`ChaosHook`] that injects delays and yields *at exactly those
+//! points*, forcing the interleavings (read/commit races, validation
+//! windows, publish storms) that otherwise need minutes of stress
+//! running to surface.
+//!
+//! The built-in hook, [`SeededChaos`], derives every decision from a
+//! single `u64` seed via per-thread SplitMix64 streams, and records the
+//! decision sequence. Re-running with the same seed replays the same
+//! decisions, so a failure found under chaos is pinned by its seed —
+//! see the harness tests in the workspace root for the workflow.
+//!
+//! ```
+//! # #[cfg(feature = "chaos")] {
+//! use std::sync::Arc;
+//! use rubic_stm::chaos::{install, SeededChaos};
+//!
+//! let hook = Arc::new(SeededChaos::new(0xDEADBEEF));
+//! let _guard = install(hook.clone()); // uninstalls on drop
+//! // ... run transactional code; decisions land in hook.decision_log()
+//! # }
+//! ```
+
+/// A protocol point at which the engine consults the chaos hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosPoint {
+    /// Immediately before a read or write samples a variable's
+    /// versioned lock. Perturbing here widens the sample→load→resample
+    /// window that invisible reads depend on.
+    LockSample,
+    /// On entry to read-set validation (commit-time or timestamp
+    /// extension). Perturbing here lets concurrent commits land between
+    /// the decision to validate and the validation itself.
+    PreValidate,
+    /// Before each write-slot publication during commit. Perturbing
+    /// here stretches the locked window other transactions observe.
+    PrePublish,
+}
+
+/// Engine-side entry point: called by `txn.rs` at each protocol point.
+///
+/// Free of any cost when the `chaos` feature is off — the body is empty
+/// and the call inlines away.
+#[inline(always)]
+pub(crate) fn hit(point: ChaosPoint) {
+    #[cfg(feature = "chaos")]
+    enabled::fire(point);
+    #[cfg(not(feature = "chaos"))]
+    let _ = point;
+}
+
+#[cfg(feature = "chaos")]
+pub use enabled::{install, ChaosAction, ChaosGuard, ChaosHook, Decision, SeededChaos};
+
+#[cfg(feature = "chaos")]
+mod enabled {
+    use super::ChaosPoint;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+    /// A fault-injection hook consulted at every [`ChaosPoint`].
+    ///
+    /// Implementations must be cheap and must not call back into the
+    /// STM (the engine may hold epoch pins when it fires the hook).
+    pub trait ChaosHook: Send + Sync {
+        /// Called by the engine at `point`; may sleep, yield, or spin
+        /// to perturb the interleaving.
+        fn at(&self, point: ChaosPoint);
+    }
+
+    static HOOK: RwLock<Option<Arc<dyn ChaosHook>>> = RwLock::new(None);
+    /// Serialises chaos scopes: two tests installing hooks concurrently
+    /// would otherwise see each other's injections and lose seed
+    /// reproducibility.
+    static SCOPE: Mutex<()> = Mutex::new(());
+
+    /// Installs `hook` process-wide and returns a guard that removes it
+    /// when dropped.
+    ///
+    /// Holding the guard also holds a global scope lock, so concurrent
+    /// tests serialise instead of interleaving their injections. Keep
+    /// the guard alive for exactly the code under test.
+    #[must_use]
+    pub fn install(hook: Arc<dyn ChaosHook>) -> ChaosGuard {
+        let scope = SCOPE.lock().unwrap_or_else(PoisonError::into_inner);
+        *HOOK.write().unwrap_or_else(PoisonError::into_inner) = Some(hook);
+        ChaosGuard { _scope: scope }
+    }
+
+    /// Uninstalls the hook (and releases the chaos scope) on drop.
+    pub struct ChaosGuard {
+        _scope: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ChaosGuard {
+        fn drop(&mut self) {
+            *HOOK.write().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+    }
+
+    pub(super) fn fire(point: ChaosPoint) {
+        // Clone out of the lock so a slow hook never blocks install.
+        let hook = HOOK.read().unwrap_or_else(PoisonError::into_inner).clone();
+        if let Some(hook) = hook {
+            hook.at(point);
+        }
+    }
+
+    /// What the hook decided to do at one protocol point.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ChaosAction {
+        /// Proceed untouched.
+        Pass,
+        /// `std::thread::yield_now()` — hand the core to a rival.
+        Yield,
+        /// Spin for the given number of `spin_loop` hints — stretch the
+        /// current protocol window without a scheduler round-trip.
+        Spin(u32),
+    }
+
+    /// One recorded hook decision.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Decision {
+        /// Where the engine consulted the hook.
+        pub point: ChaosPoint,
+        /// Thread stream the decision came from (registration order).
+        pub stream: u64,
+        /// What was injected.
+        pub action: ChaosAction,
+    }
+
+    /// Deterministic chaos: every decision is a pure function of the
+    /// seed, the thread's stream index, and the thread's decision count.
+    ///
+    /// Each thread that reaches a protocol point gets its own SplitMix64
+    /// stream (keyed by arrival order), so a single-threaded run — or
+    /// any run with a deterministic thread structure — replays bit-for-
+    /// bit from the seed alone. The full decision sequence is recorded
+    /// and available through [`decision_log`](SeededChaos::decision_log)
+    /// for replay comparison and failure reports.
+    pub struct SeededChaos {
+        seed: u64,
+        streams: Mutex<HashMap<std::thread::ThreadId, (u64, u64)>>,
+        log: Mutex<Vec<Decision>>,
+    }
+
+    impl SeededChaos {
+        /// A hook whose decisions derive entirely from `seed`.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            SeededChaos {
+                seed,
+                streams: Mutex::new(HashMap::new()),
+                log: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// The seed this hook replays from.
+        #[must_use]
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// Every decision taken so far, in global arrival order.
+        #[must_use]
+        pub fn decision_log(&self) -> Vec<Decision> {
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        }
+
+        /// SplitMix64: the n-th draw of stream `stream` under this seed.
+        fn draw(&self, stream: u64, n: u64) -> u64 {
+            let mut x = self
+                .seed
+                .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F))
+                .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        fn decide(&self, point: ChaosPoint) -> Decision {
+            let me = std::thread::current().id();
+            let (stream, n) = {
+                let mut streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+                let next_stream = streams.len() as u64;
+                let entry = streams.entry(me).or_insert((next_stream, 0));
+                let snapshot = *entry;
+                entry.1 += 1;
+                snapshot
+            };
+            let r = self.draw(stream, n);
+            // 1/8 yield, 1/8 spin, 3/4 pass: enough perturbation to
+            // shake interleavings, not enough to destroy throughput.
+            let action = match r & 0x7 {
+                0 => ChaosAction::Yield,
+                1 => ChaosAction::Spin(((r >> 8) & 0x1FF) as u32),
+                _ => ChaosAction::Pass,
+            };
+            Decision {
+                point,
+                stream,
+                action,
+            }
+        }
+    }
+
+    impl ChaosHook for SeededChaos {
+        fn at(&self, point: ChaosPoint) {
+            let decision = self.decide(point);
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(decision);
+            match decision.action {
+                ChaosAction::Pass => {}
+                ChaosAction::Yield => std::thread::yield_now(),
+                ChaosAction::Spin(n) => {
+                    for _ in 0..n {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn same_seed_same_decisions() {
+            // Purity of the decision function: two hooks with one seed,
+            // driven through the same sequence of points on one thread,
+            // produce identical logs.
+            let points = [
+                ChaosPoint::LockSample,
+                ChaosPoint::LockSample,
+                ChaosPoint::PreValidate,
+                ChaosPoint::PrePublish,
+                ChaosPoint::LockSample,
+                ChaosPoint::PrePublish,
+            ];
+            let run = || {
+                let hook = SeededChaos::new(42);
+                for &p in &points {
+                    hook.at(p);
+                }
+                hook.decision_log()
+            };
+            assert_eq!(run(), run());
+        }
+
+        #[test]
+        fn different_seeds_diverge() {
+            let run = |seed| {
+                let hook = SeededChaos::new(seed);
+                for _ in 0..64 {
+                    hook.at(ChaosPoint::LockSample);
+                }
+                hook.decision_log()
+                    .iter()
+                    .map(|d| d.action)
+                    .collect::<Vec<_>>()
+            };
+            assert_ne!(run(1), run(2), "64 draws should not collide");
+        }
+
+        #[test]
+        fn install_guard_uninstalls() {
+            struct Count(std::sync::atomic::AtomicU64);
+            impl ChaosHook for Count {
+                fn at(&self, _p: ChaosPoint) {
+                    self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            let hook = Arc::new(Count(std::sync::atomic::AtomicU64::new(0)));
+            {
+                let _g = install(hook.clone());
+                fire(ChaosPoint::LockSample);
+                fire(ChaosPoint::PrePublish);
+            }
+            fire(ChaosPoint::LockSample); // after drop: no hook
+            assert_eq!(hook.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+        }
+
+        #[test]
+        fn streams_are_per_thread() {
+            let hook = Arc::new(SeededChaos::new(7));
+            let h2 = Arc::clone(&hook);
+            hook.at(ChaosPoint::LockSample);
+            std::thread::spawn(move || h2.at(ChaosPoint::LockSample))
+                .join()
+                .unwrap();
+            let log = hook.decision_log();
+            assert_eq!(log.len(), 2);
+            assert_ne!(log[0].stream, log[1].stream);
+        }
+    }
+}

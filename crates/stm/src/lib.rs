@@ -61,6 +61,7 @@
 // `unsafe` is confined to `tvar.rs` (epoch-pointer dereferences) and
 // justified inline at each site.
 
+pub mod chaos;
 pub mod clock;
 pub mod cm;
 pub mod stats;

@@ -235,6 +235,36 @@ mod tests {
     }
 
     #[test]
+    fn aborted_attempts_do_not_inflate_op_stats() {
+        // Regression: `Transaction::restart` used to carry `n_reads` /
+        // `n_writes` across attempts, so a transaction that conflicted
+        // once reported its operations twice to `StmStats`.
+        use crate::txn::StmError;
+        let stm = Stm::default();
+        let v = TVar::new(7u32);
+        let mut first = true;
+        let got = stm.atomically(|tx| {
+            let x = tx.read(&v)?;
+            if first {
+                // Simulate a conflict after the read: the attempt
+                // aborts, restarts, and succeeds on the second pass.
+                first = false;
+                return Err(StmError::Conflict);
+            }
+            Ok(x)
+        });
+        assert_eq!(got, 7);
+        assert_eq!(stm.stats().commits(), 1);
+        assert_eq!(stm.stats().aborts(), 1);
+        assert_eq!(
+            stm.stats().reads(),
+            1,
+            "the aborted attempt's read leaked into the committed stats"
+        );
+        assert_eq!(stm.stats().writes(), 0);
+    }
+
+    #[test]
     fn concurrent_counter_no_lost_updates() {
         use std::sync::Arc;
         let stm = Stm::default();

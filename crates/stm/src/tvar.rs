@@ -175,6 +175,18 @@ impl<T: TxValue> TVar<T> {
         self.core.vlock.sample().version()
     }
 
+    /// True while a transaction holds this variable's write lock.
+    ///
+    /// Diagnostic only — the answer can be stale by the time the caller
+    /// acts on it. Its intended use is *quiescence* checks: once every
+    /// transaction has finished (threads joined), any variable still
+    /// reporting `true` has leaked its lock, which the harness's
+    /// lock-leak oracle turns into a test failure.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.core.vlock.sample().is_locked()
+    }
+
     /// True if `self` and `other` are handles to the same variable.
     #[must_use]
     pub fn ptr_eq(&self, other: &TVar<T>) -> bool {

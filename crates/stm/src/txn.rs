@@ -42,6 +42,7 @@ use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Guard};
 
+use crate::chaos::{self, ChaosPoint};
 use crate::clock;
 use crate::tvar::{TVar, TVarCore};
 use crate::vlock::{LockWord, VLock};
@@ -171,6 +172,12 @@ impl Transaction {
         self.reads.clear();
         self.write_index.clear();
         self.writes.clear();
+        // The op counters must restart with the attempt: they feed
+        // `StmStats::record_commit` as *this commit's* footprint, and
+        // carrying counts from aborted attempts would inflate every
+        // per-commit read/write statistic under contention.
+        self.n_reads = 0;
+        self.n_writes = 0;
         self.rv = clock::now();
     }
 
@@ -222,6 +229,7 @@ impl Transaction {
 
         let guard = epoch::pin();
         loop {
+            chaos::hit(ChaosPoint::LockSample);
             let w1 = core.vlock().sample();
             if w1.is_locked() {
                 // Invisible reads cannot tell who owns the lock; treat it
@@ -296,6 +304,7 @@ impl Transaction {
 
         let guard = epoch::pin();
         loop {
+            chaos::hit(ChaosPoint::LockSample);
             let w1 = core.vlock().sample();
             if w1.is_locked() {
                 return Err(StmError::Conflict);
@@ -351,6 +360,7 @@ impl Transaction {
             return Ok(());
         }
 
+        chaos::hit(ChaosPoint::LockSample);
         let w = core.vlock().sample();
         if w.is_locked() {
             return Err(StmError::Conflict);
@@ -388,6 +398,7 @@ impl Transaction {
     /// (or locked by this transaction) and still carry its recorded
     /// version.
     fn validate(&self) -> TxResult<()> {
+        chaos::hit(ChaosPoint::PreValidate);
         for entry in &self.reads {
             let w = entry.handle.vlock().sample();
             if w.version() != entry.version {
@@ -425,6 +436,7 @@ impl Transaction {
         }
         let guard = epoch::pin();
         for slot in &mut self.writes {
+            chaos::hit(ChaosPoint::PrePublish);
             slot.publish(wv, &guard);
         }
         // Slots are spent; prevent a double publish if the transaction
@@ -432,6 +444,38 @@ impl Transaction {
         self.write_index.clear();
         self.writes.clear();
         Ok(())
+    }
+
+    /// Begins an *unmanaged* transaction: no retry loop, no stats, no
+    /// contention management — the caller drives `commit`/`abort` by
+    /// hand. This exists so harness tests can pin a transaction at an
+    /// arbitrary protocol state (e.g. holding a write lock) while other
+    /// threads run; real code should use [`crate::Stm::atomically`].
+    ///
+    /// Only available with the test-only `chaos` feature.
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn begin_unmanaged() -> Self {
+        Self::begin()
+    }
+
+    /// Commits an unmanaged transaction (chaos feature only); see
+    /// [`begin_unmanaged`](Self::begin_unmanaged).
+    ///
+    /// # Errors
+    /// [`StmError::Conflict`] if validation fails; the caller must then
+    /// [`abort_unmanaged`](Self::abort_unmanaged).
+    #[cfg(feature = "chaos")]
+    pub fn commit_unmanaged(&mut self) -> TxResult<()> {
+        self.commit()
+    }
+
+    /// Aborts an unmanaged transaction, releasing every held lock
+    /// (chaos feature only); see
+    /// [`begin_unmanaged`](Self::begin_unmanaged).
+    #[cfg(feature = "chaos")]
+    pub fn abort_unmanaged(&mut self) {
+        self.abort()
     }
 
     /// Releases every held lock and discards buffered state.

@@ -64,7 +64,10 @@ fn main() {
         "effective rate : {:.0} jobs/s",
         handle.processed() as f64 / elapsed.as_secs_f64()
     );
-    println!("mean level     : {:.1} active workers", report.trace.mean_level());
+    println!(
+        "mean level     : {:.1} active workers",
+        report.trace.mean_level()
+    );
     println!("\nlevel trace over the drain:");
     for chunk in report.trace.points().chunks(10) {
         let levels: Vec<String> = chunk.iter().map(|p| format!("{:>3}", p.level)).collect();

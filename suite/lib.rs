@@ -1,4 +1,8 @@
 //! `rubic-suite` hosts the workspace-level integration tests (`tests/`) and
-//! runnable examples (`examples/`). The library itself only re-exports the
-//! `rubic` facade so examples and tests share one import path.
+//! runnable examples (`examples/`). The library re-exports the `rubic`
+//! facade so examples and tests share one import path, and adds the
+//! [`oracles`] module — reusable STM invariant checkers for the
+//! correctness/fault-injection harness.
 pub use rubic::*;
+
+pub mod oracles;

@@ -1,0 +1,330 @@
+//! Invariant oracles for the correctness harness.
+//!
+//! An *oracle* owns a small transactional data structure together with
+//! the invariant that every correct STM execution must preserve, and
+//! exposes a `check`/`assert` entry point that turns any violation into
+//! a descriptive `Err`. Harness tests (see `tests/harness_chaos.rs`)
+//! hammer the structures from many threads — optionally under the
+//! `rubic-stm` chaos hook — and then ask the oracle for a verdict.
+//!
+//! The four oracles cover the classic STM failure modes:
+//!
+//! | Oracle | Catches |
+//! |---|---|
+//! | [`ConservedSumBank`] | non-atomic multi-variable updates |
+//! | [`MonotoneCounter`] | lost updates (write skew on one cell) |
+//! | [`SnapshotChecker`] | torn read-only snapshots (opacity violations) |
+//! | [`LockLeakDetector`] | commit/abort paths that leak a write lock |
+
+use rubic::prelude::*;
+use rubic::stm::TxValue;
+
+/// A bank of accounts whose **total balance is conserved** by every
+/// transfer. Any observable sum other than the initial one means a
+/// transfer's two writes were not atomic.
+pub struct ConservedSumBank {
+    accounts: Vec<TVar<i64>>,
+    expected: i64,
+}
+
+impl ConservedSumBank {
+    /// `n` accounts, each opened with `initial` units.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, initial: i64) -> Self {
+        assert!(n > 0, "a bank needs at least one account");
+        ConservedSumBank {
+            accounts: (0..n).map(|_| TVar::new(initial)).collect(),
+            expected: initial * n as i64,
+        }
+    }
+
+    /// The account cells (for wiring into other oracles, e.g. the
+    /// [`LockLeakDetector`]).
+    #[must_use]
+    pub fn accounts(&self) -> &[TVar<i64>] {
+        &self.accounts
+    }
+
+    /// The invariant sum every snapshot must show.
+    #[must_use]
+    pub fn expected_sum(&self) -> i64 {
+        self.expected
+    }
+
+    /// Atomically moves `amount` from one account to another
+    /// (overdrafts allowed — the invariant is the *sum*, not
+    /// non-negativity). Indices wrap, so callers can feed raw RNG draws.
+    pub fn transfer(&self, stm: &Stm, from: usize, to: usize, amount: i64) {
+        let from = &self.accounts[from % self.accounts.len()];
+        let to = &self.accounts[to % self.accounts.len()];
+        if from.ptr_eq(to) {
+            return;
+        }
+        stm.atomically(|tx| {
+            let a = tx.read(from)?;
+            let b = tx.read(to)?;
+            tx.write(from, a - amount)?;
+            tx.write(to, b + amount)
+        });
+    }
+
+    /// Reads all accounts in one transaction and checks the sum.
+    ///
+    /// Safe to call concurrently with transfers: the transactional read
+    /// set guarantees a consistent snapshot, so a mid-flight transfer
+    /// can never excuse a bad sum.
+    ///
+    /// # Errors
+    /// The observed and expected sums, when they differ.
+    pub fn check(&self, stm: &Stm) -> Result<i64, String> {
+        let sum = stm.atomically(|tx| {
+            let mut sum = 0i64;
+            for acct in &self.accounts {
+                sum += tx.read(acct)?;
+            }
+            Ok(sum)
+        });
+        if sum == self.expected {
+            Ok(sum)
+        } else {
+            Err(format!(
+                "conserved-sum violation: read {} across {} accounts, expected {}",
+                sum,
+                self.accounts.len(),
+                self.expected
+            ))
+        }
+    }
+}
+
+/// A single counter that must **never lose an update**: after `n`
+/// successful [`increment`](MonotoneCounter::increment) calls — from any
+/// number of threads — the value must be exactly `n`.
+#[derive(Default)]
+pub struct MonotoneCounter {
+    cell: TVar<u64>,
+}
+
+impl MonotoneCounter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying cell (for the [`LockLeakDetector`]).
+    #[must_use]
+    pub fn cell(&self) -> &TVar<u64> {
+        &self.cell
+    }
+
+    /// Transactionally increments and returns the post-increment value.
+    pub fn increment(&self, stm: &Stm) -> u64 {
+        stm.atomically(|tx| {
+            let v = tx.read(&self.cell)? + 1;
+            tx.write(&self.cell, v)?;
+            Ok(v)
+        })
+    }
+
+    /// Checks the counter against the number of increments performed.
+    ///
+    /// # Errors
+    /// The observed and expected counts, when they differ — i.e. some
+    /// read-modify-write raced another and lost.
+    pub fn check(&self, expected: u64) -> Result<(), String> {
+        let got = self.cell.snapshot();
+        if got == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "lost-update violation: counter shows {got} after {expected} increments"
+            ))
+        }
+    }
+}
+
+/// An array of cells advanced **in lockstep** by writers; any read-only
+/// transaction must observe all cells at the same generation. A mixed
+/// observation is a torn snapshot — exactly what opacity forbids.
+pub struct SnapshotChecker {
+    cells: Vec<TVar<u64>>,
+}
+
+impl SnapshotChecker {
+    /// `n` cells, all at generation zero.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "the checker needs at least one cell");
+        SnapshotChecker {
+            cells: (0..n).map(|_| TVar::new(0)).collect(),
+        }
+    }
+
+    /// The cells (for the [`LockLeakDetector`]).
+    #[must_use]
+    pub fn cells(&self) -> &[TVar<u64>] {
+        &self.cells
+    }
+
+    /// Advances every cell to the next generation in one transaction.
+    /// Returns the generation just published.
+    pub fn bump(&self, stm: &Stm) -> u64 {
+        stm.atomically(|tx| {
+            let next = tx.read(&self.cells[0])? + 1;
+            for cell in &self.cells {
+                tx.write(cell, next)?;
+            }
+            Ok(next)
+        })
+    }
+
+    /// Reads every cell in one read-only transaction and demands a
+    /// single generation.
+    ///
+    /// # Errors
+    /// The full set of observed generations, when more than one appears
+    /// in the snapshot.
+    pub fn check(&self, stm: &Stm) -> Result<u64, String> {
+        let seen = stm.atomically(|tx| {
+            let mut seen = Vec::with_capacity(self.cells.len());
+            for cell in &self.cells {
+                seen.push(tx.read(cell)?);
+            }
+            Ok(seen)
+        });
+        if seen.iter().all(|&g| g == seen[0]) {
+            Ok(seen[0])
+        } else {
+            Err(format!("torn snapshot: mixed generations {seen:?}"))
+        }
+    }
+}
+
+/// Watches a set of [`TVar`]s and, once the system is **quiescent**
+/// (every worker joined, no transaction in flight), asserts that no
+/// variable still holds its write lock. A held lock at quiescence means
+/// some commit or abort path forgot to release — a bug that otherwise
+/// only shows up later as a mysterious permanent conflict.
+#[derive(Default)]
+pub struct LockLeakDetector {
+    probes: Vec<(String, Box<dyn Fn() -> bool + Send + Sync>)>,
+}
+
+impl LockLeakDetector {
+    /// An empty detector; add variables with
+    /// [`watch`](LockLeakDetector::watch).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one variable under a diagnostic name.
+    pub fn watch<T: TxValue>(&mut self, name: impl Into<String>, var: &TVar<T>) {
+        let var = var.clone();
+        self.probes
+            .push((name.into(), Box::new(move || var.is_locked())));
+    }
+
+    /// Registers a slice of variables as `prefix[0]`, `prefix[1]`, ...
+    pub fn watch_all<T: TxValue>(&mut self, prefix: &str, vars: &[TVar<T>]) {
+        for (i, var) in vars.iter().enumerate() {
+            self.watch(format!("{prefix}[{i}]"), var);
+        }
+    }
+
+    /// Number of watched variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when nothing is watched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Call only at quiescence (after joining every thread that ran
+    /// transactions).
+    ///
+    /// # Errors
+    /// The names of all still-locked variables.
+    pub fn check(&self) -> Result<(), String> {
+        let leaked: Vec<&str> = self
+            .probes
+            .iter()
+            .filter(|(_, locked)| locked())
+            .map(|(name, _)| name.as_str())
+            .collect();
+        if leaked.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "lock leak: {} variable(s) still locked at quiescence: {}",
+                leaked.len(),
+                leaked.join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_conserves_under_serial_transfers() {
+        let stm = Stm::default();
+        let bank = ConservedSumBank::new(8, 100);
+        for i in 0..200usize {
+            bank.transfer(&stm, i, i * 7 + 3, (i % 13) as i64);
+        }
+        assert_eq!(bank.check(&stm).unwrap(), 800);
+    }
+
+    #[test]
+    fn counter_counts_serially() {
+        let stm = Stm::default();
+        let c = MonotoneCounter::new();
+        for _ in 0..50 {
+            c.increment(&stm);
+        }
+        c.check(50).unwrap();
+    }
+
+    #[test]
+    fn snapshot_checker_sees_whole_generations() {
+        let stm = Stm::default();
+        let s = SnapshotChecker::new(4);
+        assert_eq!(s.check(&stm).unwrap(), 0);
+        assert_eq!(s.bump(&stm), 1);
+        assert_eq!(s.bump(&stm), 2);
+        assert_eq!(s.check(&stm).unwrap(), 2);
+    }
+
+    #[test]
+    fn lock_leak_detector_reports_by_name() {
+        let a = TVar::new(1);
+        let b = TVar::new(2);
+        let mut det = LockLeakDetector::new();
+        det.watch("a", &a);
+        det.watch("b", &b);
+        det.check().unwrap();
+
+        // Leak a lock on purpose: an unmanaged transaction writes (and
+        // so locks) `b`, then stalls without committing or aborting.
+        let mut tx = rubic_stm::Transaction::begin_unmanaged();
+        tx.write(&b, 9).unwrap();
+        let err = det.check().unwrap_err();
+        assert!(err.contains('b') && !err.contains("a,"), "{err}");
+        tx.abort_unmanaged();
+        det.check().unwrap();
+    }
+}

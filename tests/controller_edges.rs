@@ -1,0 +1,97 @@
+//! Controller edge cases the property tests don't pin explicitly: the
+//! very first sample, saturation at `max_level`, and decrease underflow.
+
+use rubic_controllers::{Controller, Rubic, RubicConfig, Sample};
+
+fn sample(throughput: f64, level: u32, round: u64) -> Sample {
+    Sample {
+        throughput,
+        level,
+        round,
+    }
+}
+
+#[test]
+fn zero_throughput_first_round_takes_growth_branch() {
+    // Algorithm 2 line 6 compares `T_c >= T_p` with `T_p` initialised to
+    // 0, so a first round that measured *nothing* still counts as an
+    // improvement — the controller must probe upward, not react to the
+    // empty interval as a loss (or divide/NaN its way out of bounds).
+    let mut c = Rubic::new(RubicConfig::default(), 64);
+    let next = c.decide(sample(0.0, 1, 0));
+    assert!(
+        (2..=64).contains(&next),
+        "first zero-throughput round must grow from level 1, got {next}"
+    );
+}
+
+#[test]
+fn zero_throughput_forever_stays_in_bounds() {
+    // All-zero feedback is a degenerate fixed point (every round reads
+    // as "no worse"): the controller just grows to saturation. It must
+    // do so without ever leaving `[1, max]`.
+    let mut c = Rubic::new(RubicConfig::default(), 16);
+    let mut level = 1u32;
+    for round in 0..200 {
+        level = c.decide(sample(0.0, level, round));
+        assert!((1..=16).contains(&level), "round {round}: level {level}");
+    }
+    assert_eq!(level, 16, "monotone non-loss feedback must saturate");
+}
+
+#[test]
+fn cubic_growth_saturates_at_max_level() {
+    // Ever-improving throughput drives cubic probing; Equation (1) is
+    // unbounded, so only the clamp keeps proposals at `max_level`.
+    let mut c = Rubic::new(RubicConfig::default(), 8);
+    let mut level = 1u32;
+    for round in 0..100u64 {
+        level = c.decide(sample(round as f64 + 1.0, level, round));
+        assert!(level <= 8, "round {round}: level {level} above max");
+    }
+    assert_eq!(level, 8);
+    // Once saturated, continued improvement holds the level at max.
+    for round in 100..120u64 {
+        level = c.decide(sample(round as f64 + 1.0, 8, round));
+        assert_eq!(level, 8, "round {round} left saturation");
+    }
+}
+
+#[test]
+fn linear_decrease_clamps_to_one() {
+    // A loss at a level at or below the linear step must clamp to 1,
+    // not underflow (the proposal is `L - linear_decrease` in f64).
+    for start in 1..=2u32 {
+        let mut c = Rubic::new(RubicConfig::default(), 64);
+        c.decide(sample(100.0, start, 0)); // establish T_p
+        let next = c.decide(sample(0.5, start, 1)); // loss -> linear -2
+        assert_eq!(next, 1, "loss at level {start} must clamp to 1");
+    }
+}
+
+#[test]
+fn oversized_linear_decrease_clamps_to_one() {
+    let cfg = RubicConfig {
+        linear_decrease: 10,
+        ..RubicConfig::default()
+    };
+    for start in 1..=5u32 {
+        let mut c = Rubic::new(cfg, 64);
+        c.decide(sample(100.0, start, 0));
+        let next = c.decide(sample(1.0, start, 1));
+        assert_eq!(next, 1, "linear -10 at level {start} underflowed");
+    }
+}
+
+#[test]
+fn multiplicative_decrease_at_level_one_clamps_to_one() {
+    // Escalate to the multiplicative path while already at level 1:
+    // α·1 rounds to 1, and the controller must stay there.
+    let mut c = Rubic::new(RubicConfig::default(), 64);
+    c.decide(sample(100.0, 1, 0)); // T_p = 100
+    let l1 = c.decide(sample(50.0, 1, 1)); // loss #1: linear, clamped to 1
+    assert_eq!(l1, 1);
+    let _ = c.decide(sample(10.0, 1, 2)); // free-pass growth round (T_p == 0)
+    let l3 = c.decide(sample(1.0, 1, 3)); // loss #2 at level 1: multiplicative, α·1
+    assert_eq!(l3, 1, "multiplicative decrease at level 1 must clamp to 1");
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`: the same macro/entry-point surface
+//! (`criterion_group!`/`criterion_main!`/`Criterion`/`Bencher`), backed
+//! by a bare-bones wall-clock timer instead of statistical sampling.
+//! Good enough to keep `cargo bench` runnable and benchmarks compiling;
+//! numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness does not sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness does not sample.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter value.
+    #[must_use]
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with a function name and parameter.
+    #[must_use]
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the most recent `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, then time enough iterations to fill a small budget.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(50);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 100_000 {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    println!("bench {name:60} {:>14.1} ns/iter", b.ns_per_iter);
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("fmt", |b| b.iter(|| format!("{}", black_box(3))));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_everything() {
+        criterion_group!(benches, quick);
+        benches();
+    }
+}

@@ -1,0 +1,319 @@
+//! Offline stand-in for `crossbeam-channel`: a bounded MPMC channel.
+//!
+//! The important difference from `std::sync::mpsc` is that [`Receiver`]
+//! here is `Sync` and `Clone` — multiple pool workers pull from one
+//! shared receiver — which std's mpsc does not allow. Implemented as a
+//! mutex-protected ring buffer with two condvars (not-empty/not-full)
+//! and a live-sender count for disconnect detection.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Creates a bounded channel with room for `cap` in-flight messages.
+///
+/// A capacity of zero is rounded up to one (true rendezvous channels are
+/// not needed by this workspace).
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap: cap.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+/// Creates a channel without a capacity bound.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(usize::MAX)
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects
+/// for receivers once every clone is dropped.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.
+    ///
+    /// Fails only when every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.0.cap {
+                st.queue.push_back(value);
+                drop(st);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .0
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            st.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel. Unlike `std::sync::mpsc`, this is
+/// `Clone` and `Sync`: many workers may block on one shared receiver.
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .0
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks for at most `timeout` waiting for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = self
+                .0
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Returns a message if one is immediately available.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// True if no messages are currently buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.0.lock();
+            st.receivers -= 1;
+            st.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_empty_then_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(10u32).unwrap();
+        let h = thread::spawn(move || {
+            // Blocks until the main thread drains the single slot.
+            tx.send(20).unwrap();
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.recv(), Ok(20));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn shared_receiver_across_threads() {
+        let (tx, rx) = bounded(64);
+        let n_workers = 4;
+        let n_msgs = 400u64;
+        let rx = Arc::new(rx);
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for i in 1..=n_msgs {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, n_msgs * (n_msgs + 1) / 2);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(5u8), Err(SendError(5u8)));
+    }
+}

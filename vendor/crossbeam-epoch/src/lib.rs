@@ -1,0 +1,543 @@
+//! Offline stand-in for `crossbeam-epoch`: classic three-epoch
+//! reclamation with the same public shape (`pin`/[`Guard`]/[`Atomic`]/
+//! [`Owned`]/[`Shared`]) but a deliberately simple implementation.
+//!
+//! # Protocol
+//!
+//! A global epoch counter advances only when every *pinned* participant
+//! has announced the current epoch. Retiring a pointer tags it with the
+//! epoch at retirement time `e_r`; it is freed once the global epoch `G`
+//! satisfies `e_r + 2 <= G`.
+//!
+//! Why that is safe: a thread pins by announcing the global epoch it
+//! read, then re-checking that the global has not moved (retrying if it
+//! has). From that moment until it unpins, the global can advance at
+//! most once past its announced epoch `g` (advancing twice would require
+//! the participant to re-announce), so `G <= g + 1`. Any reader that
+//! can still hold a retired pointer loaded it while pinned, hence was
+//! pinned no later than retirement: `g <= e_r`. While it stays pinned,
+//! `G <= e_r + 1 < e_r + 2` — the free condition cannot be reached, so
+//! the pointer outlives every reader that might dereference it.
+//!
+//! Simplifications vs. upstream: one global participant registry behind
+//! a mutex (touched only at thread birth/death and when attempting an
+//! epoch advance), per-thread garbage bags with an orphan queue for
+//! exiting threads, and `SeqCst` everywhere instead of hand-tuned
+//! fences. Throughput is lower; the reclamation guarantee is the same.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Sentinel announced epoch for a thread that is not currently pinned.
+const INACTIVE: u64 = u64::MAX;
+
+/// A retired allocation grows the local bag until this size, then a
+/// collection pass runs inline.
+const BAG_FLUSH_THRESHOLD: usize = 64;
+
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: Mutex<Vec<Arc<Participant>>> = Mutex::new(Vec::new());
+/// Garbage from exited threads, adopted by whoever collects next.
+static ORPHANS: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+struct Participant {
+    /// Epoch this thread announced at pin time, or [`INACTIVE`].
+    epoch: AtomicU64,
+}
+
+/// A type-erased retired allocation.
+struct Deferred {
+    retired_at: u64,
+    ptr: *mut u8,
+    dropper: unsafe fn(*mut u8),
+}
+
+// SAFETY: a `Deferred` is only constructed through the `unsafe`
+// `Guard::defer_destroy`, whose contract makes the caller vouch that the
+// pointee may be dropped from any thread (the workspace only retires
+// `T: Send + Sync` snapshot values). The raw pointer is never
+// dereferenced, only passed to its dropper exactly once.
+unsafe impl Send for Deferred {}
+
+unsafe fn drop_boxed<T>(ptr: *mut u8) {
+    drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+}
+
+struct Local {
+    participant: Arc<Participant>,
+    /// Re-entrant pin depth; the participant unpins at zero.
+    guards: Cell<usize>,
+    bag: RefCell<Vec<Deferred>>,
+}
+
+impl Local {
+    fn register() -> Local {
+        let participant = Arc::new(Participant {
+            epoch: AtomicU64::new(INACTIVE),
+        });
+        lock(&REGISTRY).push(Arc::clone(&participant));
+        Local {
+            participant,
+            guards: Cell::new(0),
+            bag: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Hand unfreed garbage to the orphan queue and deregister so a
+        // dead thread can never stall epoch advancement.
+        let leftovers = std::mem::take(&mut *self.bag.borrow_mut());
+        if !leftovers.is_empty() {
+            lock(&ORPHANS).extend(leftovers);
+        }
+        lock(&REGISTRY).retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = Local::register();
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Pins the current thread, returning a [`Guard`] that keeps every
+/// pointer loaded while it lives safe from reclamation.
+#[must_use]
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        if local.guards.get() == 0 {
+            loop {
+                let g = EPOCH.load(Ordering::SeqCst);
+                local.participant.epoch.store(g, Ordering::SeqCst);
+                // Re-check: if the global moved before our announcement
+                // became visible we might be arbitrarily stale; retry
+                // until announcement and global agree at one instant.
+                if EPOCH.load(Ordering::SeqCst) == g {
+                    break;
+                }
+            }
+        }
+        local.guards.set(local.guards.get() + 1);
+    });
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+/// Attempts to advance the global epoch by one. Fails (harmlessly) if
+/// any pinned participant has not yet caught up to the current epoch.
+fn try_advance() {
+    let g = EPOCH.load(Ordering::SeqCst);
+    let registry = lock(&REGISTRY);
+    for p in registry.iter() {
+        let e = p.epoch.load(Ordering::SeqCst);
+        if e != INACTIVE && e != g {
+            return;
+        }
+    }
+    // CAS under the registry lock: a newly registering thread is blocked
+    // on the lock, and an already-registered thread pinning right now
+    // either announced `g` (checked above) or will fail its re-check.
+    let _ = EPOCH.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+}
+
+/// Frees every retired allocation whose epoch is two or more behind.
+fn collect(local: &Local) {
+    try_advance();
+    let g = EPOCH.load(Ordering::SeqCst);
+    let mut freeable: Vec<Deferred> = Vec::new();
+    {
+        let mut bag = local.bag.borrow_mut();
+        bag.retain_mut(|d| {
+            if d.retired_at.saturating_add(2) <= g {
+                freeable.push(Deferred {
+                    retired_at: d.retired_at,
+                    ptr: d.ptr,
+                    dropper: d.dropper,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+    {
+        let mut orphans = lock(&ORPHANS);
+        orphans.retain_mut(|d| {
+            if d.retired_at.saturating_add(2) <= g {
+                freeable.push(Deferred {
+                    retired_at: d.retired_at,
+                    ptr: d.ptr,
+                    dropper: d.dropper,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+    // Run droppers outside both locks: a `Drop` impl may itself pin or
+    // retire (e.g. a value containing another epoch-managed structure).
+    for d in freeable {
+        // SAFETY: each Deferred is drained exactly once, and the epoch
+        // condition proves no pinned reader can still hold the pointer.
+        unsafe { (d.dropper)(d.ptr) };
+    }
+}
+
+/// Keeps the current thread pinned; dropping it unpins.
+pub struct Guard {
+    // Pinning is a per-thread property; sending a guard across threads
+    // would unpin the wrong participant.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    /// Retires the allocation behind `shared`: it will be dropped once
+    /// no pinned thread can still hold a reference to it.
+    ///
+    /// # Safety
+    /// `shared` must point to a live `Box<T>` allocation that is no
+    /// longer reachable for *new* readers (e.g. it was just swapped
+    /// out), must not be retired twice, and must be droppable from any
+    /// thread.
+    pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+        debug_assert!(!shared.is_null(), "retiring a null pointer");
+        let deferred = Deferred {
+            retired_at: EPOCH.load(Ordering::SeqCst),
+            ptr: shared.ptr.cast::<u8>(),
+            dropper: drop_boxed::<T>,
+        };
+        LOCAL.with(|local| {
+            local.bag.borrow_mut().push(deferred);
+            if local.bag.borrow().len() >= BAG_FLUSH_THRESHOLD {
+                collect(local);
+            }
+        });
+    }
+
+    /// Nudges reclamation forward: attempts one epoch advance and frees
+    /// whatever has become unreachable-by-construction.
+    pub fn flush(&self) {
+        LOCAL.with(collect);
+    }
+
+    /// Momentarily unpins and repins the thread so the global epoch can
+    /// pass it. Equivalent to dropping and re-taking the guard.
+    pub fn repin(&mut self) {
+        LOCAL.with(|local| {
+            if local.guards.get() == 1 {
+                local.participant.epoch.store(INACTIVE, Ordering::SeqCst);
+                loop {
+                    let g = EPOCH.load(Ordering::SeqCst);
+                    local.participant.epoch.store(g, Ordering::SeqCst);
+                    if EPOCH.load(Ordering::SeqCst) == g {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LOCAL.with(|local| {
+            let n = local.guards.get();
+            debug_assert!(n > 0, "guard count underflow");
+            local.guards.set(n - 1);
+            if n == 1 {
+                local.participant.epoch.store(INACTIVE, Ordering::SeqCst);
+            }
+        });
+    }
+}
+
+/// An atomic pointer to an epoch-managed heap allocation.
+///
+/// Like upstream, dropping an `Atomic` does **not** drop the pointee —
+/// ownership of the final value must be recovered explicitly via
+/// [`Atomic::try_into_owned`].
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+// SAFETY: Atomic hands out &T (via Shared::deref under a guard) to many
+// threads and moves T between threads at reclamation; both require the
+// same bounds as Arc<T>.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocates `value` on the heap and points at it.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// A null pointer.
+    #[must_use]
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Loads the current pointer. The `Guard` borrow ties the returned
+    /// [`Shared`]'s lifetime to the pin.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _guard: PhantomData,
+        }
+    }
+
+    /// Stores `new`, returning the previous pointer.
+    pub fn swap<'g>(&self, new: Owned<T>, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        let raw = Box::into_raw(new.boxed);
+        Shared {
+            ptr: self.ptr.swap(raw, ord),
+            _guard: PhantomData,
+        }
+    }
+
+    /// Recovers unique ownership of the pointee, or `None` if null.
+    ///
+    /// # Safety
+    /// The caller must guarantee no other thread can still load or
+    /// dereference this pointer (e.g. it holds `&mut` to the sole
+    /// remaining handle).
+    pub unsafe fn try_into_owned(self) -> Option<Owned<T>> {
+        let raw = self.ptr.into_inner();
+        if raw.is_null() {
+            None
+        } else {
+            // SAFETY: caller contract — unique access, pointer came from
+            // Box::into_raw in `new`/`swap`.
+            Some(Owned {
+                boxed: unsafe { Box::from_raw(raw) },
+            })
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+/// Uniquely owned heap allocation, convertible into the shared state.
+pub struct Owned<T> {
+    boxed: Box<T>,
+}
+
+impl<T> Owned<T> {
+    /// Heap-allocates `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Owned {
+            boxed: Box::new(value),
+        }
+    }
+
+    /// Consumes the handle and returns the value.
+    #[must_use]
+    pub fn into_box(self) -> Box<T> {
+        self.boxed
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.boxed
+    }
+}
+
+/// A pointer loaded under a [`Guard`]; valid for the guard's lifetime.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _guard: PhantomData<&'g Guard>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> Shared<'_, T> {
+    /// True if this is the null pointer.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    /// The pointer must be non-null and point to a live `T` retired (if
+    /// at all) no earlier than the guard this `Shared` was loaded under.
+    pub unsafe fn deref(&self) -> &T {
+        // SAFETY: caller contract.
+        unsafe { &*self.ptr }
+    }
+
+    /// Raw pointer value (diagnostic).
+    #[must_use]
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_swap_and_reclaim() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Atomic::new(DropCounter(Arc::clone(&drops)));
+        {
+            let guard = pin();
+            let old = cell.swap(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::Release,
+                &guard,
+            );
+            assert!(!old.is_null());
+            unsafe { guard.defer_destroy(old) };
+        }
+        // The retired value must eventually be dropped once we pump the
+        // epoch with fresh pins.
+        for _ in 0..64 {
+            pin().flush();
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "retired value not freed");
+        // Final value recovered explicitly, as TVarCore::drop does.
+        let owned = unsafe { cell.try_into_owned() };
+        drop(owned);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn deferred_value_outlives_concurrent_reader() {
+        // A reader pinned before retirement must be able to deref after
+        // the writer retires + flushes aggressively.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(Atomic::new(DropCounter(Arc::clone(&drops))));
+
+        let reader_guard = pin();
+        let shared = cell.load(Ordering::Acquire, &reader_guard);
+
+        let cell2 = Arc::clone(&cell);
+        let drops2 = Arc::clone(&drops);
+        std::thread::spawn(move || {
+            let guard = pin();
+            let old = cell2.swap(Owned::new(DropCounter(drops2)), Ordering::Release, &guard);
+            unsafe { guard.defer_destroy(old) };
+            for _ in 0..256 {
+                guard.flush();
+            }
+        })
+        .join()
+        .unwrap();
+
+        // We are still pinned from before the retirement: the value must
+        // not have been dropped.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        let _still_alive: &DropCounter = unsafe { shared.deref() };
+        drop(reader_guard);
+
+        for _ in 0..64 {
+            pin().flush();
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(unsafe { Arc::try_unwrap(cell).ok().unwrap().try_into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn reentrant_pins() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        // Still pinned through `b`.
+        LOCAL.with(|l| assert_eq!(l.guards.get(), 1));
+        drop(b);
+        LOCAL.with(|l| assert_eq!(l.guards.get(), 0));
+    }
+
+    #[test]
+    fn null_atomic_try_into_owned_is_none() {
+        let a: Atomic<u64> = Atomic::null();
+        assert!(unsafe { a.try_into_owned() }.is_none());
+    }
+
+    #[test]
+    fn bag_threshold_triggers_inline_collection() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        std::thread::spawn({
+            let drops = Arc::clone(&drops);
+            move || {
+                let cell = Atomic::new(DropCounter(Arc::clone(&drops)));
+                for _ in 0..512 {
+                    let guard = pin();
+                    let old = cell.swap(
+                        Owned::new(DropCounter(Arc::clone(&drops))),
+                        Ordering::Release,
+                        &guard,
+                    );
+                    unsafe { guard.defer_destroy(old) };
+                }
+                drop(unsafe { cell.try_into_owned() });
+            }
+        })
+        .join()
+        .unwrap();
+        // Orphaned leftovers are adopted by later collections.
+        for _ in 0..64 {
+            pin().flush();
+            if drops.load(Ordering::SeqCst) == 513 {
+                break;
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 513);
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam-utils`: just [`CachePadded`], which is
+//! all this workspace uses (per-worker counters and per-`Stm` stats that
+//! must not false-share a cache line).
+
+/// Pads and aligns a value to (at least) a cache-line boundary.
+///
+/// 128-byte alignment covers the common 64-byte line size plus adjacent
+/// line prefetchers on modern x86, matching upstream's choice for
+/// x86-64/aarch64.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let c = CachePadded::new(5u64);
+        assert_eq!(*c, 5);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        assert_eq!(c.into_inner(), 5);
+    }
+
+    #[test]
+    fn deref_mut_updates() {
+        let mut c = CachePadded::new(1u32);
+        *c += 9;
+        assert_eq!(*c, 10);
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand 0.8` API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer and
+//! float ranges, [`Rng::gen_bool`], and [`seq::SliceRandom`] shuffling.
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets — so seeded
+//! streams are deterministic, fast, and of adequate statistical quality
+//! for workload generation and tests (not for cryptography).
+
+/// Low-level generator interface: a source of uniform random words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of a `u64` draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed via SplitMix64 expansion
+    /// (identical streams for identical seeds, on every platform).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive, integer
+    /// or float).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0.0, 1.0]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        distributions::unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a type with a canonical uniform distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// SplitMix64: seed expander and stand-alone generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a raw state word.
+    #[must_use]
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(state: u64) -> Self {
+        SplitMix64::new(state)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// xoshiro256++ core shared by [`SmallRng`] and [`StdRng`].
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256PlusPlus {
+        s: [u64; 4],
+    }
+
+    impl RngCore for Xoshiro256PlusPlus {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for Xoshiro256PlusPlus {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = SplitMix64::new(state);
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = sm.next_u64();
+            }
+            // All-zero state is the one degenerate orbit; SplitMix64
+            // cannot produce four zero words from any seed, but guard
+            // anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Xoshiro256PlusPlus { s }
+        }
+    }
+
+    macro_rules! named_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone)]
+            pub struct $name(Xoshiro256PlusPlus);
+
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(state: u64) -> Self {
+                    $name(Xoshiro256PlusPlus::seed_from_u64(state))
+                }
+            }
+        };
+    }
+
+    named_rng! {
+        /// The workspace's small, fast, seedable generator.
+        SmallRng
+    }
+    named_rng! {
+        /// Stand-in for `rand`'s default generator (same core as
+        /// [`SmallRng`] here; determinism is what the simulator needs).
+        StdRng
+    }
+}
+
+/// Range sampling and canonical distributions.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Converts a random word to a uniform `f64` in `[0, 1)` with 53
+    /// bits of precision.
+    #[inline]
+    #[must_use]
+    pub fn unit_f64(word: u64) -> f64 {
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range that can be sampled uniformly, producing a `T`.
+    ///
+    /// Implemented once, generically, for `Range<T>`/`RangeInclusive<T>`
+    /// over every [`SampleUniform`] element type — a *single* impl per
+    /// range shape is what lets call-site inference flow backwards from
+    /// how the sampled value is used into an unsuffixed literal range
+    /// (`bases[rng.gen_range(0..4)]` infers `usize`).
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Element types that support uniform sampling between two bounds.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample in `[lo, hi)` (`inclusive = false`) or
+        /// `[lo, hi]` (`inclusive = true`).
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: $t,
+                    hi: $t,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> $t {
+                    // i128/u128 arithmetic handles every integer type up
+                    // to the full u64/i64 domain without overflow.
+                    let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                    assert!(span > 0, "gen_range: empty range");
+                    let draw =
+                        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span as u128;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: $t,
+                    hi: $t,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> $t {
+                    // The closed upper bound has measure zero for floats;
+                    // half-open sampling is indistinguishable in practice.
+                    assert!(if inclusive { lo <= hi } else { lo < hi },
+                            "gen_range: empty range");
+                    lo + unit_f64(rng.next_u64()) as $t * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_uniform!(f32, f64);
+
+    /// Types with a canonical uniform distribution (`Rng::gen`).
+    pub trait Standard {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0..u64::MAX)).collect();
+        let mut a = SmallRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..16).map(|_| a.gen_range(0..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+            let b = rng.gen_range(b'a'..=b'z');
+            assert!(b.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "p=0.25 measured {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The workspace only uses
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` markers behind off-by-default features; these
+//! marker traits plus inert derive macros keep those attributes
+//! compiling without pulling in a serialization framework.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Inert `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the in-repo serde stand-in: they accept the annotated item and emit
+//! nothing, which is exactly what the workspace's cfg-gated derive
+//! attributes need to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -56,13 +56,21 @@ pub fn scalability_sweeps(per_level: Duration, max_level: u32) -> Figure {
 }
 
 /// One adaptive run per policy on the RBT workload: measured
-/// throughput, mean level, and the STM abort rate.
+/// throughput, mean level, the STM abort rate, and the abort count
+/// attributed to each [`AbortReason`] (the same attribution the trace
+/// feature's event stream carries, available here without it).
 #[must_use]
 pub fn adaptive_runs(duration: Duration) -> Figure {
+    let mut columns = vec!["tasks/s".into(), "mean level".into(), "abort %".into()];
+    columns.extend(
+        rubic::stm::AbortReason::ALL
+            .iter()
+            .map(|r| format!("aborts:{}", r.name())),
+    );
     let mut f = Figure::new(
         "invivo-adaptive",
         "Live tuned runs on the RBT workload (this host)",
-        vec!["tasks/s".into(), "mean level".into(), "abort %".into()],
+        columns,
     );
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
     let pool = (hw * 2).max(4);
@@ -72,14 +80,14 @@ pub fn adaptive_runs(duration: Duration) -> Figure {
         let spec =
             TenantSpec::new(policy.label(), pool, policy).monitor_period(Duration::from_millis(10));
         let report = run_tenant(Tenant::new(spec, workload), duration);
-        f.push_row(
-            policy.label(),
-            vec![
-                report.throughput(),
-                report.mean_level(),
-                stm.stats().abort_rate() * 100.0,
-            ],
-        );
+        let mut values = vec![
+            report.throughput(),
+            report.mean_level(),
+            stm.stats().abort_rate() * 100.0,
+        ];
+        #[allow(clippy::cast_precision_loss)]
+        values.extend(stm.stats().aborts_by_reason().iter().map(|&n| n as f64));
+        f.push_row(policy.label(), values);
     }
     f.note("pool = 2x hardware contexts; adaptive policies should hover near the host's real parallelism");
     f
@@ -120,5 +128,8 @@ mod tests {
         assert_eq!(f.rows.len(), 4);
         assert!(f.value("RUBIC", "tasks/s").unwrap() > 0.0);
         assert!(f.value("Greedy", "mean level").unwrap() >= 1.0);
+        // One attribution column per abort reason, all present per row.
+        assert_eq!(f.columns.len(), 3 + rubic::stm::AbortReason::ALL.len());
+        assert!(f.value("RUBIC", "aborts:read-validation").unwrap() >= 0.0);
     }
 }

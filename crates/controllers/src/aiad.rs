@@ -57,13 +57,19 @@ impl Aiad {
 
 impl Controller for Aiad {
     fn decide(&mut self, sample: Sample) -> u32 {
-        let delta = if improved(sample.throughput, self.t_p, self.tolerance) {
-            f64::from(self.step)
+        let (delta, phase) = if improved(sample.throughput, self.t_p, self.tolerance) {
+            (f64::from(self.step), crate::trc::phase::GROWTH_LINEAR)
         } else {
-            -f64::from(self.step)
+            (-f64::from(self.step), crate::trc::phase::REDUCE_LINEAR)
         };
         self.t_p = sample.throughput;
-        clamp_level(f64::from(sample.level) + delta, self.max_level)
+        let next = clamp_level(f64::from(sample.level) + delta, self.max_level);
+        let policy = match self.name {
+            "EBS" => crate::trc::policy::EBS,
+            _ => crate::trc::policy::AIAD,
+        };
+        crate::trc::decision(phase, sample.throughput, sample.level, next, policy);
+        next
     }
 
     fn reset(&mut self) {
@@ -179,10 +185,10 @@ impl Controller for DirectedAiad {
             self.going_up = !self.going_up;
         }
         self.t_p = sample.throughput;
-        let delta = if self.going_up {
-            f64::from(self.step)
+        let (delta, phase) = if self.going_up {
+            (f64::from(self.step), crate::trc::phase::GROWTH_LINEAR)
         } else {
-            -f64::from(self.step)
+            (-f64::from(self.step), crate::trc::phase::REDUCE_LINEAR)
         };
         let next = clamp_level(f64::from(sample.level) + delta, self.max_level);
         // Bounce off the walls so the climber does not saturate a bound
@@ -190,6 +196,13 @@ impl Controller for DirectedAiad {
         if next == sample.level {
             self.going_up = !self.going_up;
         }
+        crate::trc::decision(
+            phase,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::DIRECTED_AIAD,
+        );
         next
     }
 

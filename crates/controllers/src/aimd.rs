@@ -77,11 +77,11 @@ impl Aimd {
 
 impl Controller for Aimd {
     fn decide(&mut self, sample: Sample) -> u32 {
-        if improved(sample.throughput, self.t_p, self.tolerance) {
+        let (proposal, phase) = if improved(sample.throughput, self.t_p, self.tolerance) {
             self.t_p = sample.throughput;
-            clamp_level(
+            (
                 f64::from(sample.level) + f64::from(self.step),
-                self.max_level,
+                crate::trc::phase::GROWTH_LINEAR,
             )
         } else {
             // Forget T_p after a decrease (same rationale as Algorithm 2
@@ -90,8 +90,20 @@ impl Controller for Aimd {
             // spiral multiplicatively down to one thread instead of
             // producing the Fig. 3 sawtooth.
             self.t_p = 0.0;
-            clamp_level(f64::from(sample.level) * self.alpha, self.max_level)
-        }
+            (
+                f64::from(sample.level) * self.alpha,
+                crate::trc::phase::REDUCE_MULT,
+            )
+        };
+        let next = clamp_level(proposal, self.max_level);
+        crate::trc::decision(
+            phase,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::AIMD,
+        );
+        next
     }
 
     fn reset(&mut self) {

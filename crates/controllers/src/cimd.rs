@@ -61,16 +61,30 @@ impl Cimd {
 
 impl Controller for Cimd {
     fn decide(&mut self, sample: Sample) -> u32 {
-        let proposal = if improved(sample.throughput, self.t_p, self.tolerance) {
+        let (proposal, phase) = if improved(sample.throughput, self.t_p, self.tolerance) {
             self.t_p = sample.throughput;
             // Guard with +1 so growth never stalls below L_max after an
             // MD (the cubic proposal can sit under the current level).
-            self.cubic.grow().max(f64::from(sample.level) + 1.0)
+            (
+                self.cubic.grow().max(f64::from(sample.level) + 1.0),
+                crate::trc::phase::GROWTH_CUBIC,
+            )
         } else {
             self.t_p = 0.0; // re-probe from the reduced level next round
-            self.cubic.multiplicative_decrease(sample.level)
+            (
+                self.cubic.multiplicative_decrease(sample.level),
+                crate::trc::phase::REDUCE_MULT,
+            )
         };
-        clamp_level(proposal, self.max_level)
+        let next = clamp_level(proposal, self.max_level);
+        crate::trc::decision(
+            phase,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::CIMD,
+        );
+        next
     }
 
     fn reset(&mut self) {

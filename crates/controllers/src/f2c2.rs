@@ -73,17 +73,25 @@ impl Controller for F2c2 {
     fn decide(&mut self, sample: Sample) -> u32 {
         let l = f64::from(sample.level);
         let up = improved(sample.throughput, self.t_p, self.tolerance);
-        let proposal = match (self.phase, up) {
-            (Phase::Exponential, true) => l * 2.0,
+        let (proposal, trc_phase) = match (self.phase, up) {
+            (Phase::Exponential, true) => (l * 2.0, crate::trc::phase::EXPONENTIAL),
             (Phase::Exponential, false) => {
                 self.phase = Phase::Aiad;
-                l / 2.0
+                (l / 2.0, crate::trc::phase::REDUCE_MULT)
             }
-            (Phase::Aiad, true) => l + 1.0,
-            (Phase::Aiad, false) => l - 1.0,
+            (Phase::Aiad, true) => (l + 1.0, crate::trc::phase::GROWTH_LINEAR),
+            (Phase::Aiad, false) => (l - 1.0, crate::trc::phase::REDUCE_LINEAR),
         };
         self.t_p = sample.throughput;
-        clamp_level(proposal, self.max_level)
+        let next = clamp_level(proposal, self.max_level);
+        crate::trc::decision(
+            trc_phase,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::F2C2,
+        );
+        next
     }
 
     fn reset(&mut self) {

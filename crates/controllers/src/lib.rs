@@ -53,6 +53,7 @@ pub mod f2c2;
 pub mod policy;
 pub mod rubic;
 pub mod staticpol;
+mod trc;
 
 pub use aiad::{Aiad, DirectedAiad, Ebs};
 pub use aimd::Aimd;

@@ -123,20 +123,23 @@ impl Rubic {
 impl Controller for Rubic {
     fn decide(&mut self, sample: Sample) -> u32 {
         let l_c = sample.level;
-        if improved(sample.throughput, self.t_p, self.cfg.tolerance) {
+        let (proposal, phase) = if improved(sample.throughput, self.t_p, self.cfg.tolerance) {
             // Growth branch (Algorithm 2 lines 6-23).
-            let proposal = match self.growth {
+            let (proposal, phase) = match self.growth {
                 Growth::Cubic => {
                     // Lines 8-12: Δt_max += 1, evaluate Equation (1),
                     // take max(L_cubic, L+1), switch to a linear round.
                     let l_cubic = self.cubic.grow();
                     self.growth = Growth::Linear;
-                    l_cubic.max(f64::from(l_c) + 1.0)
+                    (
+                        l_cubic.max(f64::from(l_c) + 1.0),
+                        crate::trc::phase::GROWTH_CUBIC,
+                    )
                 }
                 Growth::Linear => {
                     // Lines 13-15: plain +1, switch back to cubic.
                     self.growth = Growth::Cubic;
-                    f64::from(l_c) + 1.0
+                    (f64::from(l_c) + 1.0, crate::trc::phase::GROWTH_LINEAR)
                 }
             };
             // Lines 17-19: a genuine improvement (not the free pass after
@@ -147,21 +150,27 @@ impl Controller for Rubic {
             }
             // Line 23.
             self.t_p = sample.throughput;
-            clamp_level(proposal, self.max_level)
+            (proposal, phase)
         } else {
             // Reduction branch (lines 24-36).
-            let proposal = match self.reduction {
+            let (proposal, phase) = match self.reduction {
                 Reduction::Multiplicative => {
                     // Lines 26-29: L_max ← L, L ← αL. (Line 25's
                     // Δt_max ← 0 is folded into multiplicative_decrease.)
                     self.reduction = Reduction::Linear;
-                    self.cubic.multiplicative_decrease(l_c)
+                    (
+                        self.cubic.multiplicative_decrease(l_c),
+                        crate::trc::phase::REDUCE_MULT,
+                    )
                 }
                 Reduction::Linear => {
                     // Lines 30-32: first try a cheap linear step down.
                     self.cubic.reset_clock(); // line 25
                     self.reduction = Reduction::Multiplicative;
-                    f64::from(l_c) - f64::from(self.cfg.linear_decrease)
+                    (
+                        f64::from(l_c) - f64::from(self.cfg.linear_decrease),
+                        crate::trc::phase::REDUCE_LINEAR,
+                    )
                 }
             };
             // Line 34: the round after any decrease grows linearly, so
@@ -171,8 +180,18 @@ impl Controller for Rubic {
             // Line 35: forget T_p so the next round unconditionally takes
             // the growth branch from the reduced level.
             self.t_p = 0.0;
-            clamp_level(proposal, self.max_level)
-        }
+            (proposal, phase)
+        };
+        let next = clamp_level(proposal, self.max_level);
+        crate::trc::decision(
+            phase,
+            sample.throughput,
+            l_c,
+            next,
+            crate::trc::policy::RUBIC,
+        );
+        crate::trc::rubic_state(phase, self.t_p, self.l_max(), l_c, next);
+        next
     }
 
     fn reset(&mut self) {

@@ -37,8 +37,16 @@ impl Greedy {
 }
 
 impl Controller for Greedy {
-    fn decide(&mut self, _sample: Sample) -> u32 {
-        clamp_level(f64::from(self.hw_contexts), self.max_level)
+    fn decide(&mut self, sample: Sample) -> u32 {
+        let next = clamp_level(f64::from(self.hw_contexts), self.max_level);
+        crate::trc::decision(
+            crate::trc::phase::STATIC,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::GREEDY,
+        );
+        next
     }
 
     fn reset(&mut self) {}
@@ -86,8 +94,16 @@ impl EqualShare {
 }
 
 impl Controller for EqualShare {
-    fn decide(&mut self, _sample: Sample) -> u32 {
-        clamp_level(f64::from(self.share), self.max_level)
+    fn decide(&mut self, sample: Sample) -> u32 {
+        let next = clamp_level(f64::from(self.share), self.max_level);
+        crate::trc::decision(
+            crate::trc::phase::STATIC,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::EQUAL_SHARE,
+        );
+        next
     }
 
     fn reset(&mut self) {}
@@ -120,8 +136,16 @@ impl Fixed {
 }
 
 impl Controller for Fixed {
-    fn decide(&mut self, _sample: Sample) -> u32 {
-        clamp_level(f64::from(self.level), self.max_level)
+    fn decide(&mut self, sample: Sample) -> u32 {
+        let next = clamp_level(f64::from(self.level), self.max_level);
+        crate::trc::decision(
+            crate::trc::phase::STATIC,
+            sample.throughput,
+            sample.level,
+            next,
+            crate::trc::policy::FIXED,
+        );
+        next
     }
 
     fn reset(&mut self) {}

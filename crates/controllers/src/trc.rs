@@ -1,0 +1,121 @@
+//! Feature-gated bridge to `rubic-trace` for controller decisions.
+//!
+//! With the **`trace`** feature on, every [`Controller::decide`]
+//! implementation in this crate emits a `Decision` event carrying its
+//! inputs (observed throughput, current level), its output (new level),
+//! the Algorithm 2 phase the decision ran in, and a policy id; RUBIC
+//! additionally emits a `RubicState` event with its full CIMD state
+//! (`T_p`, `L_max`). All no-ops when the feature is off.
+//!
+//! [`Controller::decide`]: crate::Controller::decide
+
+/// Phase codes for the `Decision`/`RubicState` events' `code` byte.
+///
+/// These mirror `rubic_trace::codes::PHASE_*` — a feature-gated test
+/// below pins the two tables together so exporter names cannot drift.
+pub(crate) mod phase {
+    pub(crate) const GROWTH_CUBIC: u8 = 0;
+    pub(crate) const GROWTH_LINEAR: u8 = 1;
+    pub(crate) const REDUCE_LINEAR: u8 = 2;
+    pub(crate) const REDUCE_MULT: u8 = 3;
+    pub(crate) const EXPONENTIAL: u8 = 4;
+    pub(crate) const STATIC: u8 = 5;
+}
+
+/// Policy ids carried in the `Decision` event's `c` word, mirroring
+/// `rubic_trace::codes::POLICY_NAMES` order.
+pub(crate) mod policy {
+    pub(crate) const RUBIC: u64 = 0;
+    pub(crate) const EBS: u64 = 1;
+    pub(crate) const F2C2: u64 = 2;
+    pub(crate) const AIMD: u64 = 3;
+    pub(crate) const DIRECTED_AIAD: u64 = 4;
+    pub(crate) const CIMD: u64 = 5;
+    pub(crate) const GREEDY: u64 = 6;
+    pub(crate) const EQUAL_SHARE: u64 = 7;
+    pub(crate) const FIXED: u64 = 8;
+    pub(crate) const AIAD: u64 = 9;
+}
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use rubic_trace::{emit, is_enabled, EventKind};
+
+    /// One controller decision: phase, observed throughput, the level
+    /// transition `level → new_level`, and which policy decided.
+    #[inline]
+    pub(crate) fn decision(phase: u8, throughput: f64, level: u32, new_level: u32, policy: u64) {
+        if is_enabled() {
+            emit(
+                EventKind::Decision,
+                phase,
+                throughput.to_bits(),
+                (u64::from(level) << 32) | u64::from(new_level),
+                policy,
+            );
+        }
+    }
+
+    /// RUBIC's full controller state at a decision point.
+    #[inline]
+    pub(crate) fn rubic_state(phase: u8, t_p: f64, l_max: f64, level: u32, new_level: u32) {
+        if is_enabled() {
+            emit(
+                EventKind::RubicState,
+                phase,
+                t_p.to_bits(),
+                l_max.to_bits(),
+                (u64::from(level) << 32) | u64::from(new_level),
+            );
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+pub(crate) use enabled::*;
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    #[inline(always)]
+    pub(crate) fn decision(_phase: u8, _thr: f64, _level: u32, _new: u32, _policy: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn rubic_state(_phase: u8, _t_p: f64, _l_max: f64, _level: u32, _new: u32) {}
+}
+
+#[cfg(not(feature = "trace"))]
+pub(crate) use disabled::*;
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::{phase, policy};
+    use rubic_trace::codes;
+
+    #[test]
+    fn phase_codes_match_trace_table() {
+        assert_eq!(phase::GROWTH_CUBIC, codes::PHASE_GROWTH_CUBIC);
+        assert_eq!(phase::GROWTH_LINEAR, codes::PHASE_GROWTH_LINEAR);
+        assert_eq!(phase::REDUCE_LINEAR, codes::PHASE_REDUCE_LINEAR);
+        assert_eq!(phase::REDUCE_MULT, codes::PHASE_REDUCE_MULT);
+        assert_eq!(phase::EXPONENTIAL, codes::PHASE_EXPONENTIAL);
+        assert_eq!(phase::STATIC, codes::PHASE_STATIC);
+    }
+
+    #[test]
+    fn policy_ids_match_trace_table() {
+        for (id, want) in [
+            (policy::RUBIC, "RUBIC"),
+            (policy::EBS, "EBS"),
+            (policy::F2C2, "F2C2"),
+            (policy::AIMD, "AIMD"),
+            (policy::DIRECTED_AIAD, "DirectedAIAD"),
+            (policy::CIMD, "CIMD"),
+            (policy::GREEDY, "Greedy"),
+            (policy::EQUAL_SHARE, "EqualShare"),
+            (policy::FIXED, "Fixed"),
+            (policy::AIAD, "AIAD"),
+        ] {
+            assert_eq!(codes::policy_name(id), want);
+        }
+    }
+}

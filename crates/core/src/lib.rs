@@ -88,6 +88,14 @@ pub use rubic_sim as sim;
 pub use rubic_stm as stm;
 pub use rubic_workloads as workloads;
 
+/// Structured event tracing (`rubic-trace`), available with the
+/// **`trace`** feature: start a [`trace::TraceSession`], run any
+/// instrumented code, and `finish()` into a
+/// [`trace::TraceReport`] with latency histograms, abort attribution,
+/// and JSONL / `chrome://tracing` exporters.
+#[cfg(feature = "trace")]
+pub use rubic_trace as trace;
+
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::colocation::{Colocation, ColocationReport};

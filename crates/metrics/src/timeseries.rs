@@ -19,6 +19,9 @@ pub struct TracePoint {
     /// Throughput observed during this round (commits per second, or any
     /// consistent unit).
     pub throughput: f64,
+    /// Transaction aborts observed during this round (0 when the
+    /// producer does not account aborts — e.g. the analytic simulator).
+    pub aborts: u64,
 }
 
 /// A process's recorded control trace: level and throughput per round.
@@ -43,12 +46,20 @@ impl LevelTrace {
         }
     }
 
-    /// Appends a sample.
+    /// Appends a sample with no abort information (aborts = 0).
     pub fn push(&mut self, round: u64, level: u32, throughput: f64) {
+        self.push_with_aborts(round, level, throughput, 0);
+    }
+
+    /// Appends a sample carrying the round's abort count alongside its
+    /// throughput — the full per-interval record the malleable pool's
+    /// monitor produces.
+    pub fn push_with_aborts(&mut self, round: u64, level: u32, throughput: f64, aborts: u64) {
         self.points.push(TracePoint {
             round,
             level,
             throughput,
+            aborts,
         });
     }
 
@@ -172,6 +183,12 @@ impl LevelTrace {
         crate::stats::Summary::from_iter(self.points.iter().map(|p| f64::from(p.level))).stddev()
     }
 
+    /// Total aborts recorded across all samples.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.points.iter().map(|p| p.aborts).sum()
+    }
+
     /// Total committed work implied by the trace, assuming each sample's
     /// throughput held for `round_secs` seconds. This is how experiment
     /// harnesses turn round-granularity traces into the paper's
@@ -263,5 +280,16 @@ mod tests {
     fn level_stddev_constant_is_zero() {
         assert_eq!(trace(&[5, 5, 5]).level_stddev(), 0.0);
         assert!(trace(&[1, 9]).level_stddev() > 0.0);
+    }
+
+    #[test]
+    fn aborts_accumulate_per_sample() {
+        let mut t = LevelTrace::new();
+        t.push(0, 1, 100.0); // no abort info => 0
+        t.push_with_aborts(1, 2, 200.0, 7);
+        t.push_with_aborts(2, 2, 150.0, 3);
+        assert_eq!(t.points()[0].aborts, 0);
+        assert_eq!(t.points()[1].aborts, 7);
+        assert_eq!(t.total_aborts(), 10);
     }
 }

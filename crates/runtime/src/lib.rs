@@ -60,6 +60,7 @@
 pub mod pool;
 pub mod queue;
 pub mod semaphore;
+mod trc;
 
 pub use pool::{MalleablePool, PoolConfig, RunReport, Workload};
 pub use queue::{ChannelWorkload, QueueHandle, TaskSender};

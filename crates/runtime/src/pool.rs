@@ -26,6 +26,18 @@ pub trait Workload: Send + Sync + 'static {
 
     /// Executes one task. Called repeatedly by active workers.
     fn run_task(&self, state: &mut Self::WorkerState);
+
+    /// Returns (and resets) the number of transaction aborts this
+    /// worker experienced since the previous call. Called by the worker
+    /// loop after each task so the pool can account aborts per worker
+    /// and per monitoring interval, symmetrically with the completed-
+    /// task counters. The default reports none — non-transactional
+    /// workloads need no change; STM workloads typically forward
+    /// `rubic_stm::take_thread_aborts()`.
+    fn drain_aborts(&self, state: &mut Self::WorkerState) -> u64 {
+        let _ = state;
+        0
+    }
 }
 
 /// Pool construction parameters.
@@ -115,6 +127,10 @@ struct Shared {
     /// worker); the monitor only reads. Relaxed everywhere — the
     /// sound equivalent of the paper's plain thread-local counters.
     counters: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker abort counters, same single-writer discipline as
+    /// `counters`: the worker accumulates `Workload::drain_aborts`
+    /// output, the monitor reads interval deltas.
+    aborts: Vec<CachePadded<AtomicU64>>,
     /// Remaining task budget; negative means "exhausted, stop".
     /// `i64::MAX` when unbounded.
     budget: AtomicI64,
@@ -131,6 +147,9 @@ impl Shared {
             running: AtomicBool::new(true),
             semaphores: (0..cfg.size).map(|_| Semaphore::new(0)).collect(),
             counters: (0..cfg.size)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            aborts: (0..cfg.size)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
             budget: AtomicI64::new(
@@ -154,6 +173,10 @@ impl Shared {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    fn total_aborts(&self) -> u64 {
+        self.aborts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -265,10 +288,18 @@ impl MalleablePool {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
+        let per_worker_aborts: Vec<u64> = self
+            .shared
+            .aborts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
         RunReport {
             name: std::mem::take(&mut self.name),
             total_tasks: per_worker.iter().sum(),
+            total_aborts: per_worker_aborts.iter().sum(),
             per_worker,
+            per_worker_aborts,
             elapsed,
             worker_panics: self.shared.panics.load(Ordering::Relaxed),
             stall_warnings: self.shared.stalls.load(Ordering::Relaxed),
@@ -296,9 +327,15 @@ pub struct RunReport {
     pub name: String,
     /// Total completed tasks.
     pub total_tasks: u64,
+    /// Total transaction aborts reported by the workload's
+    /// [`Workload::drain_aborts`] across all workers (0 for workloads
+    /// that don't report aborts).
+    pub total_aborts: u64,
     /// Tasks per worker (index = tid). Gated workers show the effect of
     /// the level trace directly: high tids complete few or no tasks.
     pub per_worker: Vec<u64>,
+    /// Aborts per worker (index = tid), symmetric with `per_worker`.
+    pub per_worker_aborts: Vec<u64>,
     /// Wall-clock duration from start to the moment `stop` was called
     /// (thread-join drain time excluded).
     pub elapsed: Duration,
@@ -322,6 +359,20 @@ impl RunReport {
             0.0
         } else {
             self.total_tasks as f64 / secs
+        }
+    }
+
+    /// Fraction of transaction attempts that aborted:
+    /// `aborts / (tasks + aborts)`. `0.0` when the workload reports no
+    /// aborts (either none happened or it doesn't implement
+    /// [`Workload::drain_aborts`]).
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.total_tasks + self.total_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts as f64 / attempts as f64
         }
     }
 }
@@ -369,6 +420,15 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
         // reads it.
         let c = &shared.counters[tid];
         c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+
+        // Abort accounting, same single-writer discipline: the workload
+        // drains its thread-local abort count (0 for non-TM workloads —
+        // the default impl short-circuits and the store is skipped).
+        let aborted = workload.drain_aborts(&mut state);
+        if aborted > 0 {
+            let a = &shared.aborts[tid];
+            a.store(a.load(Ordering::Relaxed) + aborted, Ordering::Relaxed);
+        }
     }
 }
 
@@ -382,6 +442,9 @@ fn monitor_loop(
 ) -> LevelTrace {
     let mut trace = LevelTrace::new();
     let mut prev_total = 0u64;
+    let mut prev_aborts = 0u64;
+    let mut prev_worker: Vec<u64> = vec![0; shared.counters.len()];
+    let mut prev_worker_aborts: Vec<u64> = vec![0; shared.aborts.len()];
     let mut prev_instant = Instant::now();
     let mut round = 0u64;
     let mut zero_progress_rounds = 0u32;
@@ -401,7 +464,29 @@ fn monitor_loop(
         };
         prev_total = total;
 
+        let aborts_total = shared.total_aborts();
+        let abort_delta = aborts_total - prev_aborts;
+        prev_aborts = aborts_total;
+
         let level = shared.level.load(Ordering::Relaxed);
+
+        crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
+        if crate::trc::active() {
+            for (tid, (pw, pa)) in prev_worker
+                .iter_mut()
+                .zip(prev_worker_aborts.iter_mut())
+                .enumerate()
+            {
+                let w_total = shared.counters[tid].load(Ordering::Relaxed);
+                let a_total = shared.aborts[tid].load(Ordering::Relaxed);
+                let (w_delta, a_delta) = (w_total - *pw, a_total - *pa);
+                *pw = w_total;
+                *pa = a_total;
+                if w_delta > 0 || a_delta > 0 {
+                    crate::trc::worker_delta(tid, w_delta, round, a_delta);
+                }
+            }
+        }
 
         // Livelock watchdog: active workers that complete nothing round
         // after round are stuck — classically an abort storm where every
@@ -434,10 +519,11 @@ fn monitor_loop(
             })
             .clamp(1, shared.semaphores.len() as u32);
 
-        trace.push(round, level, t_c);
+        trace.push_with_aborts(round, level, t_c, abort_delta);
         round += 1;
 
         if new_level != level {
+            crate::trc::level_change(level, new_level, round);
             shared.level.store(new_level, Ordering::Relaxed);
             // Wake the newly enabled workers (Algorithm 2 lines 20-22).
             if new_level > level {
@@ -457,8 +543,12 @@ fn monitor_loop(
     let elapsed = prev_instant.elapsed().as_secs_f64();
     let total = shared.total_tasks();
     if elapsed > 0.0 && total > prev_total {
-        let t_c = (total - prev_total) as f64 / elapsed;
-        trace.push(round, shared.level.load(Ordering::Relaxed), t_c);
+        let delta = total - prev_total;
+        let t_c = delta as f64 / elapsed;
+        let abort_delta = shared.total_aborts() - prev_aborts;
+        let level = shared.level.load(Ordering::Relaxed);
+        crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
+        trace.push_with_aborts(round, level, t_c, abort_delta);
     }
     trace
 }
@@ -472,6 +562,10 @@ impl<W: Workload> Workload for Arc<W> {
 
     fn run_task(&self, state: &mut W::WorkerState) {
         W::run_task(self, state);
+    }
+
+    fn drain_aborts(&self, state: &mut W::WorkerState) -> u64 {
+        W::drain_aborts(self, state)
     }
 }
 
@@ -602,6 +696,59 @@ mod tests {
         let pool = fixed_pool(2, 1);
         std::thread::sleep(Duration::from_millis(10));
         drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn abort_accounting_flows_to_report_and_trace() {
+        // Every third task "aborts once first": drain_aborts reports a
+        // synthetic retry so the counters exercise the same path a real
+        // STM workload uses via take_thread_aborts().
+        struct Flaky;
+        impl Workload for Flaky {
+            type WorkerState = u64; // tasks run by this worker
+            fn init_worker(&self, _tid: usize) -> u64 {
+                0
+            }
+            fn run_task(&self, state: &mut u64) {
+                *state += 1;
+                std::hint::black_box((0..100u64).fold(0, |a, b| a ^ b));
+            }
+            fn drain_aborts(&self, state: &mut u64) -> u64 {
+                // `is_multiple_of` postdates the 1.75 MSRV.
+                #[allow(clippy::manual_is_multiple_of)]
+                u64::from(*state % 3 == 0)
+            }
+        }
+        let pool = MalleablePool::start(
+            PoolConfig::new(2)
+                .initial_level(2)
+                .monitor_period(Duration::from_millis(2))
+                .task_budget(300),
+            Flaky,
+            Box::new(Fixed::new(2, 2)),
+        );
+        pool.wait_budget_exhausted();
+        let report = pool.stop();
+        assert!(report.total_aborts > 0, "synthetic aborts not drained");
+        assert_eq!(
+            report.per_worker_aborts.iter().sum::<u64>(),
+            report.total_aborts
+        );
+        // The monitor's last sample may miss a straggler abort store
+        // (worker bumps its task counter before its abort counter), so
+        // the trace can undercount the report — never overcount.
+        assert!(report.trace.total_aborts() <= report.total_aborts);
+        let rate = report.abort_rate();
+        assert!(rate > 0.0 && rate < 1.0, "abort_rate = {rate}");
+    }
+
+    #[test]
+    fn abort_rate_zero_when_unreported() {
+        let pool = fixed_pool(2, 2);
+        std::thread::sleep(Duration::from_millis(20));
+        let report = pool.stop();
+        assert_eq!(report.total_aborts, 0);
+        assert_eq!(report.abort_rate(), 0.0);
     }
 
     #[test]

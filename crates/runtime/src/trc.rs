@@ -1,0 +1,86 @@
+//! Feature-gated bridge to `rubic-trace` for the pool monitor.
+//!
+//! With the **`trace`** feature on, the monitor thread emits one
+//! `MonitorRound` event per measurement interval, a `WorkerDelta` per
+//! active worker, and a `LevelChange` whenever it applies a new
+//! parallelism level — the runtime-side counterpart of the STM's
+//! transaction events. All no-ops when the feature is off.
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use rubic_trace::{emit, is_enabled, EventKind};
+
+    /// Whether a trace session is currently recording — lets the monitor
+    /// skip the per-worker delta scan entirely when nobody listens.
+    #[inline]
+    pub(crate) fn active() -> bool {
+        is_enabled()
+    }
+
+    /// One completed monitor round (Algorithm 1's measurement step):
+    /// tasks and aborts completed in the interval, the level it ran at,
+    /// and the throughput handed to the controller.
+    #[inline]
+    pub(crate) fn monitor_round(round: u64, commits: u64, level: u32, aborts: u64, t_c: f64) {
+        if is_enabled() {
+            emit(
+                EventKind::MonitorRound,
+                0,
+                (round << 32) | (commits & 0xFFFF_FFFF),
+                (u64::from(level) << 32) | (aborts & 0xFFFF_FFFF),
+                t_c.to_bits(),
+            );
+        }
+    }
+
+    /// Per-worker completed-task/abort delta for one monitor round.
+    #[inline]
+    pub(crate) fn worker_delta(worker: usize, commits: u64, round: u64, aborts: u64) {
+        if is_enabled() {
+            emit(
+                EventKind::WorkerDelta,
+                0,
+                ((worker as u64) << 32) | (commits & 0xFFFF_FFFF),
+                round,
+                aborts,
+            );
+        }
+    }
+
+    /// The monitor applied a new parallelism level.
+    #[inline]
+    pub(crate) fn level_change(old: u32, new: u32, round: u64) {
+        if is_enabled() {
+            emit(
+                EventKind::LevelChange,
+                0,
+                u64::from(old),
+                u64::from(new),
+                round,
+            );
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+pub(crate) use enabled::*;
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    #[inline(always)]
+    pub(crate) fn active() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn monitor_round(_round: u64, _commits: u64, _level: u32, _aborts: u64, _t_c: f64) {}
+
+    #[inline(always)]
+    pub(crate) fn worker_delta(_worker: usize, _commits: u64, _round: u64, _aborts: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn level_change(_old: u32, _new: u32, _round: u64) {}
+}
+
+#[cfg(not(feature = "trace"))]
+pub(crate) use disabled::*;

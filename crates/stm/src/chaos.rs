@@ -42,6 +42,19 @@ pub enum ChaosPoint {
     PrePublish,
 }
 
+impl ChaosPoint {
+    /// Stable wire code (matches `rubic_trace::codes::CHAOS_POINT_NAMES`
+    /// indexing) used by trace events.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            ChaosPoint::LockSample => 0,
+            ChaosPoint::PreValidate => 1,
+            ChaosPoint::PrePublish => 2,
+        }
+    }
+}
+
 /// Engine-side entry point: called by `txn.rs` at each protocol point.
 ///
 /// Free of any cost when the `chaos` feature is off — the body is empty
@@ -52,6 +65,22 @@ pub(crate) fn hit(point: ChaosPoint) {
     enabled::fire(point);
     #[cfg(not(feature = "chaos"))]
     let _ = point;
+}
+
+/// Asks the installed hook whether the current attempt should be killed
+/// at `point`. A `true` return makes the engine abort the attempt with
+/// [`crate::AbortReason::Chaos`] — this is how fault-injection tests
+/// exercise the abort-attribution path end to end. Always `false` (and
+/// free) when the `chaos` feature is off.
+#[inline(always)]
+pub(crate) fn abort_requested(point: ChaosPoint) -> bool {
+    #[cfg(feature = "chaos")]
+    return enabled::query_abort(point);
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = point;
+        false
+    }
 }
 
 #[cfg(feature = "chaos")]
@@ -71,6 +100,14 @@ mod enabled {
         /// Called by the engine at `point`; may sleep, yield, or spin
         /// to perturb the interleaving.
         fn at(&self, point: ChaosPoint);
+
+        /// Asked by the engine at `point` whether to kill the current
+        /// attempt. Returning `true` aborts it with the `Chaos` abort
+        /// reason. Defaults to never killing.
+        fn abort_at(&self, point: ChaosPoint) -> bool {
+            let _ = point;
+            false
+        }
     }
 
     static HOOK: RwLock<Option<Arc<dyn ChaosHook>>> = RwLock::new(None);
@@ -107,7 +144,23 @@ mod enabled {
         // Clone out of the lock so a slow hook never blocks install.
         let hook = HOOK.read().unwrap_or_else(PoisonError::into_inner).clone();
         if let Some(hook) = hook {
+            #[cfg(feature = "trace")]
+            rubic_trace::emit(rubic_trace::EventKind::Chaos, point.code(), 0, 0, 0);
             hook.at(point);
+        }
+    }
+
+    pub(super) fn query_abort(point: ChaosPoint) -> bool {
+        let hook = HOOK.read().unwrap_or_else(PoisonError::into_inner).clone();
+        match hook {
+            Some(hook) if hook.abort_at(point) => {
+                // Payload word a = 1 marks a kill (vs. a = 0 for a plain
+                // perturbation event from `fire`).
+                #[cfg(feature = "trace")]
+                rubic_trace::emit(rubic_trace::EventKind::Chaos, point.code(), 1, 0, 0);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -121,6 +174,9 @@ mod enabled {
         /// Spin for the given number of `spin_loop` hints — stretch the
         /// current protocol window without a scheduler round-trip.
         Spin(u32),
+        /// Kill the attempt: the engine aborts it with the `Chaos`
+        /// abort reason (only produced via [`ChaosHook::abort_at`]).
+        Kill,
     }
 
     /// One recorded hook decision.
@@ -145,6 +201,9 @@ mod enabled {
     /// for replay comparison and failure reports.
     pub struct SeededChaos {
         seed: u64,
+        /// When `Some(n)`, roughly one in `n` abort queries kills the
+        /// attempt (deterministically, from the same seed machinery).
+        kill_one_in: Option<u64>,
         streams: Mutex<HashMap<std::thread::ThreadId, (u64, u64)>>,
         log: Mutex<Vec<Decision>>,
     }
@@ -155,8 +214,21 @@ mod enabled {
         pub fn new(seed: u64) -> Self {
             SeededChaos {
                 seed,
+                kill_one_in: None,
                 streams: Mutex::new(HashMap::new()),
                 log: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Like [`new`](Self::new), but additionally kills roughly one
+        /// in `n` attempts at the engine's abort-query points — the
+        /// killed attempts surface as `AbortReason::Chaos` in the stats
+        /// breakdown and the trace. `n` is clamped to at least 1.
+        #[must_use]
+        pub fn with_abort_one_in(seed: u64, n: u64) -> Self {
+            SeededChaos {
+                kill_one_in: Some(n.max(1)),
+                ..Self::new(seed)
             }
         }
 
@@ -187,16 +259,22 @@ mod enabled {
             x ^ (x >> 31)
         }
 
-        fn decide(&self, point: ChaosPoint) -> Decision {
+        /// Allocates the calling thread's next `(stream, draw-index)`
+        /// pair. Every hook decision — perturbation or kill — consumes
+        /// one index, so the decision sequence stays a pure function of
+        /// the seed and each thread's call sequence.
+        fn advance(&self) -> (u64, u64) {
             let me = std::thread::current().id();
-            let (stream, n) = {
-                let mut streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
-                let next_stream = streams.len() as u64;
-                let entry = streams.entry(me).or_insert((next_stream, 0));
-                let snapshot = *entry;
-                entry.1 += 1;
-                snapshot
-            };
+            let mut streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+            let next_stream = streams.len() as u64;
+            let entry = streams.entry(me).or_insert((next_stream, 0));
+            let snapshot = *entry;
+            entry.1 += 1;
+            snapshot
+        }
+
+        fn decide(&self, point: ChaosPoint) -> Decision {
+            let (stream, n) = self.advance();
             let r = self.draw(stream, n);
             // 1/8 yield, 1/8 spin, 3/4 pass: enough perturbation to
             // shake interleavings, not enough to destroy throughput.
@@ -221,7 +299,7 @@ mod enabled {
                 .unwrap_or_else(PoisonError::into_inner)
                 .push(decision);
             match decision.action {
-                ChaosAction::Pass => {}
+                ChaosAction::Pass | ChaosAction::Kill => {}
                 ChaosAction::Yield => std::thread::yield_now(),
                 ChaosAction::Spin(n) => {
                     for _ in 0..n {
@@ -229,6 +307,27 @@ mod enabled {
                     }
                 }
             }
+        }
+
+        fn abort_at(&self, point: ChaosPoint) -> bool {
+            let Some(one_in) = self.kill_one_in else {
+                return false;
+            };
+            let (stream, n) = self.advance();
+            // `u64::is_multiple_of` postdates the 1.75 MSRV.
+            #[allow(clippy::manual_is_multiple_of)]
+            let kill = self.draw(stream, n) % one_in == 0;
+            if kill {
+                self.log
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Decision {
+                        point,
+                        stream,
+                        action: ChaosAction::Kill,
+                    });
+            }
+            kill
         }
     }
 

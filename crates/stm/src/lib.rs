@@ -61,18 +61,22 @@
 // `unsafe` is confined to `tvar.rs` (epoch-pointer dereferences) and
 // justified inline at each site.
 
+pub mod abort;
 pub mod chaos;
 pub mod clock;
 pub mod cm;
 pub mod stats;
 pub mod stm;
+mod trc;
 pub mod tvar;
 pub mod txn;
 pub mod vlock;
 
+pub use abort::AbortReason;
 pub use cm::{Aggressive, Backoff, ContentionManager, Polite};
-pub use stats::{StatsSnapshot, StmStats};
+pub use stats::{take_thread_aborts, StatsSnapshot, StmStats};
 pub use stm::{Stm, StmBuilder};
+pub use trc::trace_footprint;
 pub use tvar::TVar;
 pub use txn::{StmError, Transaction, TxResult};
 

@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use crate::abort::AbortReason;
+
 /// Cumulative transaction statistics for one [`crate::Stm`] instance.
 #[derive(Debug, Default)]
 pub struct StmStats {
@@ -19,6 +21,10 @@ pub struct StmStats {
     aborts: CachePadded<AtomicU64>,
     reads: CachePadded<AtomicU64>,
     writes: CachePadded<AtomicU64>,
+    /// Aborts broken down by [`AbortReason`], indexed by reason code.
+    /// One shared cache line: reason counters are bumped on the abort
+    /// path only, where a miss is already amortised by the backoff.
+    by_reason: [AtomicU64; AbortReason::COUNT],
 }
 
 impl StmStats {
@@ -36,8 +42,9 @@ impl StmStats {
     }
 
     #[inline]
-    pub(crate) fn record_abort(&self) {
+    pub(crate) fn record_abort(&self, reason: AbortReason) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.by_reason[reason.code() as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total committed transactions.
@@ -50,6 +57,24 @@ impl StmStats {
     #[must_use]
     pub fn aborts(&self) -> u64 {
         self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Aborts attributed to one [`AbortReason`].
+    #[must_use]
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.by_reason[reason.code() as usize].load(Ordering::Relaxed)
+    }
+
+    /// The full abort breakdown, indexed by reason code. The entries sum
+    /// to [`aborts`](Self::aborts) (up to relaxed-load skew while other
+    /// threads are mid-abort).
+    #[must_use]
+    pub fn aborts_by_reason(&self) -> [u64; AbortReason::COUNT] {
+        let mut out = [0; AbortReason::COUNT];
+        for (slot, counter) in out.iter_mut().zip(&self.by_reason) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Total transactional reads performed by committed transactions.
@@ -86,6 +111,7 @@ impl StmStats {
             aborts: self.aborts(),
             reads: self.reads(),
             writes: self.writes(),
+            abort_reasons: self.aborts_by_reason(),
         }
     }
 }
@@ -101,6 +127,8 @@ pub struct StatsSnapshot {
     pub reads: u64,
     /// Writes by committed transactions.
     pub writes: u64,
+    /// Aborts by [`AbortReason`], indexed by reason code.
+    pub abort_reasons: [u64; AbortReason::COUNT],
 }
 
 impl StatsSnapshot {
@@ -108,13 +136,44 @@ impl StatsSnapshot {
     /// to compute per-interval commit rates.
     #[must_use]
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut abort_reasons = [0; AbortReason::COUNT];
+        for ((slot, &now), &then) in abort_reasons
+            .iter_mut()
+            .zip(&self.abort_reasons)
+            .zip(&earlier.abort_reasons)
+        {
+            *slot = now.saturating_sub(then);
+        }
         StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
+            abort_reasons,
         }
     }
+}
+
+thread_local! {
+    /// Aborts experienced by *this thread* since the last drain — the
+    /// runtime's per-worker abort attribution (mirrors the paper's
+    /// thread-local task counters: no shared-memory traffic on the hot
+    /// path, the monitor drains at interval boundaries).
+    static THREAD_ABORTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+#[inline]
+pub(crate) fn note_thread_abort() {
+    THREAD_ABORTS.with(|c| c.set(c.get() + 1));
+}
+
+/// Returns and resets the calling thread's abort count (aborts observed
+/// by any [`crate::Stm`] on this thread since the previous call).
+/// Worker loops call this once per task so the pool can account aborts
+/// per worker and per monitoring interval.
+#[must_use]
+pub fn take_thread_aborts() -> u64 {
+    THREAD_ABORTS.with(|c| c.replace(0))
 }
 
 #[cfg(test)]
@@ -126,7 +185,7 @@ mod tests {
         let s = StmStats::new();
         s.record_commit(3, 1);
         s.record_commit(2, 0);
-        s.record_abort();
+        s.record_abort(AbortReason::LockBusy);
         assert_eq!(s.commits(), 2);
         assert_eq!(s.aborts(), 1);
         assert_eq!(s.reads(), 5);
@@ -138,8 +197,8 @@ mod tests {
         let s = StmStats::new();
         assert_eq!(s.abort_rate(), 0.0);
         s.record_commit(0, 0);
-        s.record_abort();
-        s.record_abort();
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::LockBusy);
         s.record_commit(0, 0);
         assert!((s.abort_rate() - 0.5).abs() < 1e-12);
     }
@@ -150,11 +209,29 @@ mod tests {
         s.record_commit(1, 1);
         let a = s.snapshot();
         s.record_commit(1, 1);
-        s.record_abort();
+        s.record_abort(AbortReason::Chaos);
         let b = s.snapshot();
         let d = b.delta_since(&a);
         assert_eq!(d.commits, 1);
         assert_eq!(d.aborts, 1);
+        assert_eq!(d.abort_reasons[AbortReason::Chaos.code() as usize], 1);
+        assert_eq!(d.abort_reasons.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let s = StmStats::new();
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::LockBusy);
+        s.record_abort(AbortReason::Explicit);
+        assert_eq!(s.aborts(), 4);
+        let by = s.aborts_by_reason();
+        assert_eq!(by.iter().sum::<u64>(), s.aborts());
+        assert_eq!(s.aborts_for(AbortReason::ReadValidation), 2);
+        assert_eq!(s.aborts_for(AbortReason::LockBusy), 1);
+        assert_eq!(s.aborts_for(AbortReason::CmKill), 0);
+        assert_eq!(s.aborts_for(AbortReason::Explicit), 1);
     }
 
     #[test]

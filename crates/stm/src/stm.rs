@@ -54,6 +54,7 @@ impl Stm {
     /// panicking transaction never wedges other threads.
     pub fn atomically<R>(&self, mut f: impl FnMut(&mut Transaction) -> TxResult<R>) -> R {
         let mut tx = Transaction::begin();
+        let mut trace = crate::trc::TxTrace::begin();
         let mut attempt: u32 = 0;
         loop {
             let outcome = {
@@ -72,14 +73,19 @@ impl Stm {
                 Ok(r) => {
                     let (reads, writes) = tx.op_counts();
                     self.stats.record_commit(reads, writes);
+                    trace.on_commit(reads, writes, attempt + 1);
                     return r;
                 }
                 Err(_) => {
+                    let reason = tx.conflict_reason();
                     tx.abort();
-                    self.stats.record_abort();
+                    self.stats.record_abort(reason);
+                    crate::stats::note_thread_abort();
                     attempt += 1;
+                    trace.on_abort(reason, attempt);
                     self.cm.backoff(attempt);
                     tx.restart();
+                    trace.on_restart(attempt);
                 }
             }
         }

@@ -187,6 +187,15 @@ impl<T: TxValue> TVar<T> {
         self.core.vlock.sample().is_locked()
     }
 
+    /// Stable address of this variable's versioned lock — the same
+    /// identity `LockHold` trace events carry in their address word, so
+    /// a leaked lock found at quiescence can be cross-referenced with
+    /// the hold-time events of the transactions that touched it.
+    #[must_use]
+    pub fn lock_addr(&self) -> usize {
+        self.core.vlock.addr()
+    }
+
     /// True if `self` and `other` are handles to the same variable.
     #[must_use]
     pub fn ptr_eq(&self, other: &TVar<T>) -> bool {

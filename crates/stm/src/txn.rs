@@ -42,8 +42,10 @@ use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Guard};
 
+use crate::abort::AbortReason;
 use crate::chaos::{self, ChaosPoint};
 use crate::clock;
+use crate::trc;
 use crate::tvar::{TVar, TVarCore};
 use crate::vlock::{LockWord, VLock};
 use crate::TxValue;
@@ -100,6 +102,10 @@ struct TypedSlot<T: TxValue> {
     core: Arc<TVarCore<T>>,
     pending: Option<T>,
     prev: LockWord,
+    /// When this slot's lock was acquired (trace timestamp; 0 when no
+    /// session was recording). Feeds the lock-hold-time histogram.
+    #[cfg(feature = "trace")]
+    locked_at: u64,
 }
 
 impl<T: TxValue> WriteSlot for TypedSlot<T> {
@@ -114,10 +120,14 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
             .expect("write slot published twice or never filled");
         self.core.publish(value, guard);
         self.core.vlock().release_commit(wv);
+        #[cfg(feature = "trace")]
+        trc::lock_hold(self.locked_at, self.core.vlock().addr(), false);
     }
 
     fn release_abort(&self) {
         self.core.vlock().release_abort(self.prev);
+        #[cfg(feature = "trace")]
+        trc::lock_hold(self.locked_at, self.core.vlock().addr(), true);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -145,6 +155,11 @@ pub struct Transaction {
     /// Operation counters for diagnostics (reported through `StmStats`).
     n_reads: u64,
     n_writes: u64,
+    /// Why the engine last flagged a conflict in this attempt. Reset to
+    /// [`AbortReason::Explicit`] at each attempt start, so an attempt
+    /// that aborts without the engine tagging a reason is attributed to
+    /// the transaction body itself.
+    last_conflict: AbortReason,
 }
 
 impl Transaction {
@@ -158,6 +173,7 @@ impl Transaction {
             writes: Vec::new(),
             n_reads: 0,
             n_writes: 0,
+            last_conflict: AbortReason::Explicit,
         }
     }
 
@@ -178,7 +194,26 @@ impl Transaction {
         // per-commit read/write statistic under contention.
         self.n_reads = 0;
         self.n_writes = 0;
+        self.last_conflict = AbortReason::Explicit;
         self.rv = clock::now();
+    }
+
+    /// Tags this attempt with `reason` and returns the public error.
+    /// Every engine conflict site funnels through here so the retry loop
+    /// can attribute the abort.
+    #[inline]
+    fn fail(&mut self, reason: AbortReason) -> StmError {
+        self.last_conflict = reason;
+        StmError::Conflict
+    }
+
+    /// Why the engine last flagged a conflict in the current attempt
+    /// ([`AbortReason::Explicit`] if it never did). Read by the retry
+    /// loop when recording an abort; meaningful only right after an
+    /// operation returned [`StmError::Conflict`].
+    #[must_use]
+    pub fn conflict_reason(&self) -> AbortReason {
+        self.last_conflict
     }
 
     /// The current read version (diagnostic).
@@ -230,12 +265,15 @@ impl Transaction {
         let guard = epoch::pin();
         loop {
             chaos::hit(ChaosPoint::LockSample);
+            if chaos::abort_requested(ChaosPoint::LockSample) {
+                return Err(self.fail(AbortReason::Chaos));
+            }
             let w1 = core.vlock().sample();
             if w1.is_locked() {
                 // Invisible reads cannot tell who owns the lock; treat it
                 // as a conflict and let the contention manager space out
                 // the retry (SwissTM would consult the CM here too).
-                return Err(StmError::Conflict);
+                return Err(self.fail(AbortReason::LockBusy));
             }
             let value = core.load_clone(&guard);
             if core.vlock().sample() != w1 {
@@ -256,6 +294,7 @@ impl Transaction {
             match self.read_index.entry(addr) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != w1.version() {
+                        self.last_conflict = AbortReason::ReadValidation;
                         return Err(StmError::Conflict);
                     }
                 }
@@ -305,9 +344,12 @@ impl Transaction {
         let guard = epoch::pin();
         loop {
             chaos::hit(ChaosPoint::LockSample);
+            if chaos::abort_requested(ChaosPoint::LockSample) {
+                return Err(self.fail(AbortReason::Chaos));
+            }
             let w1 = core.vlock().sample();
             if w1.is_locked() {
-                return Err(StmError::Conflict);
+                return Err(self.fail(AbortReason::LockBusy));
             }
             let result = core.with_value(&guard, &mut f);
             if core.vlock().sample() != w1 {
@@ -322,6 +364,7 @@ impl Transaction {
             match self.read_index.entry(addr) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != w1.version() {
+                        self.last_conflict = AbortReason::ReadValidation;
                         return Err(StmError::Conflict);
                     }
                 }
@@ -361,25 +404,32 @@ impl Transaction {
         }
 
         chaos::hit(ChaosPoint::LockSample);
+        if chaos::abort_requested(ChaosPoint::LockSample) {
+            return Err(self.fail(AbortReason::Chaos));
+        }
         let w = core.vlock().sample();
         if w.is_locked() {
-            return Err(StmError::Conflict);
+            return Err(self.fail(AbortReason::LockBusy));
         }
         // Write-after-read consistency: the version we read must still
         // be current, or our earlier read is stale.
         if let Some(&recorded) = self.read_index.get(&addr) {
             if w.version() != recorded {
-                return Err(StmError::Conflict);
+                return Err(self.fail(AbortReason::ReadValidation));
             }
         }
         if !core.vlock().try_lock(w) {
-            return Err(StmError::Conflict);
+            return Err(self.fail(AbortReason::LockBusy));
         }
+        #[cfg(feature = "trace")]
+        let locked_at = trc::stamp();
         self.write_index.insert(addr, self.writes.len());
         self.writes.push(Box::new(TypedSlot {
             core: Arc::clone(core),
             pending: Some(value),
             prev: w,
+            #[cfg(feature = "trace")]
+            locked_at,
         }));
         Ok(())
     }
@@ -396,16 +446,20 @@ impl Transaction {
 
     /// Validates the read set: every recorded variable must be unlocked
     /// (or locked by this transaction) and still carry its recorded
-    /// version.
-    fn validate(&self) -> TxResult<()> {
+    /// version. Returns the conflict classification on failure so
+    /// callers can attribute the abort.
+    fn validate(&self) -> Result<(), AbortReason> {
         chaos::hit(ChaosPoint::PreValidate);
+        if chaos::abort_requested(ChaosPoint::PreValidate) {
+            return Err(AbortReason::Chaos);
+        }
         for entry in &self.reads {
             let w = entry.handle.vlock().sample();
             if w.version() != entry.version {
-                return Err(StmError::Conflict);
+                return Err(AbortReason::ReadValidation);
             }
             if w.is_locked() && !self.write_index.contains_key(&entry.handle.vlock().addr()) {
-                return Err(StmError::Conflict);
+                return Err(AbortReason::LockBusy);
             }
         }
         Ok(())
@@ -414,9 +468,14 @@ impl Transaction {
     /// Timestamp extension: attempt to move `rv` up to the present.
     fn extend(&mut self) -> TxResult<()> {
         let new_rv = clock::now();
-        self.validate()?;
-        self.rv = new_rv;
-        Ok(())
+        match self.validate() {
+            Ok(()) => {
+                trc::clock_extend(self.rv, new_rv);
+                self.rv = new_rv;
+                Ok(())
+            }
+            Err(reason) => Err(self.fail(reason)),
+        }
     }
 
     /// Attempts to commit. On success all writes are visible atomically;
@@ -432,7 +491,9 @@ impl Transaction {
             // Someone committed since we started; make sure none of our
             // reads were invalidated (TL2 fast path skips this when the
             // clock tells us nobody did).
-            self.validate()?;
+            if let Err(reason) = self.validate() {
+                return Err(self.fail(reason));
+            }
         }
         let guard = epoch::pin();
         for slot in &mut self.writes {

@@ -1,0 +1,261 @@
+//! HDR-style log-bucketed latency histograms.
+//!
+//! Values (nanoseconds) land in buckets whose width grows with
+//! magnitude: below 32 the bucket is the value itself; above, each
+//! power-of-two range is split into 16 linear sub-buckets, giving a
+//! worst-case quantile error of ~6% at any scale — the classic
+//! `HdrHistogram` trade: fixed memory (a flat `u64` array), O(1) record,
+//! full `u64` range, no allocation on the hot path.
+
+/// Number of linear sub-buckets per power-of-two range.
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+
+/// Bucket count: values < 32 are exact (indices 0..32), then each of the
+/// remaining 59 doublings contributes 16 sub-buckets.
+const BUCKETS: usize = 32 + (59 * SUB_BUCKETS);
+
+fn bucket_index(v: u64) -> usize {
+    if v < 32 {
+        return v as usize;
+    }
+    let msb = v.ilog2(); // >= 5
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    32 + ((msb - 5) as usize) * SUB_BUCKETS + sub
+}
+
+/// Lower bound of the value range covered by bucket `idx` (the value the
+/// quantile queries report).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < 32 {
+        return idx as u64;
+    }
+    let rel = idx - 32;
+    let msb = (rel / SUB_BUCKETS) as u32 + 5;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+/// A log-bucketed histogram of `u64` values (latencies in nanoseconds).
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the lower bound of the
+    /// bucket holding the `ceil(q · count)`-th smallest recording
+    /// (within ~6% of the true order statistic). 0 when empty.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.value_at_quantile(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        // floor(bucket(v)) <= v and the floor maps back to the same
+        // bucket, across the full range.
+        for &v in &[
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            123_456,
+            u64::from(u32::MAX),
+            1 << 40,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            assert_eq!(bucket_index(floor), idx, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LogHistogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        // Each reported quantile must be within one sub-bucket (6.25%)
+        // below the true value.
+        let p100 = h.value_at_quantile(1.0);
+        assert!(p100 <= 1_000_000 && p100 as f64 >= 1_000_000.0 * (1.0 - 1.0 / 16.0));
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!((4_500..=5_500).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((9_000..=10_000).contains(&p99), "p99 = {p99}");
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert!(h.mean().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert!(a.max() >= 1_000_000);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.value_at_quantile(1.0) > u64::MAX / 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! `rubic-trace`: low-overhead structured event tracing for the RUBIC
+//! workspace.
+//!
+//! The pipeline:
+//!
+//! 1. Instrumented code ([`rubic-stm`'s protocol sites, the pool
+//!    monitor, the controllers) calls [`emit`] with a fixed-size binary
+//!    [`Event`]. When no [`TraceSession`] is active this is a single
+//!    relaxed atomic load.
+//! 2. Each emitting thread owns a lock-free [`Ring`] with a drop-oldest
+//!    overflow policy — producers never block and never allocate on the
+//!    hot path.
+//! 3. A collector thread drains all rings into [`LogHistogram`]s
+//!    (commit latency, abort→restart latency, lock hold time), an
+//!    abort-reason breakdown, a parallelism-level timeline, and —
+//!    optionally — the full event log.
+//! 4. [`TraceSession::finish`] returns a [`TraceReport`] exportable as
+//!    JSON-lines or as a `chrome://tracing` document for Perfetto.
+//!
+//! The instrumented crates gate their calls behind their own `trace`
+//! cargo feature, compiling to nothing when it is off; this crate itself
+//! is always functional.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss,
+    clippy::module_name_repetitions
+)]
+
+mod event;
+mod hist;
+mod recorder;
+mod report;
+mod ring;
+
+pub use event::{codes, Event, EventKind};
+pub use hist::LogHistogram;
+pub use recorder::{emit, is_enabled, now_ns, TraceConfig, TraceSession};
+pub use report::{LevelSample, TraceReport};
+pub use ring::Ring;

@@ -1,0 +1,369 @@
+//! The global recorder: per-thread ring registration, the `emit` fast
+//! path, and the collector-backed [`TraceSession`].
+//!
+//! Instrumented crates call [`emit`] (plus [`now_ns`] for latency
+//! timestamps). When no session is active, `emit` is one relaxed atomic
+//! load and a branch. When a session is active, the calling thread lazily
+//! registers a private [`Ring`] with the session and every subsequent
+//! emit is a handful of atomic stores into that ring — no locks, no
+//! allocation, no syscalls on the hot path.
+//!
+//! A background collector thread drains all rings every few milliseconds
+//! into the session's [`Sink`](crate::report::TraceReport) accumulators,
+//! so rings stay shallow and the drop-oldest policy rarely engages.
+//! [`TraceSession::finish`] stops the collector, performs a final drain,
+//! and returns the [`TraceReport`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::event::{Event, EventKind};
+use crate::report::{Sink, TraceReport};
+use crate::ring::Ring;
+
+/// True while a [`TraceSession`] is active. Checked (relaxed) on every
+/// `emit`; instrumented code can also consult it to skip timestamp
+/// capture entirely.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every session start/finish so stale thread-local rings
+/// re-register instead of writing into a dead session.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Serialises sessions: only one recorder may be active per process
+/// (trace data is process-global, like the chaos hook's scope lock).
+static SESSION_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// The active session's shared state.
+static STATE: Mutex<Option<Arc<SessionState>>> = Mutex::new(None);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// True while a trace session is recording.
+#[inline]
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+struct SessionState {
+    generation: u64,
+    ring_capacity: usize,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+struct LocalRing {
+    generation: u64,
+    tid: u16,
+    ring: Arc<Ring>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalRing>> = const { RefCell::new(None) };
+}
+
+/// Emits one event into the calling thread's ring. A no-op (one relaxed
+/// load) when no session is active. Never blocks, never allocates after
+/// the thread's first emit of the session.
+#[inline]
+pub fn emit(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
+    if !is_enabled() {
+        return;
+    }
+    emit_slow(kind, code, a, b, c);
+}
+
+#[cold]
+fn emit_slow(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
+    let generation = GENERATION.load(Ordering::Acquire);
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        let needs_register = match local.as_ref() {
+            Some(l) => l.generation != generation,
+            None => true,
+        };
+        if needs_register {
+            let Some(registered) = register_thread(generation) else {
+                return; // session vanished between the check and now
+            };
+            *local = Some(registered);
+        }
+        if let Some(l) = local.as_ref() {
+            let event = Event {
+                ts_ns: now_ns(),
+                kind,
+                code,
+                tid: l.tid,
+                a,
+                b,
+                c,
+            };
+            l.ring.push(event.encode());
+        }
+    });
+}
+
+fn register_thread(generation: u64) -> Option<LocalRing> {
+    let state = STATE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()?;
+    if state.generation != generation {
+        return None;
+    }
+    let ring = Arc::new(Ring::new(state.ring_capacity));
+    let mut rings = state.rings.lock().unwrap_or_else(PoisonError::into_inner);
+    let tid = u16::try_from(rings.len()).unwrap_or(u16::MAX);
+    rings.push(Arc::clone(&ring));
+    Some(LocalRing {
+        generation,
+        tid,
+        ring,
+    })
+}
+
+/// Construction parameters for a [`TraceSession`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Per-thread ring capacity in events (rounded up to a power of
+    /// two). The drop-oldest policy engages past this.
+    pub ring_capacity: usize,
+    /// Retain the full event log (needed for the JSONL and
+    /// `chrome://tracing` exporters). Histograms and the abort breakdown
+    /// are always accumulated regardless.
+    pub keep_events: bool,
+    /// How often the collector thread drains the rings.
+    pub drain_period: Duration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 1 << 14,
+            keep_events: true,
+            drain_period: Duration::from_millis(5),
+        }
+    }
+}
+
+/// An active recording: installs the global recorder on `start`, drains
+/// continuously on a collector thread, and yields a [`TraceReport`] on
+/// [`finish`](TraceSession::finish).
+///
+/// Only one session can be active per process; a second `start` blocks
+/// until the first finishes (sessions are process-global, so two
+/// concurrent ones would interleave their data).
+///
+/// ```
+/// use rubic_trace::{emit, EventKind, TraceConfig, TraceSession};
+/// let session = TraceSession::start(TraceConfig::default());
+/// emit(EventKind::TxnCommit, 0, 1_500, 0, 1);
+/// let report = session.finish();
+/// assert_eq!(report.commit_latency.count(), 1);
+/// ```
+pub struct TraceSession {
+    state: Arc<SessionState>,
+    sink: Arc<Mutex<Sink>>,
+    stop: Arc<AtomicBool>,
+    collector: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TraceSession {
+    /// Installs the recorder and starts the collector thread. Blocks if
+    /// another session is still active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector thread cannot be spawned.
+    #[must_use]
+    #[allow(clippy::needless_pass_by_value)] // config structs move in
+    pub fn start(cfg: TraceConfig) -> TraceSession {
+        while SESSION_ACTIVE
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
+        let state = Arc::new(SessionState {
+            generation,
+            ring_capacity: cfg.ring_capacity,
+            rings: Mutex::new(Vec::new()),
+        });
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&state));
+        let sink = Arc::new(Mutex::new(Sink::new(cfg.keep_events)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let collector = {
+            let state = Arc::clone(&state);
+            let sink = Arc::clone(&sink);
+            let stop = Arc::clone(&stop);
+            let period = cfg.drain_period;
+            std::thread::Builder::new()
+                .name("rubic-trace-collector".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(period);
+                        drain_into(&state, &sink);
+                    }
+                })
+                .expect("failed to spawn trace collector")
+        };
+        ENABLED.store(true, Ordering::Release);
+        TraceSession {
+            state,
+            sink,
+            stop,
+            collector: Some(collector),
+        }
+    }
+
+    /// Stops recording, drains every ring a final time, and builds the
+    /// report.
+    #[must_use]
+    pub fn finish(mut self) -> TraceReport {
+        self.teardown();
+        let mut sink = std::mem::replace(
+            &mut *self.sink.lock().unwrap_or_else(PoisonError::into_inner),
+            Sink::new(false),
+        );
+        let rings = self
+            .state
+            .rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        sink.dropped = rings.iter().map(|r| r.dropped()).sum();
+        drop(rings);
+        sink.into_report()
+    }
+
+    fn teardown(&mut self) {
+        ENABLED.store(false, Ordering::Release);
+        GENERATION.fetch_add(1, Ordering::AcqRel);
+        self.stop.store(true, Ordering::Release);
+        if let Some(c) = self.collector.take() {
+            let _ = c.join();
+        }
+        // Final drain after every producer either finished its push or
+        // will bail on the ENABLED fast path.
+        drain_into(&self.state, &self.sink);
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        SESSION_ACTIVE.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if self.collector.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+fn drain_into(state: &SessionState, sink: &Mutex<Sink>) {
+    // Snapshot the ring list first so a registering thread never waits
+    // on the sink lock.
+    let rings: Vec<Arc<Ring>> = state
+        .rings
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let mut sink = sink.lock().unwrap_or_else(PoisonError::into_inner);
+    for ring in rings {
+        while let Some(words) = ring.pop() {
+            if let Some(event) = Event::decode(words) {
+                sink.add(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::codes;
+
+    #[test]
+    fn disabled_emit_is_a_no_op() {
+        // No session: must not panic, must not register anything.
+        emit(EventKind::TxnBegin, 0, 0, 0, 0);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn session_records_and_reports() {
+        let session = TraceSession::start(TraceConfig::default());
+        assert!(is_enabled());
+        emit(EventKind::TxnBegin, 0, 0, 0, 0);
+        emit(EventKind::TxnCommit, 0, 2_000, (3 << 32) | 1, 1);
+        emit(EventKind::TxnAbort, codes::ABORT_LOCK_BUSY, 500, 0, 0);
+        emit(EventKind::TxnRestart, 0, 800, 0, 0);
+        emit(EventKind::LockHold, 0, 1_200, 0xDEAD, 0);
+        let report = session.finish();
+        assert!(!is_enabled());
+        assert_eq!(report.commit_latency.count(), 1);
+        assert_eq!(report.commit_latency.max(), 2_000);
+        assert_eq!(report.abort_restart_latency.count(), 1);
+        assert_eq!(report.lock_hold.count(), 1);
+        assert_eq!(report.abort_breakdown[codes::ABORT_LOCK_BUSY as usize], 1);
+        assert_eq!(report.total_aborts(), 1);
+        assert_eq!(report.events.len(), 5);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn sessions_serialise_and_generations_isolate() {
+        let s1 = TraceSession::start(TraceConfig::default());
+        emit(EventKind::TxnCommit, 0, 10, 0, 1);
+        let r1 = s1.finish();
+        // Same thread, new session: the thread-local ring must
+        // re-register (generation changed), and old data must not leak.
+        let s2 = TraceSession::start(TraceConfig::default());
+        emit(EventKind::TxnCommit, 0, 20, 0, 1);
+        emit(EventKind::TxnCommit, 0, 30, 0, 1);
+        let r2 = s2.finish();
+        assert_eq!(r1.commit_latency.count(), 1);
+        assert_eq!(r2.commit_latency.count(), 2);
+    }
+
+    #[test]
+    fn multi_thread_emits_are_collected() {
+        let session = TraceSession::start(TraceConfig::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for i in 0..100u64 {
+                        emit(EventKind::TxnCommit, 0, i + 1, 0, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = session.finish();
+        assert_eq!(report.commit_latency.count(), 400);
+        // Each thread registered its own ring => distinct tids observed.
+        let tids: std::collections::HashSet<u16> = report.events.iter().map(|e| e.tid).collect();
+        assert!(tids.len() >= 4, "expected >= 4 producer threads: {tids:?}");
+    }
+
+    #[test]
+    fn histograms_only_mode_drops_event_log() {
+        let session = TraceSession::start(TraceConfig {
+            keep_events: false,
+            ..TraceConfig::default()
+        });
+        emit(EventKind::TxnCommit, 0, 99, 0, 1);
+        let report = session.finish();
+        assert!(report.events.is_empty());
+        assert_eq!(report.commit_latency.count(), 1);
+    }
+}

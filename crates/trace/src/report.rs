@@ -1,0 +1,480 @@
+//! Aggregation of drained events and the two export formats.
+//!
+//! The collector thread feeds decoded [`Event`]s into a [`Sink`], which
+//! accumulates the three latency histograms, the abort-reason breakdown
+//! and the parallelism-level timeline as events arrive (so
+//! histograms-only sessions never buffer the raw log). At session end
+//! the sink freezes into a [`TraceReport`], which can render itself as
+//! JSON-lines ([`TraceReport::to_jsonl`]) or as a `chrome://tracing`
+//! document ([`TraceReport::to_chrome_trace`]) loadable in Perfetto.
+
+use crate::event::{codes, Event, EventKind};
+use crate::hist::LogHistogram;
+
+/// One applied parallelism-level change, taken from `LevelChange` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSample {
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Level before the change.
+    pub old_level: u32,
+    /// Level after the change.
+    pub new_level: u32,
+    /// Monitor round that applied it.
+    pub round: u64,
+}
+
+/// Streaming accumulator the collector drains into.
+pub(crate) struct Sink {
+    keep_events: bool,
+    events: Vec<Event>,
+    commit_latency: LogHistogram,
+    abort_restart_latency: LogHistogram,
+    lock_hold: LogHistogram,
+    abort_breakdown: [u64; codes::ABORT_REASONS],
+    level_timeline: Vec<LevelSample>,
+    pub(crate) dropped: u64,
+}
+
+impl Sink {
+    pub(crate) fn new(keep_events: bool) -> Sink {
+        Sink {
+            keep_events,
+            events: Vec::new(),
+            commit_latency: LogHistogram::new(),
+            abort_restart_latency: LogHistogram::new(),
+            lock_hold: LogHistogram::new(),
+            abort_breakdown: [0; codes::ABORT_REASONS],
+            level_timeline: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn add(&mut self, event: Event) {
+        match event.kind {
+            EventKind::TxnCommit => self.commit_latency.record(event.a),
+            EventKind::TxnRestart => self.abort_restart_latency.record(event.a),
+            EventKind::LockHold => self.lock_hold.record(event.a),
+            EventKind::TxnAbort => {
+                let idx = (event.code as usize).min(codes::ABORT_REASONS - 1);
+                self.abort_breakdown[idx] += 1;
+            }
+            EventKind::LevelChange => self.level_timeline.push(LevelSample {
+                ts_ns: event.ts_ns,
+                old_level: event.a as u32,
+                new_level: event.b as u32,
+                round: event.c,
+            }),
+            _ => {}
+        }
+        if self.keep_events {
+            self.events.push(event);
+        }
+    }
+
+    pub(crate) fn into_report(mut self) -> TraceReport {
+        // Rings drain per thread, so interleave by timestamp for export.
+        self.events.sort_by_key(|e| e.ts_ns);
+        self.level_timeline.sort_by_key(|s| s.ts_ns);
+        TraceReport {
+            events: self.events,
+            commit_latency: self.commit_latency,
+            abort_restart_latency: self.abort_restart_latency,
+            lock_hold: self.lock_hold,
+            abort_breakdown: self.abort_breakdown,
+            level_timeline: self.level_timeline,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Everything a finished [`TraceSession`](crate::TraceSession) observed.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// The full event log in timestamp order (empty when the session ran
+    /// with `keep_events = false`).
+    pub events: Vec<Event>,
+    /// Begin→commit latency of committed transactions, in nanoseconds.
+    pub commit_latency: LogHistogram,
+    /// Abort→restart (backoff) latency, in nanoseconds.
+    pub abort_restart_latency: LogHistogram,
+    /// Write-lock hold time, in nanoseconds.
+    pub lock_hold: LogHistogram,
+    /// Abort counts by reason code (index = `codes::ABORT_*`).
+    pub abort_breakdown: [u64; codes::ABORT_REASONS],
+    /// Applied parallelism-level changes in timestamp order.
+    pub level_timeline: Vec<LevelSample>,
+    /// Events discarded by ring overflow (drop-oldest) across all
+    /// threads. Histogram counts and the breakdown exclude these.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Total aborts across all reasons.
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.abort_breakdown.iter().sum()
+    }
+
+    /// Abort-reason shares as `(name, count, fraction)` rows, skipping
+    /// reasons that never fired. Fractions sum to 1 when any abort
+    /// occurred.
+    #[must_use]
+    pub fn abort_shares(&self) -> Vec<(&'static str, u64, f64)> {
+        let total = self.total_aborts();
+        self.abort_breakdown
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                #[allow(clippy::cast_precision_loss)]
+                let frac = n as f64 / total as f64;
+                (codes::ABORT_NAMES[i], n, frac)
+            })
+            .collect()
+    }
+
+    /// Renders the event log as JSON-lines: one object per event with
+    /// the decoded kind name and, where the code byte has a meaning, a
+    /// decoded `label`.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for e in &self.events {
+            let _ = write!(
+                out,
+                "{{\"ts_ns\":{},\"kind\":\"{}\",\"code\":{},\"tid\":{},\"a\":{},\"b\":{},\"c\":{}",
+                e.ts_ns,
+                e.kind.name(),
+                e.code,
+                e.tid,
+                e.a,
+                e.b,
+                e.c
+            );
+            if let Some(label) = code_label(e) {
+                out.push_str(",\"label\":\"");
+                out.push_str(&escape_json(label));
+                out.push('"');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders a `chrome://tracing` JSON document (object form, µs
+    /// timestamps) that Perfetto and `chrome://tracing` both load:
+    ///
+    /// - committed/aborted transactions become `"X"` complete events
+    ///   with their latency as the duration,
+    /// - monitor rounds become `"C"` counter tracks for the pool level
+    ///   and throughput,
+    /// - level changes, controller decisions and chaos injections become
+    ///   `"i"` instants.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut rows: Vec<String> = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let ts_us = us(e.ts_ns);
+            match e.kind {
+                EventKind::TxnCommit => rows.push(format!(
+                    "{{\"name\":\"txn_commit\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"reads\":{},\"writes\":{},\"attempts\":{}}}}}",
+                    us(e.ts_ns.saturating_sub(e.a)),
+                    us(e.a),
+                    e.tid,
+                    e.b >> 32,
+                    e.b & 0xFFFF_FFFF,
+                    e.c
+                )),
+                EventKind::TxnAbort => rows.push(format!(
+                    "{{\"name\":\"abort:{}\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"attempt\":{}}}}}",
+                    codes::abort_name(e.code),
+                    us(e.ts_ns.saturating_sub(e.a)),
+                    us(e.a),
+                    e.tid,
+                    e.b
+                )),
+                EventKind::MonitorRound => rows.push(format!(
+                    "{{\"name\":\"pool\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{\"level\":{},\"throughput\":{}}}}}",
+                    e.b >> 32,
+                    json_f64(f64::from_bits(e.c))
+                )),
+                EventKind::LevelChange => rows.push(format!(
+                    "{{\"name\":\"level {}\\u2192{}\",\"cat\":\"pool\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts_us},\"pid\":1,\"tid\":{}}}",
+                    e.a, e.b, e.tid
+                )),
+                EventKind::Decision => rows.push(format!(
+                    "{{\"name\":\"decide:{}\",\"cat\":\"controller\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":{},\"args\":{{\"phase\":\"{}\",\"throughput\":{},\"level\":{},\"new_level\":{}}}}}",
+                    codes::policy_name(e.c),
+                    e.tid,
+                    codes::phase_name(e.code),
+                    json_f64(f64::from_bits(e.a)),
+                    e.b >> 32,
+                    e.b & 0xFFFF_FFFF
+                )),
+                EventKind::RubicState => rows.push(format!(
+                    "{{\"name\":\"rubic_state\",\"cat\":\"controller\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":{},\"args\":{{\"phase\":\"{}\",\"t_p\":{},\"l_max\":{},\"level\":{},\"new_level\":{}}}}}",
+                    e.tid,
+                    codes::phase_name(e.code),
+                    json_f64(f64::from_bits(e.a)),
+                    json_f64(f64::from_bits(e.b)),
+                    e.c >> 32,
+                    e.c & 0xFFFF_FFFF
+                )),
+                EventKind::Chaos => rows.push(format!(
+                    "{{\"name\":\"chaos:{}\",\"cat\":\"chaos\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":{}}}",
+                    codes::chaos_point_name(e.code),
+                    e.tid
+                )),
+                // Begin/restart/lock/extend/worker-delta are summarised
+                // by the histograms; as spans they would dwarf the trace.
+                _ => {}
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&rows.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+
+    /// A compact human-readable summary (the `trace_report` example's
+    /// core output): abort breakdown, latency quantiles, level timeline.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let total = self.total_aborts();
+        let _ = writeln!(s, "aborts: {total} total");
+        for (name, n, frac) in self.abort_shares() {
+            let _ = writeln!(s, "  {name:<16} {n:>8}  ({:.1}%)", frac * 100.0);
+        }
+        let _ = writeln!(
+            s,
+            "commit latency: n={} p50={}ns p99={}ns max={}ns",
+            self.commit_latency.count(),
+            self.commit_latency.p50(),
+            self.commit_latency.p99(),
+            self.commit_latency.max()
+        );
+        let _ = writeln!(
+            s,
+            "abort->restart: n={} p50={}ns p99={}ns",
+            self.abort_restart_latency.count(),
+            self.abort_restart_latency.p50(),
+            self.abort_restart_latency.p99()
+        );
+        let _ = writeln!(
+            s,
+            "lock hold:      n={} p50={}ns p99={}ns",
+            self.lock_hold.count(),
+            self.lock_hold.p50(),
+            self.lock_hold.p99()
+        );
+        if !self.level_timeline.is_empty() {
+            let _ = writeln!(s, "level timeline ({} changes):", self.level_timeline.len());
+            for l in &self.level_timeline {
+                let _ = writeln!(
+                    s,
+                    "  t={:>9.3}ms round={:>4} {} -> {}",
+                    l.ts_ns as f64 / 1e6,
+                    l.round,
+                    l.old_level,
+                    l.new_level
+                );
+            }
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(s, "dropped events (ring overflow): {}", self.dropped);
+        }
+        s
+    }
+}
+
+/// Human label for the code byte, where the kind gives it one.
+fn code_label(e: &Event) -> Option<&'static str> {
+    match e.kind {
+        EventKind::TxnAbort => Some(codes::abort_name(e.code)),
+        EventKind::Decision | EventKind::RubicState => Some(codes::phase_name(e.code)),
+        EventKind::Chaos => Some(codes::chaos_point_name(e.code)),
+        _ => None,
+    }
+}
+
+/// Nanoseconds → microseconds with 3 decimals (chrome trace unit).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// A JSON-safe rendering of an `f64` (NaN/inf become 0, which JSON
+/// cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, code: u8, ts: u64, a: u64, b: u64, c: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind,
+            code,
+            tid: 0,
+            a,
+            b,
+            c,
+        }
+    }
+
+    fn sample_report() -> TraceReport {
+        let mut sink = Sink::new(true);
+        sink.add(ev(EventKind::TxnBegin, 0, 10, 0, 0, 0));
+        sink.add(ev(EventKind::TxnCommit, 0, 1_010, 1_000, (4 << 32) | 2, 1));
+        sink.add(ev(
+            EventKind::TxnAbort,
+            codes::ABORT_READ_VALIDATION,
+            2_000,
+            400,
+            0,
+            0,
+        ));
+        sink.add(ev(
+            EventKind::TxnAbort,
+            codes::ABORT_LOCK_BUSY,
+            2_100,
+            300,
+            1,
+            0,
+        ));
+        sink.add(ev(EventKind::TxnRestart, 0, 2_500, 150, 1, 0));
+        sink.add(ev(EventKind::LockHold, 0, 3_000, 250, 0xBEEF, 0));
+        sink.add(ev(
+            EventKind::MonitorRound,
+            0,
+            4_000,
+            (1 << 32) | 0xA,
+            (2 << 32) | 3,
+            1234.5f64.to_bits(),
+        ));
+        sink.add(ev(EventKind::LevelChange, 0, 4_100, 2, 4, 1));
+        sink.add(ev(
+            EventKind::Decision,
+            codes::PHASE_GROWTH_CUBIC,
+            4_050,
+            1234.5f64.to_bits(),
+            (2 << 32) | 4,
+            0,
+        ));
+        sink.add(ev(EventKind::Chaos, 2, 5_000, 0, 0, 0));
+        sink.into_report()
+    }
+
+    #[test]
+    fn sink_accumulates_histograms_and_breakdown() {
+        let r = sample_report();
+        assert_eq!(r.commit_latency.count(), 1);
+        assert_eq!(r.abort_restart_latency.count(), 1);
+        assert_eq!(r.lock_hold.count(), 1);
+        assert_eq!(r.total_aborts(), 2);
+        assert_eq!(r.abort_breakdown[codes::ABORT_READ_VALIDATION as usize], 1);
+        assert_eq!(r.abort_breakdown[codes::ABORT_LOCK_BUSY as usize], 1);
+        assert_eq!(r.level_timeline.len(), 1);
+        assert_eq!(r.level_timeline[0].new_level, 4);
+    }
+
+    #[test]
+    fn abort_shares_sum_to_one() {
+        let r = sample_report();
+        let shares = r.abort_shares();
+        assert_eq!(shares.len(), 2);
+        let sum: f64 = shares.iter().map(|(_, _, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_sorted_by_timestamp() {
+        let r = sample_report();
+        assert!(r.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn jsonl_has_one_valid_object_per_event() {
+        let r = sample_report();
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), r.events.len());
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":\""));
+            // Balanced braces is a cheap structural sanity check that
+            // catches broken escaping without a JSON parser dependency.
+            let open = line.matches('{').count();
+            let close = line.matches('}').count();
+            assert_eq!(open, close, "{line}");
+        }
+        assert!(jsonl.contains("\"label\":\"lock-busy\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid() {
+        let r = sample_report();
+        let doc = r.to_chrome_trace();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with('}'));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"ph\":\"X\""), "complete events present");
+        assert!(doc.contains("\"ph\":\"C\""), "counter track present");
+        assert!(doc.contains("\"ph\":\"i\""), "instants present");
+        assert!(doc.contains("abort:lock-busy"));
+        assert!(doc.contains("\"throughput\":1234.5"));
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let r = sample_report();
+        let s = r.summary();
+        assert!(s.contains("aborts: 2 total"));
+        assert!(s.contains("read-validation"));
+        assert!(s.contains("commit latency"));
+        assert!(s.contains("level timeline"));
+    }
+
+    #[test]
+    fn microsecond_rendering() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_234), "1.234");
+        assert_eq!(us(1_000_007), "1000.007");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

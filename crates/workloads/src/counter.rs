@@ -54,6 +54,10 @@ impl Workload for ConflictCounter {
         self.stm
             .atomically(|tx| tx.modify(&self.counter, |x| x + 1));
     }
+
+    fn drain_aborts(&self, (): &mut ()) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 /// Tasks spread increments across `N` stripes.
@@ -116,6 +120,10 @@ impl Workload for StripedCounter {
         let stripe = &self.stripes[state.at % self.stripes.len()];
         state.at = state.at.wrapping_add(1);
         self.stm.atomically(|tx| tx.modify(stripe, |x| x + 1));
+    }
+
+    fn drain_aborts(&self, _state: &mut StripeCursor) -> u64 {
+        rubic_stm::take_thread_aborts()
     }
 }
 

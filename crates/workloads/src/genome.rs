@@ -205,6 +205,10 @@ impl Workload for GenomeWorkload {
         let segment = state.pending.pop().expect("just refilled");
         let _ = self.process_segment(&segment);
     }
+
+    fn drain_aborts(&self, _state: &mut GenomeWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

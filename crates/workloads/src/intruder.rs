@@ -305,6 +305,10 @@ impl Workload for IntruderWorkload {
             }
         }
     }
+
+    fn drain_aborts(&self, _state: &mut IntruderWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

@@ -219,6 +219,10 @@ impl Workload for KMeansWorkload {
         let point = self.sample_point(&mut state.rng);
         let _ = self.assign(&point);
     }
+
+    fn drain_aborts(&self, _state: &mut KMeansWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

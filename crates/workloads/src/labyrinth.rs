@@ -290,6 +290,10 @@ impl Workload for LabyrinthWorkload {
             }
         }
     }
+
+    fn drain_aborts(&self, _state: &mut LabyrinthWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

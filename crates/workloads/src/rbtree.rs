@@ -204,6 +204,10 @@ impl Workload for RbTreeWorkload {
             let _ = self.stm.atomically(|tx| self.map.remove(tx, &key));
         }
     }
+
+    fn drain_aborts(&self, _state: &mut RbWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

@@ -469,6 +469,10 @@ impl Workload for VacationWorkload {
             self.session_update_tables(&mut state.rng);
         }
     }
+
+    fn drain_aborts(&self, _state: &mut VacationWorkerState) -> u64 {
+        rubic_stm::take_thread_aborts()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,131 @@
+//! End-to-end observability demo: two STAMP-style tenants (Vacation +
+//! Intruder) co-located under RUBIC with a trace session recording the
+//! whole stack, then a report with abort attribution, latency
+//! quantiles, the parallelism-level timeline, and two export files:
+//!
+//! * `trace_report.jsonl` — one JSON object per event,
+//! * `trace_report.chrome.json` — load in Perfetto / `chrome://tracing`.
+//!
+//! Run with `cargo run --release --features trace --example trace_report`.
+//! Pass `--smoke` (or set `TRACE_REPORT_SMOKE=1`) for a ~1 s run, as CI
+//! does.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rubic::prelude::*;
+use rubic::stm::AbortReason;
+use rubic::trace::{TraceConfig, TraceSession};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("TRACE_REPORT_SMOKE").is_ok_and(|v| v != "0");
+    let run_for = if smoke {
+        Duration::from_millis(1_000)
+    } else {
+        Duration::from_millis(3_000)
+    };
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
+    let pool = (hw * 2).max(4);
+
+    // Each tenant gets its own STM instance — separate processes in the
+    // paper, separate commit clocks here.
+    let stm_vac = Stm::default();
+    let vac = Arc::new(VacationWorkload::new(
+        VacationConfig::high_contention(64),
+        stm_vac.clone(),
+    ));
+    let stm_intr = Stm::default();
+    let intr = Arc::new(IntruderWorkload::new(
+        IntruderConfig::small(),
+        stm_intr.clone(),
+    ));
+
+    let vac_before = stm_vac.stats().snapshot();
+    let intr_before = stm_intr.stats().snapshot();
+
+    println!(
+        "tracing Vacation + Intruder under RUBIC for {:.1}s (pool = {pool} each) ...",
+        run_for.as_secs_f64()
+    );
+    let session = TraceSession::start(TraceConfig::default());
+
+    let monitor = Duration::from_millis(10);
+    let vac_handle = {
+        let vac = Arc::clone(&vac);
+        std::thread::spawn(move || {
+            let spec = TenantSpec::new("vacation", pool, Policy::Rubic).monitor_period(monitor);
+            run_tenant(Tenant::new(spec, vac), run_for)
+        })
+    };
+    let intr_handle = {
+        let intr = Arc::clone(&intr);
+        std::thread::spawn(move || {
+            let spec = TenantSpec::new("intruder", pool, Policy::Rubic).monitor_period(monitor);
+            run_tenant(Tenant::new(spec, intr), run_for)
+        })
+    };
+    let vac_report = vac_handle.join().expect("vacation tenant panicked");
+    let intr_report = intr_handle.join().expect("intruder tenant panicked");
+
+    let report = session.finish();
+
+    let vac_delta = stm_vac.stats().snapshot().delta_since(&vac_before);
+    let intr_delta = stm_intr.stats().snapshot().delta_since(&intr_before);
+
+    println!();
+    for t in [&vac_report, &intr_report] {
+        println!(
+            "tenant {:<10} {:>10.0} tasks/s  mean level {:>5.2}  pool aborts {}",
+            t.name,
+            t.throughput(),
+            t.mean_level(),
+            t.report.total_aborts
+        );
+    }
+    println!();
+    print!("{}", report.summary());
+
+    // Cross-check: the trace's abort-reason breakdown must account for
+    // exactly the aborts the two STM instances counted, reason by
+    // reason (ring overflow would show up as `dropped`, so only assert
+    // when nothing was dropped).
+    let stm_total = vac_delta.aborts + intr_delta.aborts;
+    println!();
+    println!(
+        "cross-check: trace saw {} aborts, STM stats counted {} (dropped events: {})",
+        report.total_aborts(),
+        stm_total,
+        report.dropped
+    );
+    if report.dropped == 0 {
+        assert_eq!(
+            report.total_aborts(),
+            stm_total,
+            "trace abort breakdown must sum to the STM stats total"
+        );
+        for reason in AbortReason::ALL {
+            let idx = reason.code() as usize;
+            let stats_n = vac_delta.abort_reasons[idx] + intr_delta.abort_reasons[idx];
+            assert_eq!(
+                report.abort_breakdown[idx],
+                stats_n,
+                "per-reason mismatch for {}",
+                reason.name()
+            );
+        }
+        println!("cross-check OK: per-reason counts match the STM stats exactly");
+    }
+
+    let jsonl = report.to_jsonl();
+    let chrome = report.to_chrome_trace();
+    std::fs::write("trace_report.jsonl", &jsonl).expect("write trace_report.jsonl");
+    std::fs::write("trace_report.chrome.json", &chrome).expect("write trace_report.chrome.json");
+    println!();
+    println!(
+        "wrote trace_report.jsonl ({} events) and trace_report.chrome.json ({} bytes)",
+        report.events.len(),
+        chrome.len()
+    );
+    println!("open trace_report.chrome.json at https://ui.perfetto.dev or chrome://tracing");
+}

@@ -214,7 +214,32 @@ impl SnapshotChecker {
 /// only shows up later as a mysterious permanent conflict.
 #[derive(Default)]
 pub struct LockLeakDetector {
-    probes: Vec<(String, Box<dyn Fn() -> bool + Send + Sync>)>,
+    probes: Vec<Probe>,
+}
+
+/// One watched variable: its diagnostic name, its probe index (assigned
+/// in registration order, so `watch_all` slices report the leaking
+/// *element* directly), its lock identity, and the liveness closure.
+struct Probe {
+    name: String,
+    index: usize,
+    lock_addr: usize,
+    locked: Box<dyn Fn() -> bool + Send + Sync>,
+}
+
+/// A still-locked variable found at quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakedLock {
+    /// The diagnostic name given at registration.
+    pub name: String,
+    /// The probe index (registration order) — for `watch_all` this is
+    /// the index into the watched slice.
+    pub index: usize,
+    /// The lock's stable address ([`TVar::lock_addr`]). `LockHold`
+    /// trace events carry the same address, so a recorded session can
+    /// be filtered down to exactly the transactions that held the
+    /// leaking lock.
+    pub lock_addr: usize,
 }
 
 impl LockLeakDetector {
@@ -227,9 +252,14 @@ impl LockLeakDetector {
 
     /// Registers one variable under a diagnostic name.
     pub fn watch<T: TxValue>(&mut self, name: impl Into<String>, var: &TVar<T>) {
+        let lock_addr = var.lock_addr();
         let var = var.clone();
-        self.probes
-            .push((name.into(), Box::new(move || var.is_locked())));
+        self.probes.push(Probe {
+            name: name.into(),
+            index: self.probes.len(),
+            lock_addr,
+            locked: Box::new(move || var.is_locked()),
+        });
     }
 
     /// Registers a slice of variables as `prefix[0]`, `prefix[1]`, ...
@@ -251,25 +281,40 @@ impl LockLeakDetector {
         self.probes.is_empty()
     }
 
+    /// The variables currently holding their write lock. Call only at
+    /// quiescence; anything returned has leaked.
+    #[must_use]
+    pub fn leaked(&self) -> Vec<LeakedLock> {
+        self.probes
+            .iter()
+            .filter(|p| (p.locked)())
+            .map(|p| LeakedLock {
+                name: p.name.clone(),
+                index: p.index,
+                lock_addr: p.lock_addr,
+            })
+            .collect()
+    }
+
     /// Call only at quiescence (after joining every thread that ran
     /// transactions).
     ///
     /// # Errors
-    /// The names of all still-locked variables.
+    /// One line per still-locked variable: name, probe index, and the
+    /// lock address to grep for in a recorded trace's `LockHold` events.
     pub fn check(&self) -> Result<(), String> {
-        let leaked: Vec<&str> = self
-            .probes
-            .iter()
-            .filter(|(_, locked)| locked())
-            .map(|(name, _)| name.as_str())
-            .collect();
+        let leaked = self.leaked();
         if leaked.is_empty() {
             Ok(())
         } else {
+            let detail: Vec<String> = leaked
+                .iter()
+                .map(|l| format!("{} (index {}, lock {:#x})", l.name, l.index, l.lock_addr))
+                .collect();
             Err(format!(
                 "lock leak: {} variable(s) still locked at quiescence: {}",
                 leaked.len(),
-                leaked.join(", ")
+                detail.join(", ")
             ))
         }
     }
@@ -324,7 +369,30 @@ mod tests {
         tx.write(&b, 9).unwrap();
         let err = det.check().unwrap_err();
         assert!(err.contains('b') && !err.contains("a,"), "{err}");
+        let leaked = det.leaked();
+        assert_eq!(leaked.len(), 1);
+        assert_eq!(leaked[0].index, 1, "b was registered second");
+        assert_eq!(leaked[0].lock_addr, b.lock_addr());
+        assert!(err.contains("index 1"), "{err}");
         tx.abort_unmanaged();
         det.check().unwrap();
+    }
+
+    #[test]
+    fn lock_leak_detector_indexes_slices() {
+        let vars: Vec<TVar<u64>> = (0..4).map(TVar::new).collect();
+        let mut det = LockLeakDetector::new();
+        det.watch_all("cell", &vars);
+        assert_eq!(det.len(), 4);
+
+        let mut tx = rubic_stm::Transaction::begin_unmanaged();
+        tx.write(&vars[2], 99).unwrap();
+        let leaked = det.leaked();
+        assert_eq!(leaked.len(), 1);
+        assert_eq!(leaked[0].index, 2);
+        assert_eq!(leaked[0].name, "cell[2]");
+        assert_eq!(leaked[0].lock_addr, vars[2].lock_addr());
+        tx.abort_unmanaged();
+        assert!(det.leaked().is_empty());
     }
 }

@@ -1,0 +1,15 @@
+//! Compiled only **without** `--features trace`: proves the default
+//! build carries zero instrumentation. The STM's transaction-trace
+//! recorder must compile down to a zero-sized type, so the untraced
+//! hot path pays nothing — no timestamp reads, no ring pushes, no
+//! extra per-transaction state.
+#![cfg(not(feature = "trace"))]
+
+#[test]
+fn default_build_has_a_zero_sized_trace_recorder() {
+    assert_eq!(
+        rubic_stm::trace_footprint(),
+        0,
+        "trace feature off must compile the per-transaction recorder to a ZST"
+    );
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the `trace` feature: a real tenant run recorded
+//! by a [`TraceSession`], the abort-attribution cross-check against STM
+//! stats, the exporters' structural validity, and a chaos-interleaving
+//! smoke test that drives fault injection and tracing together.
+//!
+//! Compiled only with `--features trace` (CI runs `--features trace`
+//! and `--features trace,chaos` jobs). Trace sessions are
+//! process-global, so every test here serialises on one mutex — events
+//! emitted by a concurrently running test would otherwise land in
+//! whichever session happens to be active.
+#![cfg(feature = "trace")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rubic::prelude::*;
+use rubic::stm::AbortReason;
+use rubic::trace::{codes, EventKind, TraceConfig, TraceReport, TraceSession};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Records a short RUBIC-tuned red-black-tree run and returns the
+/// report plus the STM stats delta over exactly the session window.
+fn traced_rbt_run() -> (TraceReport, rubic::stm::StatsSnapshot) {
+    let stm = Stm::default();
+    let workload = RbTreeWorkload::new(RbTreeConfig::small(), stm.clone());
+    let before = stm.stats().snapshot();
+    let session = TraceSession::start(TraceConfig::default());
+    let spec = TenantSpec::new("rbt", 4, Policy::Rubic).monitor_period(Duration::from_millis(5));
+    let tenant_report = run_tenant(Tenant::new(spec, workload), Duration::from_millis(120));
+    let report = session.finish();
+    assert!(tenant_report.throughput() > 0.0);
+    (report, stm.stats().snapshot().delta_since(&before))
+}
+
+#[test]
+fn session_over_pool_records_the_whole_stack() {
+    let _serial = serial();
+    let (report, delta) = traced_rbt_run();
+
+    // Transactions committed, so the commit-latency histogram is
+    // populated and every commit produced one event.
+    assert!(
+        report.commit_latency.count() > 0,
+        "no commit latency recorded"
+    );
+    assert!(report.commit_latency.p50() > 0);
+    // The monitor ran (period 5ms over 120ms) and emitted rounds.
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::MonitorRound),
+        "no monitor rounds in the event log"
+    );
+    // The controller decided every round.
+    assert!(
+        report.events.iter().any(|e| e.kind == EventKind::Decision),
+        "no controller decisions in the event log"
+    );
+
+    // Abort attribution must reconcile with the STM's own counters,
+    // reason by reason, unless the ring dropped events.
+    if report.dropped == 0 {
+        assert_eq!(report.total_aborts(), delta.aborts);
+        for reason in AbortReason::ALL {
+            assert_eq!(
+                report.abort_breakdown[reason.code() as usize],
+                delta.abort_reasons[reason.code() as usize],
+                "mismatch for {}",
+                reason.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exporters_are_structurally_valid_on_real_data() {
+    let _serial = serial();
+    let (report, _) = traced_rbt_run();
+
+    let jsonl = report.to_jsonl();
+    assert_eq!(jsonl.lines().count(), report.events.len());
+    for line in jsonl.lines().take(200) {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    let chrome = report.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with('}'));
+    assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    assert_eq!(chrome.matches('[').count(), chrome.matches(']').count());
+    assert!(chrome.contains("\"ph\":\"X\""), "no transaction spans");
+    assert!(chrome.contains("\"ph\":\"C\""), "no pool counter track");
+}
+
+#[test]
+fn abort_reason_codes_match_the_trace_tables() {
+    // The trace crate cannot depend on the STM, so the two enums are
+    // kept in sync by convention; this is the cross-crate assertion.
+    assert_eq!(
+        AbortReason::ReadValidation.code(),
+        codes::ABORT_READ_VALIDATION
+    );
+    assert_eq!(AbortReason::LockBusy.code(), codes::ABORT_LOCK_BUSY);
+    assert_eq!(AbortReason::CmKill.code(), codes::ABORT_CM_KILL);
+    assert_eq!(AbortReason::Chaos.code(), codes::ABORT_CHAOS);
+    assert_eq!(AbortReason::Explicit.code(), codes::ABORT_EXPLICIT);
+    for reason in AbortReason::ALL {
+        assert_eq!(reason.name(), codes::abort_name(reason.code()));
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod chaos_interleaving {
+    use super::*;
+    use rubic::stm::chaos::{install, SeededChaos};
+    use std::sync::Arc;
+
+    /// Chaos fault injection and tracing driven together: injected
+    /// kills must surface in the trace's abort breakdown under the
+    /// `chaos` reason, matching the STM's own count.
+    #[test]
+    fn chaos_kills_are_attributed_in_the_trace() {
+        let _serial = serial();
+        let stm = Stm::default();
+        let v = TVar::new(0u64);
+        let before = stm.stats().snapshot();
+        let hook = Arc::new(SeededChaos::with_abort_one_in(0xC0FFEE, 4));
+        let session = TraceSession::start(TraceConfig::default());
+        {
+            let _chaos = install(hook);
+            for _ in 0..200 {
+                stm.atomically(|tx| {
+                    let cur = tx.read(&v)?;
+                    tx.write(&v, cur + 1)
+                });
+            }
+        }
+        let report = session.finish();
+        let delta = stm.stats().snapshot().delta_since(&before);
+
+        assert_eq!(v.snapshot(), 200, "all transactions eventually commit");
+        let chaos_idx = codes::ABORT_CHAOS as usize;
+        assert!(
+            delta.abort_reasons[chaos_idx] > 0,
+            "one-in-4 injection over 200 txns must kill some attempts"
+        );
+        if report.dropped == 0 {
+            assert_eq!(
+                report.abort_breakdown[chaos_idx],
+                delta.abort_reasons[chaos_idx]
+            );
+            assert_eq!(report.total_aborts(), delta.aborts);
+        }
+        // The injection points themselves are also traced.
+        assert!(
+            report.events.iter().any(|e| e.kind == EventKind::Chaos),
+            "chaos decision events missing from the log"
+        );
+    }
+}

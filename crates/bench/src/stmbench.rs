@@ -1,0 +1,401 @@
+//! The STM substrate's performance-trajectory harness (`stmbench`).
+//!
+//! Sweeps the three canonical workloads of the paper's evaluation
+//! ({counter, rbtree, vacation}) across thread counts and an operation
+//! mix axis ({read-heavy, write-heavy}), measuring committed operations
+//! per second and the abort rate for each configuration, repeated
+//! `reps` times so every number carries a mean ± sample stddev.
+//!
+//! The `stmbench` binary writes the result as `BENCH_stm.json` at the
+//! repository root — the seed of the perf trajectory later PRs are
+//! judged against. The schema (`rubic-stmbench/v1`) is documented in
+//! the README's "Benchmarking" section and validated by
+//! [`BenchReport::validate`], which the binary runs before writing so
+//! a malformed report can never be committed silently.
+//!
+//! Mix mapping per workload (the axis is "how much write conflict"):
+//!
+//! | workload | read-heavy | write-heavy |
+//! |---|---|---|
+//! | counter | striped over 1024 stripes (~conflict-free) | one shared counter (maximal conflict) |
+//! | rbtree | paper mix, 98 % look-ups | 50/25/25 lookup/insert/delete |
+//! | vacation | STAMP `vacation-low` | STAMP `vacation-high` |
+
+use std::time::Duration;
+
+use rubic::controllers::Fixed;
+use rubic::runtime::{MalleablePool, PoolConfig, Workload};
+use rubic::stm::Stm;
+use rubic::workloads::rbtree::{OpMix, RbTreeConfig, RbTreeWorkload};
+use rubic::workloads::vacation::{VacationConfig, VacationWorkload};
+use rubic::workloads::{ConflictCounter, StripedCounter};
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "rubic-stmbench/v1";
+
+/// Mean ± sample standard deviation over a set of repetitions.
+#[derive(Debug, Clone)]
+pub struct Stat {
+    /// Arithmetic mean of `samples`.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// The raw per-repetition measurements.
+    pub samples: Vec<f64>,
+}
+
+impl Stat {
+    /// Summarises `samples`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Stat needs at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let stddev = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        Stat {
+            mean,
+            stddev,
+            samples,
+        }
+    }
+}
+
+/// One swept configuration and its measurements.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Workload family: `counter`, `rbtree`, or `vacation`.
+    pub workload: &'static str,
+    /// Operation mix: `read-heavy` or `write-heavy`.
+    pub mix: &'static str,
+    /// Worker threads (fixed parallelism level for the whole run).
+    pub threads: u32,
+    /// Committed transactions per second.
+    pub ops_per_sec: Stat,
+    /// `aborts / (commits + aborts)` over the run.
+    pub abort_rate: Stat,
+}
+
+/// A complete sweep: harness parameters plus every measured point.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Repetitions per configuration.
+    pub reps: u32,
+    /// Measured duration per repetition, in milliseconds.
+    pub duration_ms: u64,
+    /// True when produced by the ~1 s `--smoke` sweep (reduced grid;
+    /// not comparable with full runs).
+    pub smoke: bool,
+    /// `std::thread::available_parallelism` on the measuring host.
+    pub hw_threads: u32,
+    /// One entry per (workload, mix, threads) configuration.
+    pub points: Vec<BenchPoint>,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Repetitions per configuration.
+    pub reps: u32,
+    /// Measured duration per repetition.
+    pub duration: Duration,
+    /// Thread counts to sweep.
+    pub threads: Vec<u32>,
+    /// Reduced grid for CI schema validation.
+    pub smoke: bool,
+}
+
+impl SweepOptions {
+    /// The full sweep: {1,2,4,8,16} threads, 3 reps, 300 ms each.
+    #[must_use]
+    pub fn full() -> Self {
+        SweepOptions {
+            reps: 3,
+            duration: Duration::from_millis(300),
+            threads: vec![1, 2, 4, 8, 16],
+            smoke: false,
+        }
+    }
+
+    /// The ~1 s CI sweep: {1,2} threads, 1 rep, 25 ms each, small
+    /// workload instances. Validates schema and plumbing, not perf.
+    #[must_use]
+    pub fn smoke() -> Self {
+        SweepOptions {
+            reps: 1,
+            duration: Duration::from_millis(25),
+            threads: vec![1, 2],
+            smoke: true,
+        }
+    }
+}
+
+/// The benchmarked grid axes.
+const WORKLOADS: [&str; 3] = ["counter", "rbtree", "vacation"];
+const MIXES: [&str; 2] = ["read-heavy", "write-heavy"];
+
+/// Runs one (workload, mix, threads) repetition and returns
+/// `(ops_per_sec, abort_rate)`.
+fn run_once(
+    workload: &'static str,
+    mix: &'static str,
+    threads: u32,
+    opts: &SweepOptions,
+) -> (f64, f64) {
+    match (workload, mix) {
+        ("counter", "read-heavy") => {
+            let stripes = if opts.smoke { 64 } else { 1024 };
+            drive(StripedCounter::new(stripes, Stm::default()), threads, opts)
+        }
+        ("counter", "write-heavy") => drive(ConflictCounter::new(Stm::default()), threads, opts),
+        ("rbtree", m) => {
+            let mix = if m == "read-heavy" {
+                OpMix::paper()
+            } else {
+                OpMix::write_heavy()
+            };
+            let cfg = if opts.smoke {
+                RbTreeConfig::small().with_mix(mix)
+            } else {
+                RbTreeConfig {
+                    initial_size: 4096,
+                    key_range: 8192,
+                    mix,
+                    seed: 0x5EED_BEAC,
+                }
+            };
+            drive(RbTreeWorkload::new(cfg, Stm::default()), threads, opts)
+        }
+        ("vacation", m) => {
+            let relations = if opts.smoke { 64 } else { 256 };
+            let cfg = if m == "read-heavy" {
+                VacationConfig::low_contention(relations)
+            } else {
+                VacationConfig::high_contention(relations)
+            };
+            drive(VacationWorkload::new(cfg, Stm::default()), threads, opts)
+        }
+        other => unreachable!("unknown configuration {other:?}"),
+    }
+}
+
+/// Runs `workload` on a fixed-level pool for the configured duration.
+fn drive<W: Workload>(workload: W, threads: u32, opts: &SweepOptions) -> (f64, f64) {
+    let pool = MalleablePool::start(
+        PoolConfig::new(threads)
+            .initial_level(threads)
+            .monitor_period(Duration::from_millis(5))
+            .name("stmbench"),
+        workload,
+        Box::new(Fixed::new(threads, threads)),
+    );
+    std::thread::sleep(opts.duration);
+    let report = pool.stop();
+    (report.throughput(), report.abort_rate())
+}
+
+/// Runs the whole sweep, printing one progress line per configuration.
+#[must_use]
+pub fn run_sweep(opts: &SweepOptions) -> BenchReport {
+    let mut points = Vec::new();
+    for workload in WORKLOADS {
+        for mix in MIXES {
+            for &threads in &opts.threads {
+                let mut ops = Vec::with_capacity(opts.reps as usize);
+                let mut aborts = Vec::with_capacity(opts.reps as usize);
+                for _ in 0..opts.reps {
+                    let (o, a) = run_once(workload, mix, threads, opts);
+                    ops.push(o);
+                    aborts.push(a);
+                }
+                let point = BenchPoint {
+                    workload,
+                    mix,
+                    threads,
+                    ops_per_sec: Stat::from_samples(ops),
+                    abort_rate: Stat::from_samples(aborts),
+                };
+                eprintln!(
+                    "  {workload:>8} {mix:<11} t={threads:<2} {:>12.0} ops/s ± {:>6.0}  abort {:.1}%",
+                    point.ops_per_sec.mean,
+                    point.ops_per_sec.stddev,
+                    point.abort_rate.mean * 100.0,
+                );
+                points.push(point);
+            }
+        }
+    }
+    BenchReport {
+        reps: opts.reps,
+        duration_ms: opts.duration.as_millis() as u64,
+        smoke: opts.smoke,
+        hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        points,
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    // JSON has no NaN/Infinity literal; a broken measurement must not
+    // produce an unparseable file.
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_stat(s: &Stat, indent: &str) -> String {
+    let samples: Vec<String> = s.samples.iter().map(|&x| json_f64(x)).collect();
+    format!(
+        "{{\n{indent}  \"mean\": {},\n{indent}  \"stddev\": {},\n{indent}  \"samples\": [{}]\n{indent}}}",
+        json_f64(s.mean),
+        json_f64(s.stddev),
+        samples.join(", "),
+    )
+}
+
+impl BenchReport {
+    /// Serialises the report as the documented `rubic-stmbench/v1`
+    /// JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"harness\": {{\n    \"reps\": {},\n    \"duration_ms\": {},\n    \"smoke\": {},\n    \"hw_threads\": {}\n  }},\n",
+            self.reps, self.duration_ms, self.smoke, self.hw_threads,
+        ));
+        out.push_str("  \"results\": [\n");
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"workload\": \"{}\",\n      \"mix\": \"{}\",\n      \"threads\": {},\n      \"ops_per_sec\": {},\n      \"abort_rate\": {}\n    }}",
+                    p.workload,
+                    p.mix,
+                    p.threads,
+                    json_stat(&p.ops_per_sec, "      "),
+                    json_stat(&p.abort_rate, "      "),
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Structural sanity checks: non-empty grid, all means finite and
+    /// non-negative, abort rates within [0, 1], sample counts matching
+    /// `reps`. The binary refuses to write a report that fails these.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("empty sweep: no configurations measured".into());
+        }
+        for p in &self.points {
+            let tag = format!("{}/{}/t{}", p.workload, p.mix, p.threads);
+            if !WORKLOADS.contains(&p.workload) {
+                return Err(format!("{tag}: unknown workload"));
+            }
+            if !MIXES.contains(&p.mix) {
+                return Err(format!("{tag}: unknown mix"));
+            }
+            if p.threads == 0 {
+                return Err(format!("{tag}: zero threads"));
+            }
+            for (name, stat) in [
+                ("ops_per_sec", &p.ops_per_sec),
+                ("abort_rate", &p.abort_rate),
+            ] {
+                if stat.samples.len() != self.reps as usize {
+                    return Err(format!(
+                        "{tag}: {name} has {} samples, expected {}",
+                        stat.samples.len(),
+                        self.reps
+                    ));
+                }
+                if !stat.mean.is_finite() || stat.mean < 0.0 {
+                    return Err(format!("{tag}: {name} mean {} out of range", stat.mean));
+                }
+            }
+            if p.ops_per_sec.mean <= 0.0 {
+                return Err(format!("{tag}: zero throughput (harness stall?)"));
+            }
+            if p.abort_rate.mean > 1.0 {
+                return Err(format!("{tag}: abort rate {} > 1", p.abort_rate.mean));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_mean_and_stddev() {
+        let s = Stat::from_samples(vec![1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        let single = Stat::from_samples(vec![5.0]);
+        assert_eq!(single.stddev, 0.0);
+    }
+
+    #[test]
+    fn smoke_sweep_produces_valid_json() {
+        let mut opts = SweepOptions::smoke();
+        // Keep the unit test well under a second.
+        opts.threads = vec![1];
+        opts.duration = Duration::from_millis(5);
+        let report = run_sweep(&opts);
+        report.validate().expect("smoke report must validate");
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"rubic-stmbench/v1\""));
+        assert!(json.contains("\"workload\": \"rbtree\""));
+        assert_eq!(report.points.len(), 6, "3 workloads x 2 mixes x 1 level");
+        // Balanced braces/brackets — cheap structural check without a
+        // JSON parser in the dependency tree.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_out_of_range() {
+        let empty = BenchReport {
+            reps: 1,
+            duration_ms: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: Vec::new(),
+        };
+        assert!(empty.validate().is_err());
+
+        let bad = BenchReport {
+            reps: 1,
+            duration_ms: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: vec![BenchPoint {
+                workload: "counter",
+                mix: "read-heavy",
+                threads: 1,
+                ops_per_sec: Stat::from_samples(vec![100.0]),
+                abort_rate: Stat::from_samples(vec![1.5]),
+            }],
+        };
+        assert!(bad.validate().unwrap_err().contains("abort rate"));
+    }
+}

@@ -120,8 +120,14 @@ impl PoolConfig {
 struct Shared {
     /// `L_RUBIC`: number of active workers. Workers with
     /// `tid >= level` park.
-    level: AtomicU32,
-    running: AtomicBool,
+    ///
+    /// `level`, `running` and `budget` are each padded onto their own
+    /// cache line: every worker polls `level`/`running` on every task
+    /// and RMWs `budget`, so letting any two share a line would
+    /// false-share the hottest loads in the pool with the hottest
+    /// store (`budget`'s `fetch_sub`).
+    level: CachePadded<AtomicU32>,
+    running: CachePadded<AtomicBool>,
     semaphores: Vec<Semaphore>,
     /// Per-worker completed-task counters. Single-writer (the owning
     /// worker); the monitor only reads. Relaxed everywhere — the
@@ -133,7 +139,7 @@ struct Shared {
     aborts: Vec<CachePadded<AtomicU64>>,
     /// Remaining task budget; negative means "exhausted, stop".
     /// `i64::MAX` when unbounded.
-    budget: AtomicI64,
+    budget: CachePadded<AtomicI64>,
     /// Tasks that panicked instead of completing (see `worker_loop`).
     panics: AtomicU64,
     /// Stall warnings raised by the monitor's livelock watchdog.
@@ -143,8 +149,8 @@ struct Shared {
 impl Shared {
     fn new(cfg: &PoolConfig) -> Self {
         Shared {
-            level: AtomicU32::new(cfg.initial_level.clamp(1, cfg.size)),
-            running: AtomicBool::new(true),
+            level: CachePadded::new(AtomicU32::new(cfg.initial_level.clamp(1, cfg.size))),
+            running: CachePadded::new(AtomicBool::new(true)),
             semaphores: (0..cfg.size).map(|_| Semaphore::new(0)).collect(),
             counters: (0..cfg.size)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
@@ -152,10 +158,10 @@ impl Shared {
             aborts: (0..cfg.size)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
-            budget: AtomicI64::new(
+            budget: CachePadded::new(AtomicI64::new(
                 cfg.task_budget
                     .map_or(i64::MAX, |b| i64::try_from(b).unwrap_or(i64::MAX)),
-            ),
+            )),
             panics: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
         }

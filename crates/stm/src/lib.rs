@@ -65,6 +65,7 @@ pub mod abort;
 pub mod chaos;
 pub mod clock;
 pub mod cm;
+mod index;
 pub mod stats;
 pub mod stm;
 mod trc;
@@ -78,7 +79,7 @@ pub use stats::{take_thread_aborts, StatsSnapshot, StmStats};
 pub use stm::{Stm, StmBuilder};
 pub use trc::trace_footprint;
 pub use tvar::TVar;
-pub use txn::{StmError, Transaction, TxResult};
+pub use txn::{StmError, Transaction, TxFootprint, TxResult};
 
 /// Marker alias for types storable in a [`TVar`]: cloneable, shareable
 /// across threads, and owning (`'static`, since committed values outlive

@@ -83,7 +83,9 @@ impl Stm {
                     crate::stats::note_thread_abort();
                     attempt += 1;
                     trace.on_abort(reason, attempt);
-                    self.cm.backoff(attempt);
+                    // Unpinned while backing off: a sleeping loser must
+                    // not hold the epoch (and hence reclamation) back.
+                    tx.unpinned(|| self.cm.backoff(attempt));
                     tx.restart();
                     trace.on_restart(attempt);
                 }

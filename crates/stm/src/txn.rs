@@ -35,9 +35,28 @@
 //! errors: a transaction never acts on two mutually inconsistent reads,
 //! because every read is validated against `rv` at the moment it
 //! happens.
+//!
+//! # Hot-path engineering (DESIGN.md §11)
+//!
+//! Per-transaction overhead distorts every figure the reproduction
+//! measures, so the engine pays for bookkeeping once per *attempt*, not
+//! once per access:
+//!
+//! * The epoch is pinned **once per attempt** — [`Transaction`] owns the
+//!   [`Guard`] (created at `begin`, repinned at `restart`) instead of
+//!   pinning inside every `read`/`read_with`/`commit`.
+//! * The read/write-set indices are [`crate::index::VarIndex`]: a dense
+//!   linear-scanned vector for counter-sized footprints, spilling into
+//!   an FxHash map for larger ones. No SipHash on the hot path.
+//! * Aborted attempts recycle their allocations: write slots (the boxed
+//!   [`WriteSlot`]s *and* the `Arc` they hold) and read-set handles move
+//!   to per-transaction spare lists and are reclaimed by the retry,
+//!   which touches the same variables in the same order in the common
+//!   case. A retry therefore allocates nothing and performs no
+//!   refcount RMWs for previously seen variables — exactly when
+//!   contention is highest.
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Guard};
@@ -45,10 +64,17 @@ use crossbeam_epoch::{self as epoch, Guard};
 use crate::abort::AbortReason;
 use crate::chaos::{self, ChaosPoint};
 use crate::clock;
+use crate::index::VarIndex;
 use crate::trc;
 use crate::tvar::{TVar, TVarCore};
 use crate::vlock::{LockWord, VLock};
 use crate::TxValue;
+
+/// Spare-list size cap: recycled read handles / write slots beyond this
+/// are dropped at abort. Bounds memory for pathological transactions
+/// that touch a different variable set on every attempt; ordinary
+/// retries (same footprint each attempt) never hit it.
+const SPARE_CAP: usize = 128;
 
 /// Why a transactional operation could not proceed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,16 +110,26 @@ impl<T: TxValue> ReadHandle for TVarCore<T> {
 
 struct ReadEntry {
     handle: Arc<dyn ReadHandle>,
+    /// The handle's lock address, cached at record time so validation
+    /// and recycling never re-derive it through the vtable.
+    addr: usize,
     version: u64,
 }
 
 /// Object-safe view of a buffered write.
 trait WriteSlot: Send {
     fn vlock(&self) -> &VLock;
+    /// The slot's lock address (same identity as [`VLock::addr`]),
+    /// cached for spare-list matching.
+    fn addr(&self) -> usize;
     /// Publishes the buffered value and releases the lock stamped `wv`.
     fn publish(&mut self, wv: u64, guard: &Guard);
     /// Releases the lock restoring the pre-lock version.
     fn release_abort(&self);
+    /// Drops the buffered value (if any) so a slot parked on the spare
+    /// list doesn't keep user data alive; the core `Arc` is kept for
+    /// reuse by the retry.
+    fn recycle(&mut self);
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -113,6 +149,10 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
         self.core.vlock()
     }
 
+    fn addr(&self) -> usize {
+        self.core.vlock().addr()
+    }
+
     fn publish(&mut self, wv: u64, guard: &Guard) {
         let value = self
             .pending
@@ -130,6 +170,10 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
         trc::lock_hold(self.locked_at, self.core.vlock().addr(), true);
     }
 
+    fn recycle(&mut self) {
+        self.pending = None;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -137,6 +181,29 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// Allocation diagnostics for one [`Transaction`] (see
+/// [`Transaction::footprint`]). Primarily test support: the retry-reuse
+/// guarantees ("a restart allocates nothing") are asserted against
+/// these numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxFootprint {
+    /// Capacity of the read-set entry vector.
+    pub reads_capacity: usize,
+    /// Capacity of the write-set slot vector.
+    pub writes_capacity: usize,
+    /// Capacity of the read index's dense entry vector.
+    pub read_index_capacity: usize,
+    /// Capacity of the write index's dense entry vector.
+    pub write_index_capacity: usize,
+    /// Recycled read-set handles parked for the next attempt.
+    pub spare_read_handles: usize,
+    /// Recycled write slots parked for the next attempt.
+    pub spare_write_slots: usize,
+    /// True while the read index uses its hashed (spilled)
+    /// representation instead of the small-set linear scan.
+    pub read_index_spilled: bool,
 }
 
 /// An in-flight transaction.
@@ -148,10 +215,21 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
 /// unwinds promptly and retries.
 pub struct Transaction {
     rv: u64,
-    read_index: HashMap<usize, u64>,
+    /// Epoch guard pinned once per attempt (repinned at `restart`), so
+    /// individual reads and the commit's publish loop never pay the
+    /// pin/unpin protocol.
+    guard: Guard,
+    read_index: VarIndex<u64>,
     reads: Vec<ReadEntry>,
-    write_index: HashMap<usize, usize>,
+    write_index: VarIndex<usize>,
     writes: Vec<Box<dyn WriteSlot>>,
+    /// Write slots recycled from aborted attempts, most recently
+    /// released last. A retry that re-locks the same variables in the
+    /// same order pops its slot (allocation *and* `Arc`) off the top.
+    spare_writes: Vec<Box<dyn WriteSlot>>,
+    /// Read-set entries recycled from aborted attempts; reusing one
+    /// skips the `Arc<dyn ReadHandle>` refcount RMW on re-read.
+    spare_reads: Vec<ReadEntry>,
     /// Operation counters for diagnostics (reported through `StmStats`).
     n_reads: u64,
     n_writes: u64,
@@ -167,10 +245,13 @@ impl Transaction {
     pub(crate) fn begin() -> Self {
         Transaction {
             rv: clock::now(),
-            read_index: HashMap::new(),
+            guard: epoch::pin(),
+            read_index: VarIndex::new(),
             reads: Vec::new(),
-            write_index: HashMap::new(),
+            write_index: VarIndex::new(),
             writes: Vec::new(),
+            spare_writes: Vec::new(),
+            spare_reads: Vec::new(),
             n_reads: 0,
             n_writes: 0,
             last_conflict: AbortReason::Explicit,
@@ -185,9 +266,10 @@ impl Transaction {
             "restart with locks still held; abort first"
         );
         self.read_index.clear();
-        self.reads.clear();
         self.write_index.clear();
-        self.writes.clear();
+        // Anything still buffered (the managed retry loop aborts first,
+        // so normally nothing) is parked for reuse, not dropped.
+        self.park_access_sets();
         // The op counters must restart with the attempt: they feed
         // `StmStats::record_commit` as *this commit's* footprint, and
         // carrying counts from aborted attempts would inflate every
@@ -195,7 +277,30 @@ impl Transaction {
         self.n_reads = 0;
         self.n_writes = 0;
         self.last_conflict = AbortReason::Explicit;
+        // Momentarily unpin so the epoch (and hence reclamation) can
+        // pass this thread between attempts, then re-sample the clock
+        // under the fresh pin.
+        self.guard.repin();
         self.rv = clock::now();
+    }
+
+    /// Moves the read-set entries and (already released) write slots to
+    /// the spare lists, dropping buffered values but keeping every
+    /// allocation and `Arc` for the next attempt. Drained in reverse so
+    /// a retry touching the same variables in the same order finds its
+    /// entry on top of the stack.
+    fn park_access_sets(&mut self) {
+        for mut slot in self.writes.drain(..).rev() {
+            slot.recycle();
+            self.spare_writes.push(slot);
+        }
+        for entry in self.reads.drain(..).rev() {
+            self.spare_reads.push(entry);
+        }
+        // Pathological transactions that touch a fresh variable set on
+        // every attempt would otherwise grow the spares without bound.
+        self.spare_writes.truncate(SPARE_CAP);
+        self.spare_reads.truncate(SPARE_CAP);
     }
 
     /// Tags this attempt with `reason` and returns the public error.
@@ -234,8 +339,64 @@ impl Transaction {
         self.writes.len()
     }
 
+    /// Allocation diagnostics: current capacities and spare-list sizes.
+    ///
+    /// The no-allocation-on-retry guarantee is expressed through this:
+    /// after an abort + restart that replays the same accesses, the
+    /// capacities are unchanged and the spare lists have been drained
+    /// back into the live sets.
+    #[must_use]
+    pub fn footprint(&self) -> TxFootprint {
+        TxFootprint {
+            reads_capacity: self.reads.capacity(),
+            writes_capacity: self.writes.capacity(),
+            read_index_capacity: self.read_index.capacity(),
+            write_index_capacity: self.write_index.capacity(),
+            spare_read_handles: self.spare_reads.len(),
+            spare_write_slots: self.spare_writes.len(),
+            read_index_spilled: self.read_index.spilled(),
+        }
+    }
+
     pub(crate) fn op_counts(&self) -> (u64, u64) {
         (self.n_reads, self.n_writes)
+    }
+
+    /// Runs `f` (e.g. contention-manager backoff) with the epoch
+    /// momentarily unpinned, so a sleeping transaction does not hold
+    /// reclamation back for the whole wait. Only sound between attempts:
+    /// the access sets hold `Arc`s and cloned values, never
+    /// epoch-protected pointers.
+    pub(crate) fn unpinned<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        self.guard.repin_after(f)
+    }
+
+    /// Records a first read of `core`, preferring a recycled entry from
+    /// an earlier attempt (same address ⇒ same handle; no refcount RMW).
+    #[inline]
+    fn record_read<T: TxValue>(&mut self, core: &Arc<TVarCore<T>>, addr: usize, version: u64) {
+        self.read_index.insert(addr, version);
+        // Retries replay reads in order and the spares are stacked in
+        // reverse, so the matching entry sits on top; an O(1) top check
+        // is the whole reuse policy — a divergent retry falls through to
+        // a fresh `Arc` clone rather than scanning the spare stack (the
+        // entry itself lives inline in the `Vec`, so only the refcount
+        // RMW is at stake, never an allocation).
+        let recycled = match self.spare_reads.last() {
+            Some(top) if top.addr == addr => self.spare_reads.pop(),
+            _ => None,
+        };
+        match recycled {
+            Some(mut entry) => {
+                entry.version = version;
+                self.reads.push(entry);
+            }
+            None => self.reads.push(ReadEntry {
+                handle: Arc::clone(core) as Arc<dyn ReadHandle>,
+                addr,
+                version,
+            }),
+        }
     }
 
     /// Transactionally reads `var`, returning a clone of the value this
@@ -251,7 +412,7 @@ impl Transaction {
         let addr = core.vlock().addr();
 
         // Read-your-writes.
-        if let Some(&slot_idx) = self.write_index.get(&addr) {
+        if let Some(slot_idx) = self.write_index.get(addr) {
             let slot = self.writes[slot_idx]
                 .as_any()
                 .downcast_ref::<TypedSlot<T>>()
@@ -262,7 +423,6 @@ impl Transaction {
                 .expect("pending value missing before commit"));
         }
 
-        let guard = epoch::pin();
         loop {
             chaos::hit(ChaosPoint::LockSample);
             if chaos::abort_requested(ChaosPoint::LockSample) {
@@ -275,7 +435,7 @@ impl Transaction {
                 // the retry (SwissTM would consult the CM here too).
                 return Err(self.fail(AbortReason::LockBusy));
             }
-            let value = core.load_clone(&guard);
+            let value = core.load_clone(&self.guard);
             if core.vlock().sample() != w1 {
                 // A commit raced between our two samples; re-read.
                 continue;
@@ -291,20 +451,14 @@ impl Transaction {
                 }
             }
             // Record (first read only; repeated reads must agree).
-            match self.read_index.entry(addr) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    if *e.get() != w1.version() {
+            match self.read_index.get(addr) {
+                Some(recorded) => {
+                    if recorded != w1.version() {
                         self.last_conflict = AbortReason::ReadValidation;
                         return Err(StmError::Conflict);
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(w1.version());
-                    self.reads.push(ReadEntry {
-                        handle: Arc::clone(core) as Arc<dyn ReadHandle>,
-                        version: w1.version(),
-                    });
-                }
+                None => self.record_read(core, addr, w1.version()),
             }
             return Ok(value);
         }
@@ -330,7 +484,7 @@ impl Transaction {
         let core = var.core();
         let addr = core.vlock().addr();
 
-        if let Some(&slot_idx) = self.write_index.get(&addr) {
+        if let Some(slot_idx) = self.write_index.get(addr) {
             let slot = self.writes[slot_idx]
                 .as_any()
                 .downcast_ref::<TypedSlot<T>>()
@@ -341,7 +495,6 @@ impl Transaction {
                 .expect("pending value missing before commit")));
         }
 
-        let guard = epoch::pin();
         loop {
             chaos::hit(ChaosPoint::LockSample);
             if chaos::abort_requested(ChaosPoint::LockSample) {
@@ -351,7 +504,7 @@ impl Transaction {
             if w1.is_locked() {
                 return Err(self.fail(AbortReason::LockBusy));
             }
-            let result = core.with_value(&guard, &mut f);
+            let result = core.with_value(&self.guard, &mut f);
             if core.vlock().sample() != w1 {
                 continue;
             }
@@ -361,23 +514,42 @@ impl Transaction {
                     continue;
                 }
             }
-            match self.read_index.entry(addr) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    if *e.get() != w1.version() {
+            match self.read_index.get(addr) {
+                Some(recorded) => {
+                    if recorded != w1.version() {
                         self.last_conflict = AbortReason::ReadValidation;
                         return Err(StmError::Conflict);
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(w1.version());
-                    self.reads.push(ReadEntry {
-                        handle: Arc::clone(core) as Arc<dyn ReadHandle>,
-                        version: w1.version(),
-                    });
-                }
+                None => self.record_read(core, addr, w1.version()),
             }
             return Ok(result);
         }
+    }
+
+    /// Pops a recyclable slot for `addr` off the spare list: the exact
+    /// slot from a previous attempt if present (its `Arc` is already the
+    /// right core), else any slot of the right concrete type (reusing
+    /// the heap allocation).
+    fn take_spare_slot<T: TxValue>(&mut self, addr: usize) -> Option<Box<dyn WriteSlot>> {
+        if self.spare_writes.is_empty() {
+            return None;
+        }
+        // Retries re-lock the same variables in the same order and the
+        // spares are stacked in reverse, so the right slot is on top.
+        if let Some(top) = self.spare_writes.last() {
+            if top.addr() == addr {
+                return self.spare_writes.pop();
+            }
+        }
+        if let Some(pos) = self.spare_writes.iter().position(|s| s.addr() == addr) {
+            return Some(self.spare_writes.swap_remove(pos));
+        }
+        let pos = self
+            .spare_writes
+            .iter()
+            .position(|s| s.as_any().is::<TypedSlot<T>>())?;
+        Some(self.spare_writes.swap_remove(pos))
     }
 
     /// Transactionally writes `value` into `var`.
@@ -394,7 +566,7 @@ impl Transaction {
         let core = var.core();
         let addr = core.vlock().addr();
 
-        if let Some(&slot_idx) = self.write_index.get(&addr) {
+        if let Some(slot_idx) = self.write_index.get(addr) {
             let slot = self.writes[slot_idx]
                 .as_any_mut()
                 .downcast_mut::<TypedSlot<T>>()
@@ -413,7 +585,7 @@ impl Transaction {
         }
         // Write-after-read consistency: the version we read must still
         // be current, or our earlier read is stale.
-        if let Some(&recorded) = self.read_index.get(&addr) {
+        if let Some(recorded) = self.read_index.get(addr) {
             if w.version() != recorded {
                 return Err(self.fail(AbortReason::ReadValidation));
             }
@@ -423,14 +595,33 @@ impl Transaction {
         }
         #[cfg(feature = "trace")]
         let locked_at = trc::stamp();
+        let slot: Box<dyn WriteSlot> = match self.take_spare_slot::<T>(addr) {
+            Some(mut boxed) => {
+                let slot = boxed
+                    .as_any_mut()
+                    .downcast_mut::<TypedSlot<T>>()
+                    .expect("spare slot type confusion");
+                if !Arc::ptr_eq(&slot.core, core) {
+                    slot.core = Arc::clone(core);
+                }
+                slot.pending = Some(value);
+                slot.prev = w;
+                #[cfg(feature = "trace")]
+                {
+                    slot.locked_at = locked_at;
+                }
+                boxed
+            }
+            None => Box::new(TypedSlot {
+                core: Arc::clone(core),
+                pending: Some(value),
+                prev: w,
+                #[cfg(feature = "trace")]
+                locked_at,
+            }),
+        };
         self.write_index.insert(addr, self.writes.len());
-        self.writes.push(Box::new(TypedSlot {
-            core: Arc::clone(core),
-            pending: Some(value),
-            prev: w,
-            #[cfg(feature = "trace")]
-            locked_at,
-        }));
+        self.writes.push(slot);
         Ok(())
     }
 
@@ -453,12 +644,17 @@ impl Transaction {
         if chaos::abort_requested(ChaosPoint::PreValidate) {
             return Err(AbortReason::Chaos);
         }
+        // Hoisted once: read-only validation must never probe the write
+        // index — a locked entry cannot be ours if we wrote nothing.
+        let may_own_locks = !self.write_index.is_empty();
         for entry in &self.reads {
             let w = entry.handle.vlock().sample();
             if w.version() != entry.version {
                 return Err(AbortReason::ReadValidation);
             }
-            if w.is_locked() && !self.write_index.contains_key(&entry.handle.vlock().addr()) {
+            // `entry.addr` was cached at record time; no vtable call to
+            // re-derive the identity we already sampled.
+            if w.is_locked() && !(may_own_locks && self.write_index.contains(entry.addr)) {
                 return Err(AbortReason::LockBusy);
             }
         }
@@ -495,15 +691,17 @@ impl Transaction {
                 return Err(self.fail(reason));
             }
         }
-        let guard = epoch::pin();
         for slot in &mut self.writes {
             chaos::hit(ChaosPoint::PrePublish);
-            slot.publish(wv, &guard);
+            slot.publish(wv, &self.guard);
         }
-        // Slots are spent; prevent a double publish if the transaction
-        // object is reused.
+        // Slots are spent; park them (prevents a double publish if the
+        // transaction object is reused, keeps the allocations around).
         self.write_index.clear();
-        self.writes.clear();
+        for slot in self.writes.drain(..).rev() {
+            self.spare_writes.push(slot);
+        }
+        self.spare_writes.truncate(SPARE_CAP);
         Ok(())
     }
 
@@ -539,15 +737,21 @@ impl Transaction {
         self.abort()
     }
 
-    /// Releases every held lock and discards buffered state.
+    /// Restarts an unmanaged transaction for another attempt (chaos
+    /// feature only); see [`begin_unmanaged`](Self::begin_unmanaged).
+    #[cfg(feature = "chaos")]
+    pub fn restart_unmanaged(&mut self) {
+        self.restart()
+    }
+
+    /// Releases every held lock and parks buffered state for reuse.
     pub(crate) fn abort(&mut self) {
         for slot in &self.writes {
             slot.release_abort();
         }
         self.write_index.clear();
-        self.writes.clear();
         self.read_index.clear();
-        self.reads.clear();
+        self.park_access_sets();
     }
 }
 
@@ -804,5 +1008,131 @@ mod tests {
         assert_eq!(t.read(&x).unwrap(), 4);
         assert_eq!(t.read_set_len(), 1, "duplicate reads are not re-recorded");
         t.commit().unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // Hot-path fast-path regressions: allocation reuse and the
+    // small-set / spilled index representations.
+    // -----------------------------------------------------------------
+
+    /// Replays the same read+write footprint: the retry must consume the
+    /// spare lists instead of allocating, and every vector must keep the
+    /// capacity it grew on the first attempt.
+    #[test]
+    fn restart_preserves_capacity_and_reuses_slots() {
+        let vars: Vec<TVar<u64>> = (0..8).map(TVar::new).collect();
+        let reads: Vec<TVar<u64>> = (0..8).map(TVar::new).collect();
+        let body = |t: &mut Transaction| {
+            for r in &reads {
+                t.read(r).unwrap();
+            }
+            for v in &vars {
+                t.write(v, 1).unwrap();
+            }
+        };
+
+        let mut t = Transaction::begin();
+        body(&mut t);
+        t.abort();
+        let parked = t.footprint();
+        assert_eq!(parked.spare_write_slots, 8, "abort must park, not drop");
+        assert_eq!(parked.spare_read_handles, 8);
+
+        t.restart();
+        body(&mut t);
+        let reused = t.footprint();
+        assert_eq!(reused.spare_write_slots, 0, "retry must reuse every slot");
+        assert_eq!(
+            reused.spare_read_handles, 0,
+            "retry must reuse every handle"
+        );
+        assert_eq!(reused.reads_capacity, parked.reads_capacity);
+        assert_eq!(reused.writes_capacity, parked.writes_capacity);
+        assert_eq!(reused.read_index_capacity, parked.read_index_capacity);
+        assert_eq!(reused.write_index_capacity, parked.write_index_capacity);
+        t.commit().unwrap();
+        for v in &vars {
+            assert_eq!(v.snapshot(), 1);
+        }
+    }
+
+    /// Same-type slot allocations are reused even when the retry touches
+    /// *different* variables of that type.
+    #[test]
+    fn retry_with_different_vars_reuses_typed_allocations() {
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        let mut t = Transaction::begin();
+        t.write(&a, 1).unwrap();
+        t.abort();
+        assert_eq!(t.footprint().spare_write_slots, 1);
+        t.restart();
+        t.write(&b, 2).unwrap();
+        assert_eq!(
+            t.footprint().spare_write_slots,
+            0,
+            "typed allocation must be recycled for a new address"
+        );
+        t.commit().unwrap();
+        assert_eq!(b.snapshot(), 2);
+        assert_eq!(a.snapshot(), 0);
+    }
+
+    /// The engine behaves identically across the linear-scan and the
+    /// spilled (hashed) index representations: read-your-writes,
+    /// duplicate-read agreement, and commit/abort effects.
+    #[test]
+    fn spilled_index_equivalence() {
+        let n = crate::index::SPILL_THRESHOLD * 3;
+        let vars: Vec<TVar<u64>> = (0..n as u64).map(TVar::new).collect();
+
+        // Committed run over a spilled footprint.
+        let mut t = Transaction::begin();
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(t.read(v).unwrap(), i as u64);
+            t.write(v, i as u64 + 100).unwrap();
+        }
+        assert!(t.footprint().read_index_spilled, "footprint must spill");
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(t.read(v).unwrap(), i as u64 + 100, "read-your-writes");
+            assert_eq!(t.read_set_len(), n, "duplicate reads not re-recorded");
+        }
+        t.commit().unwrap();
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(v.snapshot(), i as u64 + 100);
+        }
+
+        // Aborted run: nothing published, no lock leaked.
+        let mut t = Transaction::begin();
+        for v in &vars {
+            let cur = t.read(v).unwrap();
+            t.write(v, cur + 1).unwrap();
+        }
+        t.abort();
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(v.snapshot(), i as u64 + 100, "abort must not publish");
+            assert!(!v.core().vlock().sample().is_locked());
+        }
+    }
+
+    /// A spilled read set still validates correctly: a stale entry is
+    /// found through the hashed representation too.
+    #[test]
+    fn spilled_read_set_still_validates() {
+        let n = crate::index::SPILL_THRESHOLD * 2;
+        let vars: Vec<TVar<u64>> = (0..n as u64).map(TVar::new).collect();
+        let sink = TVar::new(0u64);
+        let mut t1 = Transaction::begin();
+        for v in &vars {
+            t1.read(v).unwrap();
+        }
+        // Concurrent commit invalidates one mid-set entry.
+        let mut t2 = Transaction::begin();
+        t2.write(&vars[n / 2], 999).unwrap();
+        t2.commit().unwrap();
+        t1.write(&sink, 1).unwrap();
+        assert_eq!(t1.commit(), Err(StmError::Conflict));
+        t1.abort();
+        assert_eq!(sink.snapshot(), 0);
     }
 }

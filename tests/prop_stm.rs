@@ -127,6 +127,119 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Hot-path fast-path properties: the access-set index switches from a
+// linear-scanned small set to a hashed (spilled) representation past 16
+// distinct locations, and aborted attempts recycle their allocations.
+// These properties pin the engine's observable behaviour across both
+// representations and across retries. The transactions are driven by
+// hand (`begin_unmanaged`, test-only `chaos` feature) so a single case
+// can commit one footprint and abort another deterministically.
+// ---------------------------------------------------------------------
+
+use rubic_stm::Transaction;
+
+/// Applies `ops` to a fresh transaction over `vars`, checking
+/// read-your-writes and duplicate-read agreement at every step, and
+/// returns the model state the commit should publish.
+fn apply_ops(
+    tx: &mut Transaction,
+    vars: &[TVar<i64>],
+    ops: &[(usize, Option<i64>)],
+) -> Vec<Option<i64>> {
+    let mut pending: Vec<Option<i64>> = vec![None; vars.len()];
+    for &(i, write) in ops {
+        let i = i % vars.len();
+        match write {
+            Some(v) => {
+                tx.write(&vars[i], v).unwrap();
+                pending[i] = Some(v);
+            }
+            None => {
+                let seen = tx.read(&vars[i]).unwrap();
+                let expected = pending[i].unwrap_or(i as i64);
+                assert_eq!(seen, expected, "read-your-writes / stable read violated");
+                // Duplicate read must agree with the first one.
+                assert_eq!(tx.read(&vars[i]).unwrap(), expected);
+            }
+        }
+    }
+    pending
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Commit and abort behave identically whether the access-set index
+    /// is in its small-set (linear scan) or spilled (hashed)
+    /// representation: commit publishes exactly the model state, abort
+    /// publishes nothing and leaks no lock.
+    #[test]
+    fn commit_abort_equivalence_across_index_representations(
+        n_vars in 2usize..48,
+        ops in proptest::collection::vec(
+            (0usize..48, proptest::option::of(-1000i64..1000)),
+            1..96,
+        ),
+        commit in any::<bool>(),
+    ) {
+        let vars: Vec<TVar<i64>> = (0..n_vars).map(|i| TVar::new(i as i64)).collect();
+        let mut tx = Transaction::begin_unmanaged();
+        let pending = apply_ops(&mut tx, &vars, &ops);
+        if commit {
+            tx.commit_unmanaged().unwrap();
+            for (i, var) in vars.iter().enumerate() {
+                prop_assert_eq!(var.snapshot(), pending[i].unwrap_or(i as i64));
+            }
+        } else {
+            tx.abort_unmanaged();
+            for (i, var) in vars.iter().enumerate() {
+                prop_assert_eq!(var.snapshot(), i as i64, "abort must not publish");
+            }
+        }
+        // Either way every lock must be free again: a fresh writer can
+        // take any variable without conflict.
+        let mut probe = Transaction::begin_unmanaged();
+        for var in &vars {
+            probe.write(var, -7).unwrap();
+        }
+        probe.abort_unmanaged();
+    }
+
+    /// A retry that replays the same footprint allocates nothing: the
+    /// abort parks every slot and handle on the spare lists, and the
+    /// replay drains them back without growing any capacity.
+    #[test]
+    fn retry_replay_allocates_nothing(
+        n_vars in 1usize..40,
+        ops in proptest::collection::vec(
+            (0usize..40, proptest::option::of(-1000i64..1000)),
+            1..80,
+        ),
+    ) {
+        let vars: Vec<TVar<i64>> = (0..n_vars).map(|i| TVar::new(i as i64)).collect();
+        let mut tx = Transaction::begin_unmanaged();
+        apply_ops(&mut tx, &vars, &ops);
+        let live_reads = tx.read_set_len();
+        let live_writes = tx.write_set_len();
+        tx.abort_unmanaged();
+        let parked = tx.footprint();
+        prop_assert_eq!(parked.spare_read_handles, live_reads);
+        prop_assert_eq!(parked.spare_write_slots, live_writes);
+
+        tx.restart_unmanaged();
+        apply_ops(&mut tx, &vars, &ops);
+        let replayed = tx.footprint();
+        prop_assert_eq!(replayed.spare_read_handles, 0, "handles must be reused");
+        prop_assert_eq!(replayed.spare_write_slots, 0, "slots must be reused");
+        prop_assert_eq!(replayed.reads_capacity, parked.reads_capacity);
+        prop_assert_eq!(replayed.writes_capacity, parked.writes_capacity);
+        prop_assert_eq!(replayed.read_index_capacity, parked.read_index_capacity);
+        prop_assert_eq!(replayed.write_index_capacity, parked.write_index_capacity);
+        tx.commit_unmanaged().unwrap();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

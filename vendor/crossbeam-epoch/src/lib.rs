@@ -148,26 +148,30 @@ fn try_advance() {
 }
 
 /// Frees every retired allocation whose epoch is two or more behind.
+///
+/// Cost discipline: this runs inline on the defer path every
+/// [`BAG_FLUSH_THRESHOLD`] retirements, and the epoch can legitimately
+/// stall for a whole scheduler timeslice when a pinned thread is
+/// preempted (each transaction attempt holds one pin). During such a
+/// stall the bag keeps growing, so the pass must NOT rescan it — a
+/// thread-local bag is retired in monotone epoch order, which makes the
+/// freeable entries exactly a prefix: find the cut by binary search and
+/// drain it. A stalled epoch then costs O(log bag) per pass instead of
+/// O(bag), which previously went quadratic under oversubscription.
 fn collect(local: &Local) {
     try_advance();
     let g = EPOCH.load(Ordering::SeqCst);
     let mut freeable: Vec<Deferred> = Vec::new();
     {
         let mut bag = local.bag.borrow_mut();
-        bag.retain_mut(|d| {
-            if d.retired_at.saturating_add(2) <= g {
-                freeable.push(Deferred {
-                    retired_at: d.retired_at,
-                    ptr: d.ptr,
-                    dropper: d.dropper,
-                });
-                false
-            } else {
-                true
-            }
-        });
+        let cut = bag.partition_point(|d| d.retired_at.saturating_add(2) <= g);
+        freeable.extend(bag.drain(..cut));
     }
     {
+        // Orphans arrive in exit-time batches from different threads, so
+        // they are not globally sorted; they are also rare (thread
+        // death), so a linear sweep of what is almost always an empty
+        // vector is fine.
         let mut orphans = lock(&ORPHANS);
         orphans.retain_mut(|d| {
             if d.retired_at.saturating_add(2) <= g {
@@ -226,6 +230,33 @@ impl Guard {
     /// whatever has become unreachable-by-construction.
     pub fn flush(&self) {
         LOCAL.with(collect);
+    }
+
+    /// Unpins the thread, runs `f`, and repins. Use around blocking or
+    /// long-sleeping sections (e.g. contention-manager backoff) so the
+    /// thread does not hold the epoch back — and reclamation up — for
+    /// the whole wait. With nested pins the thread cannot safely unpin,
+    /// so `f` simply runs pinned.
+    pub fn repin_after<F: FnOnce() -> R, R>(&mut self, f: F) -> R {
+        let unpinned = LOCAL.with(|local| {
+            if local.guards.get() == 1 {
+                local.participant.epoch.store(INACTIVE, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        });
+        let result = f();
+        if unpinned {
+            LOCAL.with(|local| loop {
+                let g = EPOCH.load(Ordering::SeqCst);
+                local.participant.epoch.store(g, Ordering::SeqCst);
+                if EPOCH.load(Ordering::SeqCst) == g {
+                    break;
+                }
+            });
+        }
+        result
     }
 
     /// Momentarily unpins and repins the thread so the global epoch can

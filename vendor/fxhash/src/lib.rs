@@ -1,0 +1,150 @@
+//! Offline stand-in for `fxhash`: the multiply-rotate hash function
+//! used by rustc and Firefox (a.k.a. FxHash), exposed through the
+//! standard `Hasher`/`BuildHasherDefault` machinery.
+//!
+//! FxHash trades avalanche quality for speed: one rotate, one xor and
+//! one multiply per word, no per-instance keys. That makes it wholly
+//! unsuitable for attacker-controlled keys (use SipHash there) and
+//! excellent for the STM's transaction-private read/write-set indices,
+//! whose keys are lock addresses that live entirely inside one process:
+//! hashing a `usize` key compiles to three instructions instead of
+//! SipHash's multi-round permutation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized builder producing default-initialised [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit golden-ratio-derived odd multiplier (same constant as
+/// upstream fxhash / rustc-hash on 64-bit targets).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash state: a single word folded once per input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Fold the tail length in so "ab" + "" and "a" + "b" split
+            // across writes cannot collide trivially.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let a = hash_of(|h| h.write_usize(0x1000));
+        let b = hash_of(|h| h.write_usize(0x1000));
+        let c = hash_of(|h| h.write_usize(0x1008));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(hash_of(|h| h.write_u64(1)), 0);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_aware() {
+        let ab = hash_of(|h| h.write(b"ab"));
+        let a = hash_of(|h| h.write(b"a"));
+        assert_ne!(ab, a);
+    }
+
+    #[test]
+    fn map_roundtrip_with_addr_like_keys() {
+        let mut m: FxHashMap<usize, u64> = FxHashMap::default();
+        // Lock addresses are word-aligned; make sure the hash does not
+        // degenerate on low-entropy low bits.
+        for i in 0..1000usize {
+            m.insert(0x7f00_0000_0000 + i * 64, i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000usize {
+            assert_eq!(m[&(0x7f00_0000_0000 + i * 64)], i as u64);
+        }
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+    }
+}

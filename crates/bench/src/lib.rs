@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod invivo;
+pub mod poolbench;
 pub mod stmbench;
 
 /// A renderable figure/table: labelled rows of numeric columns.

@@ -1,0 +1,388 @@
+//! The pool's task-distribution harness (`poolbench`).
+//!
+//! Compares the two queue backends of `rubic-runtime` — the single
+//! shared channel ([`ChannelWorkload`]) and the sharded work-stealing
+//! queues ([`ShardedWorkload`]) — across worker counts, task grains and
+//! controllers. Each measured point drains a fixed number of items
+//! through a malleable pool and reports items per second of wall time,
+//! repeated `reps` times for a mean ± sample stddev.
+//!
+//! Axes:
+//!
+//! * **queue** ∈ {`channel`, `sharded`} — the backend under test.
+//! * **task** ∈ {`tiny`, `stm-txn`} — `tiny` is a handful of ALU ops
+//!   (queue overhead dominates, the case sharding targets); `stm-txn`
+//!   runs one striped-counter STM transaction per item (real work
+//!   amortizes queue costs).
+//! * **workers** ∈ {1, 2, 4, 8, 16} by default.
+//! * **controller** ∈ {`fixed`, `rubic`} — a pinned level versus the
+//!   paper's controller moving the level mid-drain.
+//!
+//! The `poolbench` binary writes `BENCH_pool.json` (schema
+//! `rubic-poolbench/v1`) after [`PoolBenchReport::validate`] passes —
+//! same contract as `stmbench`: a malformed report is never written.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rubic::controllers::{Controller, Fixed, Rubic, RubicConfig};
+use rubic::runtime::{ChannelWorkload, MalleablePool, PoolConfig, ShardedWorkload};
+use rubic::stm::{Stm, TVar};
+
+use crate::stmbench::Stat;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "rubic-poolbench/v1";
+
+/// The benchmarked grid axes.
+const QUEUES: [&str; 2] = ["channel", "sharded"];
+const TASKS: [&str; 2] = ["tiny", "stm-txn"];
+const CONTROLLERS: [&str; 2] = ["fixed", "rubic"];
+
+/// Queue capacity used by both backends.
+const CAPACITY: usize = 1024;
+
+/// One swept configuration and its measurement.
+#[derive(Debug, Clone)]
+pub struct PoolBenchPoint {
+    /// Queue backend: `channel` or `sharded`.
+    pub queue: &'static str,
+    /// Task grain: `tiny` or `stm-txn`.
+    pub task: &'static str,
+    /// Controller driving the level: `fixed` or `rubic`.
+    pub controller: &'static str,
+    /// Pool size (and fixed level / RUBIC max level).
+    pub workers: u32,
+    /// Items drained per second of wall time.
+    pub ops_per_sec: Stat,
+}
+
+/// A complete sweep: harness parameters plus every measured point.
+#[derive(Debug, Clone)]
+pub struct PoolBenchReport {
+    /// Repetitions per configuration.
+    pub reps: u32,
+    /// Items drained per repetition for `tiny` tasks.
+    pub items_tiny: u64,
+    /// Items drained per repetition for `stm-txn` tasks.
+    pub items_stm: u64,
+    /// True when produced by the ~1 s `--smoke` sweep.
+    pub smoke: bool,
+    /// `std::thread::available_parallelism` on the measuring host.
+    pub hw_threads: u32,
+    /// One entry per (queue, task, controller, workers) configuration.
+    pub points: Vec<PoolBenchPoint>,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct PoolSweepOptions {
+    /// Repetitions per configuration.
+    pub reps: u32,
+    /// Items per repetition for `tiny` tasks.
+    pub items_tiny: u64,
+    /// Items per repetition for `stm-txn` tasks.
+    pub items_stm: u64,
+    /// Worker counts to sweep.
+    pub workers: Vec<u32>,
+    /// Reduced grid for CI schema validation.
+    pub smoke: bool,
+}
+
+impl PoolSweepOptions {
+    /// The full sweep: {1,2,4,8,16} workers, 5 reps.
+    #[must_use]
+    pub fn full() -> Self {
+        PoolSweepOptions {
+            reps: 5,
+            items_tiny: 60_000,
+            items_stm: 12_000,
+            workers: vec![1, 2, 4, 8, 16],
+            smoke: false,
+        }
+    }
+
+    /// The ~1 s CI sweep: {1,2} workers, 1 rep, small batches.
+    /// Validates schema and plumbing, not perf.
+    #[must_use]
+    pub fn smoke() -> Self {
+        PoolSweepOptions {
+            reps: 1,
+            items_tiny: 2_000,
+            items_stm: 500,
+            workers: vec![1, 2],
+            smoke: true,
+        }
+    }
+}
+
+fn make_controller(controller: &'static str, workers: u32) -> Box<dyn Controller> {
+    match controller {
+        "fixed" => Box::new(Fixed::new(workers, workers)),
+        "rubic" => Box::new(Rubic::new(RubicConfig::default(), workers)),
+        other => unreachable!("unknown controller {other}"),
+    }
+}
+
+/// A few ALU ops — cheap enough that per-item queue overhead dominates.
+fn tiny_task(n: u64) {
+    std::hint::black_box(n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ n);
+}
+
+/// One STM transaction per item: add into a striped counter (stripes
+/// sized so aborts stay rare and the measurement tracks queue + STM
+/// fixed costs, not contention).
+fn stm_task(stm: &Stm, stripes: &[TVar<u64>], n: u64) {
+    let var = &stripes[(n as usize) % stripes.len()];
+    stm.atomically(|tx| {
+        let v = tx.read(var)?;
+        tx.write(var, v.wrapping_add(n))
+    });
+}
+
+/// Drives `items` numbered tasks through a pool over the given queue
+/// backend and returns items per second of wall time (send → drained).
+fn run_once(
+    queue: &'static str,
+    task: &'static str,
+    controller: &'static str,
+    workers: u32,
+    items: u64,
+) -> f64 {
+    let stm = Arc::new(Stm::default());
+    let stripes: Arc<Vec<TVar<u64>>> = Arc::new((0..256).map(|_| TVar::new(0)).collect());
+    let handler = move |n: u64| match task {
+        "tiny" => tiny_task(n),
+        _ => stm_task(&stm, &stripes, n),
+    };
+    let cfg = PoolConfig::new(workers)
+        .initial_level(workers)
+        .monitor_period(Duration::from_millis(5))
+        .name("poolbench");
+    match queue {
+        "channel" => {
+            let (workload, tx) = ChannelWorkload::new(CAPACITY, handler);
+            let handle = workload.handle();
+            let pool = MalleablePool::start(cfg, workload, make_controller(controller, workers));
+            let start = Instant::now();
+            let producer = std::thread::spawn(move || {
+                for n in 0..items {
+                    tx.send(n).unwrap();
+                }
+            });
+            producer.join().unwrap();
+            handle.wait_drained();
+            let elapsed = start.elapsed();
+            let _ = pool.stop();
+            assert_eq!(handle.processed(), items, "channel lost items");
+            items as f64 / elapsed.as_secs_f64()
+        }
+        "sharded" => {
+            let (workload, tx) = ShardedWorkload::new(workers as usize, CAPACITY, handler);
+            let handle = workload.handle();
+            let pool = MalleablePool::start(cfg, workload, make_controller(controller, workers));
+            let start = Instant::now();
+            let producer = std::thread::spawn(move || {
+                tx.send_batch(0..items).unwrap();
+            });
+            producer.join().unwrap();
+            handle.wait_drained();
+            let elapsed = start.elapsed();
+            let _ = pool.stop();
+            assert_eq!(handle.processed(), items, "sharded lost items");
+            items as f64 / elapsed.as_secs_f64()
+        }
+        other => unreachable!("unknown queue {other}"),
+    }
+}
+
+/// Runs the whole sweep, printing one progress line per configuration.
+#[must_use]
+pub fn run_sweep(opts: &PoolSweepOptions) -> PoolBenchReport {
+    let mut points = Vec::new();
+    for queue in QUEUES {
+        for task in TASKS {
+            for controller in CONTROLLERS {
+                for &workers in &opts.workers {
+                    let items = if task == "tiny" {
+                        opts.items_tiny
+                    } else {
+                        opts.items_stm
+                    };
+                    let mut ops = Vec::with_capacity(opts.reps as usize);
+                    for _ in 0..opts.reps {
+                        ops.push(run_once(queue, task, controller, workers, items));
+                    }
+                    let point = PoolBenchPoint {
+                        queue,
+                        task,
+                        controller,
+                        workers,
+                        ops_per_sec: Stat::from_samples(ops),
+                    };
+                    eprintln!(
+                        "  {queue:>7} {task:<7} {controller:<5} w={workers:<2} {:>12.0} items/s ± {:>8.0}",
+                        point.ops_per_sec.mean, point.ops_per_sec.stddev,
+                    );
+                    points.push(point);
+                }
+            }
+        }
+    }
+    PoolBenchReport {
+        reps: opts.reps,
+        items_tiny: opts.items_tiny,
+        items_stm: opts.items_stm,
+        smoke: opts.smoke,
+        hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        points,
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_stat(s: &Stat, indent: &str) -> String {
+    let samples: Vec<String> = s.samples.iter().map(|&x| json_f64(x)).collect();
+    format!(
+        "{{\n{indent}  \"mean\": {},\n{indent}  \"stddev\": {},\n{indent}  \"samples\": [{}]\n{indent}}}",
+        json_f64(s.mean),
+        json_f64(s.stddev),
+        samples.join(", "),
+    )
+}
+
+impl PoolBenchReport {
+    /// Serialises the report as the documented `rubic-poolbench/v1`
+    /// JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"harness\": {{\n    \"reps\": {},\n    \"items_tiny\": {},\n    \"items_stm\": {},\n    \"smoke\": {},\n    \"hw_threads\": {}\n  }},\n",
+            self.reps, self.items_tiny, self.items_stm, self.smoke, self.hw_threads,
+        ));
+        out.push_str("  \"results\": [\n");
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"queue\": \"{}\",\n      \"task\": \"{}\",\n      \"controller\": \"{}\",\n      \"workers\": {},\n      \"ops_per_sec\": {}\n    }}",
+                    p.queue,
+                    p.task,
+                    p.controller,
+                    p.workers,
+                    json_stat(&p.ops_per_sec, "      "),
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Structural sanity checks: non-empty grid, known axis values,
+    /// finite positive throughput, sample counts matching `reps`. The
+    /// binary refuses to write a report that fails these.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("empty sweep: no configurations measured".into());
+        }
+        for p in &self.points {
+            let tag = format!("{}/{}/{}/w{}", p.queue, p.task, p.controller, p.workers);
+            if !QUEUES.contains(&p.queue) {
+                return Err(format!("{tag}: unknown queue"));
+            }
+            if !TASKS.contains(&p.task) {
+                return Err(format!("{tag}: unknown task"));
+            }
+            if !CONTROLLERS.contains(&p.controller) {
+                return Err(format!("{tag}: unknown controller"));
+            }
+            if p.workers == 0 {
+                return Err(format!("{tag}: zero workers"));
+            }
+            if p.ops_per_sec.samples.len() != self.reps as usize {
+                return Err(format!(
+                    "{tag}: ops_per_sec has {} samples, expected {}",
+                    p.ops_per_sec.samples.len(),
+                    self.reps
+                ));
+            }
+            if !p.ops_per_sec.mean.is_finite() || p.ops_per_sec.mean <= 0.0 {
+                return Err(format!(
+                    "{tag}: throughput {} out of range",
+                    p.ops_per_sec.mean
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_valid_json() {
+        let mut opts = PoolSweepOptions::smoke();
+        // Keep the unit test well under a second.
+        opts.workers = vec![1];
+        opts.items_tiny = 400;
+        opts.items_stm = 100;
+        let report = run_sweep(&opts);
+        report.validate().expect("smoke report must validate");
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"rubic-poolbench/v1\""));
+        assert!(json.contains("\"queue\": \"sharded\""));
+        assert_eq!(
+            report.points.len(),
+            8,
+            "2 queues x 2 tasks x 2 controllers x 1 worker count"
+        );
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_out_of_range() {
+        let empty = PoolBenchReport {
+            reps: 1,
+            items_tiny: 1,
+            items_stm: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: Vec::new(),
+        };
+        assert!(empty.validate().is_err());
+
+        let bad = PoolBenchReport {
+            reps: 1,
+            items_tiny: 1,
+            items_stm: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: vec![PoolBenchPoint {
+                queue: "sharded",
+                task: "tiny",
+                controller: "fixed",
+                workers: 1,
+                ops_per_sec: Stat::from_samples(vec![0.0]),
+            }],
+        };
+        assert!(bad.validate().unwrap_err().contains("out of range"));
+    }
+}

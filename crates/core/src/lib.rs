@@ -109,7 +109,10 @@ pub mod prelude {
     pub use rubic_metrics::{
         efficiency, geometric_mean, jain_index, nash_product, speedup, LevelTrace, Summary,
     };
-    pub use rubic_runtime::{ChannelWorkload, MalleablePool, PoolConfig, RunReport, Workload};
+    pub use rubic_runtime::{
+        ChannelWorkload, MalleablePool, PoolConfig, PoolView, RunReport, ShardSender,
+        ShardedHandle, ShardedWorkload, Workload,
+    };
     pub use rubic_sim::{curves, Experiment, Machine, ProcessSpec, SimConfig, WorkloadSpec};
     pub use rubic_stm::{Stm, StmError, TVar, Transaction, TxResult};
     pub use rubic_workloads::{

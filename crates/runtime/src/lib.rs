@@ -60,8 +60,10 @@
 pub mod pool;
 pub mod queue;
 pub mod semaphore;
+pub mod sharded;
 mod trc;
 
-pub use pool::{MalleablePool, PoolConfig, RunReport, Workload};
+pub use pool::{MalleablePool, PoolConfig, PoolView, RunReport, Workload};
 pub use queue::{ChannelWorkload, QueueHandle, TaskSender};
 pub use semaphore::Semaphore;
+pub use sharded::{ShardSender, ShardedHandle, ShardedWorkload};

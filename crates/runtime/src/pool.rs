@@ -9,6 +9,7 @@ use crossbeam_utils::CachePadded;
 use rubic_controllers::{Controller, Sample};
 use rubic_metrics::LevelTrace;
 
+use crate::queue::DrainSignal;
 use crate::semaphore::Semaphore;
 
 /// A throughput-oriented workload run by the pool's workers.
@@ -26,6 +27,23 @@ pub trait Workload: Send + Sync + 'static {
 
     /// Executes one task. Called repeatedly by active workers.
     fn run_task(&self, state: &mut Self::WorkerState);
+
+    /// Called once by [`MalleablePool::start`] with a read-only view of
+    /// the pool's gating state (current level, pool size). Queue-backed
+    /// workloads use it to steer work *away* from shards owned by gated
+    /// workers; the default ignores it.
+    fn attach(&self, view: PoolView) {
+        let _ = view;
+    }
+
+    /// Called by the worker loop immediately before the worker parks
+    /// (its `tid` fell above the level) and once when it exits. A
+    /// workload that buffers tasks per worker must return them to
+    /// steal-visible storage here, so a level decrease can never strand
+    /// tasks on a parked worker. The default does nothing.
+    fn on_park(&self, state: &mut Self::WorkerState) {
+        let _ = state;
+    }
 
     /// Returns (and resets) the number of transaction aborts this
     /// worker experienced since the previous call. Called by the worker
@@ -116,6 +134,17 @@ impl PoolConfig {
     }
 }
 
+/// One worker's commit/abort counter pair, padded onto a single cache
+/// line. Both cells are written only by the owning worker (the monitor
+/// reads them), so co-locating them is free — one line per worker
+/// instead of two, halving the lines the monitor's sweep pulls and the
+/// lines a worker's stores keep in M state.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    tasks: AtomicU64,
+    aborts: AtomicU64,
+}
+
 /// Shared state between workers and the monitor.
 struct Shared {
     /// `L_RUBIC`: number of active workers. Workers with
@@ -128,15 +157,18 @@ struct Shared {
     /// store (`budget`'s `fetch_sub`).
     level: CachePadded<AtomicU32>,
     running: CachePadded<AtomicBool>,
-    semaphores: Vec<Semaphore>,
-    /// Per-worker completed-task counters. Single-writer (the owning
-    /// worker); the monitor only reads. Relaxed everywhere — the
-    /// sound equivalent of the paper's plain thread-local counters.
-    counters: Vec<CachePadded<AtomicU64>>,
-    /// Per-worker abort counters, same single-writer discipline as
-    /// `counters`: the worker accumulates `Workload::drain_aborts`
-    /// output, the monitor reads interval deltas.
-    aborts: Vec<CachePadded<AtomicU64>>,
+    /// Pool size `S` (worker count); the fixed upper bound on `level`.
+    size: u32,
+    /// The shared admission gate. Gated workers park on it with a
+    /// predicate wait; the monitor admits `n` workers on a level
+    /// increase with a single `signal_n(n)` (one lock + one
+    /// `notify_all`) instead of `n` sequential per-semaphore signals.
+    gate: Semaphore,
+    /// Per-worker commit/abort slots, each padded onto its own cache
+    /// line. Single-writer (the owning worker); the monitor only
+    /// reads. Relaxed everywhere — the sound equivalent of the paper's
+    /// plain thread-local counters.
+    slots: Vec<CachePadded<WorkerSlot>>,
     /// Remaining task budget; negative means "exhausted, stop".
     /// `i64::MAX` when unbounded.
     budget: CachePadded<AtomicI64>,
@@ -144,6 +176,10 @@ struct Shared {
     panics: AtomicU64,
     /// Stall warnings raised by the monitor's livelock watchdog.
     stalls: AtomicU64,
+    /// Fired exactly once when `running` flips to false, so
+    /// [`MalleablePool::wait_budget_exhausted`] can block on a condvar
+    /// instead of sleep-polling.
+    stopped: DrainSignal,
 }
 
 impl Shared {
@@ -151,12 +187,10 @@ impl Shared {
         Shared {
             level: CachePadded::new(AtomicU32::new(cfg.initial_level.clamp(1, cfg.size))),
             running: CachePadded::new(AtomicBool::new(true)),
-            semaphores: (0..cfg.size).map(|_| Semaphore::new(0)).collect(),
-            counters: (0..cfg.size)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
-                .collect(),
-            aborts: (0..cfg.size)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
+            size: cfg.size,
+            gate: Semaphore::new(0),
+            slots: (0..cfg.size)
+                .map(|_| CachePadded::new(WorkerSlot::default()))
                 .collect(),
             budget: CachePadded::new(AtomicI64::new(
                 cfg.task_budget
@@ -164,25 +198,72 @@ impl Shared {
             )),
             panics: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
+            stopped: DrainSignal::default(),
         }
     }
 
     fn shutdown(&self) {
         self.running.store(false, Ordering::Release);
-        for sem in &self.semaphores {
-            sem.signal();
-        }
+        // Wake every parked worker in one batch; their gate predicate
+        // re-checks `running` and lets them exit.
+        self.gate.signal_n(self.size as usize);
+        self.stopped.fire();
     }
 
     fn total_tasks(&self) -> u64 {
-        self.counters
+        self.slots
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|s| s.tasks.load(Ordering::Relaxed))
             .sum()
     }
 
+    #[cfg(test)]
     fn total_aborts(&self) -> u64 {
-        self.aborts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.slots
+            .iter()
+            .map(|s| s.aborts.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A cloneable, read-only view of a pool's gating state, handed to the
+/// workload through [`Workload::attach`].
+///
+/// Queue-backed workloads use it to prioritise stealing from shards
+/// whose owning workers are gated (`tid >= level()`), so a level
+/// decrease never strands queued tasks behind a parked worker.
+#[derive(Clone)]
+pub struct PoolView {
+    shared: Arc<Shared>,
+}
+
+impl PoolView {
+    /// The current parallelism level (workers with `tid >= level` are
+    /// gated).
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.shared.level.load(Ordering::Relaxed)
+    }
+
+    /// The pool size `S` (total worker count).
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.shared.size
+    }
+
+    /// True while the pool accepts work.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for PoolView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolView")
+            .field("level", &self.level())
+            .field("size", &self.size())
+            .finish()
     }
 }
 
@@ -212,6 +293,9 @@ impl MalleablePool {
     ) -> Self {
         let shared = Arc::new(Shared::new(&cfg));
         let workload = Arc::new(workload);
+        workload.attach(PoolView {
+            shared: Arc::clone(&shared),
+        });
 
         let workers: Vec<JoinHandle<()>> = (0..cfg.size as usize)
             .map(|tid| {
@@ -264,11 +348,10 @@ impl MalleablePool {
 
     /// Blocks until the task budget is exhausted (or `stop` is called
     /// from another thread). Returns immediately for unbounded pools
-    /// that were already stopped.
+    /// that were already stopped. Event-driven: the waiter parks on a
+    /// condvar that `shutdown` fires, rather than sleep-polling.
     pub fn wait_budget_exhausted(&self) {
-        while self.is_running() {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        self.shared.stopped.wait();
     }
 
     /// Stops the pool, joins all threads, and reports the run.
@@ -290,15 +373,15 @@ impl MalleablePool {
             .unwrap_or_default();
         let per_worker: Vec<u64> = self
             .shared
-            .counters
+            .slots
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|s| s.tasks.load(Ordering::Relaxed))
             .collect();
         let per_worker_aborts: Vec<u64> = self
             .shared
-            .aborts
+            .slots
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|s| s.aborts.load(Ordering::Relaxed))
             .collect();
         RunReport {
             name: std::mem::take(&mut self.name),
@@ -388,17 +471,33 @@ impl RunReport {
 fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
     let mut state = workload.init_worker(tid);
     let tid_u32 = tid as u32;
-    // Fallback timeout: if a semaphore signal is ever missed (or the
-    // level drops and rises between our gate check and our park), the
-    // worker re-examines the gate within this bound.
+    // Fallback timeout: the gate's predicate wait re-checks level and
+    // running under the semaphore lock, so wakeups cannot be lost; the
+    // timeout is a pure belt-and-braces bound on any missed transition.
     let park_timeout = Duration::from_millis(50);
+    let mut parked = false;
 
     while shared.running.load(Ordering::Acquire) {
         // The gate (Algorithm 1, AcquireTask): a single relaxed load on
         // the hot path; the semaphore wait only happens when gated.
         if tid_u32 >= shared.level.load(Ordering::Relaxed) {
-            let _ = shared.semaphores[tid].wait_timeout(park_timeout);
+            // Hand locally buffered tasks back to steal-visible storage
+            // *before* parking — a level decrease must never strand
+            // tasks on a sleeping worker.
+            workload.on_park(&mut state);
+            if !parked {
+                parked = true;
+                crate::trc::worker_park(tid, shared.level.load(Ordering::Relaxed), true);
+            }
+            let _ = shared.gate.wait_while(park_timeout, || {
+                tid_u32 >= shared.level.load(Ordering::Relaxed)
+                    && shared.running.load(Ordering::Acquire)
+            });
             continue; // re-check gate and running flag
+        }
+        if parked {
+            parked = false;
+            crate::trc::worker_park(tid, shared.level.load(Ordering::Relaxed), false);
         }
 
         // Task budget (finite-queue mode).
@@ -423,19 +522,25 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
         }
 
         // Single-writer counter: plain add, relaxed. Only the monitor
-        // reads it.
-        let c = &shared.counters[tid];
-        c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        // reads it. Both cells live on this worker's own padded slot.
+        let slot = &shared.slots[tid];
+        slot.tasks
+            .store(slot.tasks.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
 
         // Abort accounting, same single-writer discipline: the workload
         // drains its thread-local abort count (0 for non-TM workloads —
         // the default impl short-circuits and the store is skipped).
         let aborted = workload.drain_aborts(&mut state);
         if aborted > 0 {
-            let a = &shared.aborts[tid];
-            a.store(a.load(Ordering::Relaxed) + aborted, Ordering::Relaxed);
+            slot.aborts.store(
+                slot.aborts.load(Ordering::Relaxed) + aborted,
+                Ordering::Relaxed,
+            );
         }
     }
+    // Exit path (shutdown or budget exhaustion): return any buffered
+    // tasks so a queue's accounting sees them as unprocessed, not lost.
+    workload.on_park(&mut state);
 }
 
 /// The monitoring thread: measure throughput each round, consult the
@@ -447,10 +552,7 @@ fn monitor_loop(
     mut controller: Box<dyn Controller>,
 ) -> LevelTrace {
     let mut trace = LevelTrace::new();
-    let mut prev_total = 0u64;
-    let mut prev_aborts = 0u64;
-    let mut prev_worker: Vec<u64> = vec![0; shared.counters.len()];
-    let mut prev_worker_aborts: Vec<u64> = vec![0; shared.aborts.len()];
+    let mut sweep = CounterSweep::new(shared.slots.len());
     let mut prev_instant = Instant::now();
     let mut round = 0u64;
     let mut zero_progress_rounds = 0u32;
@@ -461,33 +563,21 @@ fn monitor_loop(
         let elapsed = now.duration_since(prev_instant).as_secs_f64();
         prev_instant = now;
 
-        let total = shared.total_tasks();
-        let delta = total - prev_total;
+        // One relaxed pass over the padded per-worker slots yields the
+        // round's totals *and* the per-worker deltas — the monitor
+        // touches each worker's cache line exactly once per round.
+        let (delta, abort_delta) = sweep.take(shared);
         let t_c = if elapsed > 0.0 {
             delta as f64 / elapsed
         } else {
             0.0
         };
-        prev_total = total;
-
-        let aborts_total = shared.total_aborts();
-        let abort_delta = aborts_total - prev_aborts;
-        prev_aborts = aborts_total;
 
         let level = shared.level.load(Ordering::Relaxed);
 
         crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
         if crate::trc::active() {
-            for (tid, (pw, pa)) in prev_worker
-                .iter_mut()
-                .zip(prev_worker_aborts.iter_mut())
-                .enumerate()
-            {
-                let w_total = shared.counters[tid].load(Ordering::Relaxed);
-                let a_total = shared.aborts[tid].load(Ordering::Relaxed);
-                let (w_delta, a_delta) = (w_total - *pw, a_total - *pa);
-                *pw = w_total;
-                *pa = a_total;
+            for (tid, &(w_delta, a_delta)) in sweep.last_deltas.iter().enumerate() {
                 if w_delta > 0 || a_delta > 0 {
                     crate::trc::worker_delta(tid, w_delta, round, a_delta);
                 }
@@ -523,7 +613,7 @@ fn monitor_loop(
                 level,
                 round,
             })
-            .clamp(1, shared.semaphores.len() as u32);
+            .clamp(1, shared.size);
 
         trace.push_with_aborts(round, level, t_c, abort_delta);
         round += 1;
@@ -531,11 +621,13 @@ fn monitor_loop(
         if new_level != level {
             crate::trc::level_change(level, new_level, round);
             shared.level.store(new_level, Ordering::Relaxed);
-            // Wake the newly enabled workers (Algorithm 2 lines 20-22).
+            // Wake the newly enabled workers (Algorithm 2 lines 20-22)
+            // in one batch: a single lock acquisition plus one
+            // `notify_all` on the shared gate, instead of one
+            // lock+notify per admitted worker. The level store above is
+            // published to parked workers by the gate's own lock.
             if new_level > level {
-                for tid in level..new_level {
-                    shared.semaphores[tid as usize].signal();
-                }
+                shared.gate.signal_n((new_level - level) as usize);
             }
             // Workers above the new level park themselves at their next
             // gate check; no action needed here.
@@ -547,16 +639,55 @@ fn monitor_loop(
     // lose a measurable share of their trace without it — fold the tail
     // in as a final sample instead of discarding the work it measured.
     let elapsed = prev_instant.elapsed().as_secs_f64();
-    let total = shared.total_tasks();
-    if elapsed > 0.0 && total > prev_total {
-        let delta = total - prev_total;
+    let (delta, abort_delta) = sweep.take(shared);
+    if elapsed > 0.0 && delta > 0 {
         let t_c = delta as f64 / elapsed;
-        let abort_delta = shared.total_aborts() - prev_aborts;
         let level = shared.level.load(Ordering::Relaxed);
         crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
         trace.push_with_aborts(round, level, t_c, abort_delta);
     }
     trace
+}
+
+/// Reusable scratch for the monitor's once-per-round counter sweep:
+/// previous per-worker readings plus the deltas of the last call.
+struct CounterSweep {
+    prev: Vec<(u64, u64)>,
+    /// `(task_delta, abort_delta)` per worker from the latest `take`.
+    last_deltas: Vec<(u64, u64)>,
+}
+
+impl CounterSweep {
+    fn new(workers: usize) -> Self {
+        CounterSweep {
+            prev: vec![(0, 0); workers],
+            last_deltas: vec![(0, 0); workers],
+        }
+    }
+
+    /// Reads every worker slot once (relaxed) and returns the summed
+    /// `(task_delta, abort_delta)` since the previous call. Per-worker
+    /// deltas are left in `last_deltas`.
+    ///
+    /// Deltas are conserved: over any sequence of calls, the per-worker
+    /// deltas sum to exactly the slot's final reading, regardless of
+    /// concurrent level changes (each slot is single-writer and
+    /// monotone, so `current - prev` can never lose or double-count).
+    fn take(&mut self, shared: &Shared) -> (u64, u64) {
+        let mut tasks = 0u64;
+        let mut aborts = 0u64;
+        for (tid, slot) in shared.slots.iter().enumerate() {
+            let t = slot.tasks.load(Ordering::Relaxed);
+            let a = slot.aborts.load(Ordering::Relaxed);
+            let (pt, pa) = self.prev[tid];
+            let (dt, da) = (t - pt, a - pa);
+            self.prev[tid] = (t, a);
+            self.last_deltas[tid] = (dt, da);
+            tasks += dt;
+            aborts += da;
+        }
+        (tasks, aborts)
+    }
 }
 
 impl<W: Workload> Workload for Arc<W> {
@@ -568,6 +699,14 @@ impl<W: Workload> Workload for Arc<W> {
 
     fn run_task(&self, state: &mut W::WorkerState) {
         W::run_task(self, state);
+    }
+
+    fn attach(&self, view: PoolView) {
+        W::attach(self, view);
+    }
+
+    fn on_park(&self, state: &mut W::WorkerState) {
+        W::on_park(self, state);
     }
 
     fn drain_aborts(&self, state: &mut W::WorkerState) -> u64 {
@@ -755,6 +894,88 @@ mod tests {
         let report = pool.stop();
         assert_eq!(report.total_aborts, 0);
         assert_eq!(report.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn counter_sweep_conserves_deltas_across_level_changes() {
+        // Workers bump their slots concurrently while the "monitor"
+        // sweeps at arbitrary moments and the level flips between
+        // sweeps; the per-worker deltas must sum to exactly the final
+        // counter values — nothing lost, nothing double-counted.
+        let cfg = PoolConfig::new(4);
+        let shared = Arc::new(Shared::new(&cfg));
+        let writers: Vec<_> = (0..4usize)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let slot = &shared.slots[tid];
+                        slot.tasks
+                            .store(slot.tasks.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                        if i % 3 == 0 {
+                            slot.aborts
+                                .store(slot.aborts.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut sweep = CounterSweep::new(4);
+        let mut seen_tasks = 0u64;
+        let mut seen_aborts = 0u64;
+        for i in 0..50 {
+            // Flip the level between sweeps: the sweep must not care.
+            shared.level.store(1 + (i % 4), Ordering::Relaxed);
+            let (dt, da) = sweep.take(&shared);
+            seen_tasks += dt;
+            seen_aborts += da;
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let (dt, da) = sweep.take(&shared);
+        seen_tasks += dt;
+        seen_aborts += da;
+        assert_eq!(seen_tasks, shared.total_tasks());
+        assert_eq!(seen_aborts, shared.total_aborts());
+        assert_eq!(seen_tasks, 40_000);
+        // Per-worker deltas in the final sweep also conserve: each
+        // worker's prev reading equals its final counter now.
+        for (tid, slot) in shared.slots.iter().enumerate() {
+            assert_eq!(sweep.prev[tid].0, slot.tasks.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn pool_view_reports_level_and_size() {
+        struct Capture(Mutex<Option<PoolView>>);
+        struct W(Arc<Capture>);
+        impl Workload for W {
+            type WorkerState = ();
+            fn init_worker(&self, _tid: usize) {}
+            fn run_task(&self, (): &mut ()) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            fn attach(&self, view: PoolView) {
+                *self.0 .0.lock().unwrap() = Some(view);
+            }
+        }
+        use std::sync::Mutex;
+        let cap = Arc::new(Capture(Mutex::new(None)));
+        let pool = MalleablePool::start(
+            PoolConfig::new(3)
+                .initial_level(2)
+                .monitor_period(Duration::from_millis(5)),
+            W(Arc::clone(&cap)),
+            Box::new(Fixed::new(2, 3)),
+        );
+        let view = cap.0.lock().unwrap().clone().expect("attach not called");
+        assert_eq!(view.size(), 3);
+        assert_eq!(view.level(), 2);
+        assert!(view.is_running());
+        let _ = pool.stop();
+        assert!(!view.is_running());
     }
 
     #[test]

@@ -12,13 +12,69 @@
 //! benchmarks) and this finite-queue mode cover the two execution
 //! styles the paper describes for malleable applications.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
 
 use crate::pool::Workload;
+
+/// A one-shot broadcast flag: waiters park on a condvar until the first
+/// `fire`, instead of sleep-polling an atomic.
+///
+/// Used for "the queue drained" and "the pool stopped" — conditions that
+/// transition exactly once. The lock-free `fired` flag serves the
+/// fast-path `is_fired` probes; the mutex-guarded copy is what waiters
+/// sleep on, so a fire between a waiter's check and its park can never
+/// be missed. `wakes` counts condvar wakeups observed by waiters — a
+/// diagnostic the tests use to assert the signal produces a handful of
+/// wakes, not a poll storm.
+#[derive(Debug, Default)]
+pub(crate) struct DrainSignal {
+    fired: AtomicBool,
+    state: Mutex<bool>,
+    cv: Condvar,
+    wakes: AtomicU64,
+}
+
+impl DrainSignal {
+    /// True once `fire` was called.
+    pub(crate) fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Fires the signal, releasing every current and future waiter.
+    /// Idempotent.
+    pub(crate) fn fire(&self) {
+        let mut fired = self.state.lock();
+        if !*fired {
+            *fired = true;
+            self.fired.store(true, Ordering::Release);
+            drop(fired);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the signal fires. Returns immediately if it already
+    /// has.
+    pub(crate) fn wait(&self) {
+        if self.is_fired() {
+            return;
+        }
+        let mut fired = self.state.lock();
+        while !*fired {
+            self.cv.wait(&mut fired);
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Condvar wakeups observed across all `wait` calls (diagnostic).
+    pub(crate) fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+}
 
 /// Producer side of the queue (re-export of the crossbeam sender; clone
 /// it for multiple producers, drop every clone to close the queue).
@@ -27,7 +83,7 @@ pub type TaskSender<T> = Sender<T>;
 #[derive(Debug, Default)]
 struct QueueState {
     processed: AtomicU64,
-    drained: AtomicU64,
+    drain: DrainSignal,
 }
 
 /// A cloneable handle for observing queue progress from the driver.
@@ -48,14 +104,23 @@ impl QueueHandle {
     /// conditions, so a single flag suffices.)
     #[must_use]
     pub fn is_drained(&self) -> bool {
-        self.state.drained.load(Ordering::Acquire) > 0
+        self.state.drain.is_fired()
     }
 
-    /// Blocks until the queue drains, polling every millisecond.
+    /// Blocks until the queue drains. Event-driven: the caller parks on
+    /// a condvar that the worker observing disconnect+empty notifies —
+    /// no sleep-poll loop.
     pub fn wait_drained(&self) {
-        while !self.is_drained() {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        self.state.drain.wait();
+    }
+
+    /// Condvar wakeups observed by `wait_drained` callers so far. A
+    /// healthy drain wakes each waiter O(1) times; the regression test
+    /// uses this to assert the condvar path does not degenerate into a
+    /// poll storm.
+    #[must_use]
+    pub fn drain_wait_wakes(&self) -> u64 {
+        self.state.drain.wakes()
     }
 }
 
@@ -147,7 +212,7 @@ where
             Err(RecvTimeoutError::Disconnected) => {
                 // All senders gone and nothing queued: signal the
                 // driver and yield until it stops the pool.
-                self.state.drained.store(1, Ordering::Release);
+                self.state.drain.fire();
                 std::thread::yield_now();
             }
         }
@@ -242,6 +307,45 @@ mod tests {
         handle.wait_drained();
         let _ = pool.stop();
         assert_eq!(handle.processed(), 300);
+    }
+
+    #[test]
+    fn wait_drained_is_event_driven_not_a_wake_storm() {
+        let (workload, tx) = ChannelWorkload::new(64, |_n: u64| {
+            std::thread::sleep(Duration::from_micros(100));
+        });
+        let handle = workload.handle();
+        let pool = crate::MalleablePool::start(
+            PoolConfig::new(2)
+                .initial_level(2)
+                .monitor_period(Duration::from_millis(2)),
+            workload,
+            Box::new(Fixed::new(2, 2)),
+        );
+        // Three waiters park on the drain while the queue is still busy
+        // for tens of milliseconds.
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || h.wait_drained())
+            })
+            .collect();
+        for n in 0..200u64 {
+            tx.send(n).unwrap();
+        }
+        drop(tx);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert!(handle.is_drained());
+        let _ = pool.stop();
+        // The old implementation slept 1 ms per probe: over a ~20 ms
+        // drain that is dozens of wakeups per waiter. The condvar path
+        // wakes each waiter O(1) times (a small allowance covers
+        // spurious wakeups).
+        let wakes = handle.drain_wait_wakes();
+        assert!(wakes >= 1, "waiters never woke through the condvar");
+        assert!(wakes <= 12, "wake storm: {wakes} wakeups for 3 waiters");
     }
 
     #[test]

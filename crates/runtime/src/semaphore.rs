@@ -9,7 +9,7 @@
 //! condition after waking, so a stale banked permit can never let a
 //! gated worker run a task.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -74,6 +74,55 @@ impl Semaphore {
         *permits += 1;
         drop(permits);
         self.available.notify_one();
+    }
+
+    /// Releases `n` permits under a **single** lock acquisition and one
+    /// `notify_all`, releasing up to `n` parked waiters at once.
+    ///
+    /// The pool's monitor uses this on a level increase: admitting `n`
+    /// workers is one lock + one notify instead of `n` sequential
+    /// [`signal`](Semaphore::signal) calls (each of which is a lock
+    /// acquisition plus a wakeup syscall). `signal_n(0)` is a no-op.
+    pub fn signal_n(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut permits = self.permits.lock();
+        *permits += n;
+        drop(permits);
+        self.available.notify_all();
+    }
+
+    /// Parks while `gated()` holds, up to `timeout`. Returns `true` when
+    /// the wait ended because `gated()` turned false, `false` on timeout.
+    ///
+    /// The predicate is evaluated under the semaphore's lock, so a
+    /// signaller that updates the gating state *before* calling
+    /// [`signal`](Semaphore::signal)/[`signal_n`](Semaphore::signal_n)
+    /// can never lose the wakeup: either the waiter re-reads the new
+    /// state before parking, or it is parked and the notify reaches it.
+    ///
+    /// Unlike [`wait_timeout`](Semaphore::wait_timeout) the return
+    /// condition is the predicate, not the permit count: a waiter whose
+    /// predicate still holds goes back to sleep without consuming a
+    /// permit, so a wake meant for one waiter cannot be stolen by
+    /// another that is not yet eligible. On a successful return one
+    /// banked permit (if any) is consumed, which keeps the counter from
+    /// accumulating across repeated admissions.
+    pub fn wait_while(&self, timeout: Duration, gated: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut permits = self.permits.lock();
+        loop {
+            if !gated() {
+                *permits = permits.saturating_sub(1);
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.available.wait_for(&mut permits, deadline - now);
+        }
     }
 
     /// Current permit count (diagnostic; racy by nature).
@@ -142,6 +191,80 @@ mod tests {
         assert_eq!(s.permits(), 3);
         s.wait();
         assert_eq!(s.permits(), 2);
+    }
+
+    #[test]
+    fn signal_n_releases_n_parked_waiters() {
+        let s = Arc::new(Semaphore::new(0));
+        let n = 6;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.wait())
+            })
+            .collect();
+        // Give all waiters time to park, then release the whole batch
+        // with a single call.
+        std::thread::sleep(Duration::from_millis(20));
+        s.signal_n(n);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every waiter consumed exactly one permit: none left over.
+        assert_eq!(s.permits(), 0, "permits over-accumulated");
+    }
+
+    #[test]
+    fn signal_n_zero_is_noop_and_counts_add_up() {
+        let s = Semaphore::new(0);
+        s.signal_n(0);
+        assert_eq!(s.permits(), 0);
+        s.signal_n(3);
+        s.signal_n(2);
+        assert_eq!(s.permits(), 5);
+        for _ in 0..5 {
+            s.wait();
+        }
+        assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn wait_while_returns_when_predicate_clears() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let s = Arc::new(Semaphore::new(0));
+        let gated = Arc::new(AtomicBool::new(true));
+        let (s2, g2) = (Arc::clone(&s), Arc::clone(&gated));
+        let h = std::thread::spawn(move || {
+            s2.wait_while(Duration::from_secs(5), || g2.load(Ordering::Acquire))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Flip the state *before* signalling — the waiter re-checks the
+        // predicate under the semaphore lock, so the wake cannot be lost.
+        gated.store(false, Ordering::Release);
+        s.signal_n(1);
+        assert!(h.join().unwrap(), "waiter should observe the cleared gate");
+        assert_eq!(s.permits(), 0, "admission must consume the permit");
+    }
+
+    #[test]
+    fn wait_while_ignores_permits_while_still_gated() {
+        // A signal aimed at someone else must not release a waiter whose
+        // own predicate still holds.
+        let s = Semaphore::new(0);
+        s.signal_n(2);
+        let start = Instant::now();
+        assert!(!s.wait_while(Duration::from_millis(15), || true));
+        assert!(start.elapsed() >= Duration::from_millis(14));
+        // The still-gated waiter consumed nothing.
+        assert_eq!(s.permits(), 2);
+    }
+
+    #[test]
+    fn wait_while_immediate_when_not_gated() {
+        let s = Semaphore::new(0);
+        // No permit banked: an ungated waiter sails through regardless.
+        assert!(s.wait_while(Duration::from_millis(1), || false));
+        assert_eq!(s.permits(), 0);
     }
 
     #[test]

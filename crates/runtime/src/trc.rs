@@ -60,6 +60,42 @@ mod enabled {
             );
         }
     }
+
+    /// A worker parked on the gate (`parked`) or resumed from it.
+    #[inline]
+    pub(crate) fn worker_park(tid: usize, level: u32, parked: bool) {
+        if is_enabled() {
+            emit(
+                EventKind::WorkerPark,
+                u8::from(!parked),
+                tid as u64,
+                u64::from(level),
+                0,
+            );
+        }
+    }
+
+    /// A dry worker moved `n` tasks from `victim`'s shard to its own
+    /// local buffer; `victim_len` is the shard length before the steal
+    /// and `gated` whether the victim's owner sat above the level.
+    #[inline]
+    pub(crate) fn task_steal(
+        thief: usize,
+        victim: usize,
+        n: usize,
+        victim_len: usize,
+        gated: bool,
+    ) {
+        if is_enabled() {
+            emit(
+                EventKind::TaskSteal,
+                u8::from(gated),
+                ((thief as u64) << 32) | (victim as u64 & 0xFFFF_FFFF),
+                n as u64,
+                victim_len as u64,
+            );
+        }
+    }
 }
 
 #[cfg(feature = "trace")]
@@ -80,6 +116,19 @@ mod disabled {
 
     #[inline(always)]
     pub(crate) fn level_change(_old: u32, _new: u32, _round: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn worker_park(_tid: usize, _level: u32, _parked: bool) {}
+
+    #[inline(always)]
+    pub(crate) fn task_steal(
+        _thief: usize,
+        _victim: usize,
+        _n: usize,
+        _victim_len: usize,
+        _gated: bool,
+    ) {
+    }
 }
 
 #[cfg(not(feature = "trace"))]

@@ -25,6 +25,8 @@
 /// | `Decision` | phase | throughput `f64` bits | `level << 32 \| new level` | policy id |
 /// | `RubicState` | phase | `T_p` `f64` bits | `L_max` `f64` bits | `level << 32 \| new level` |
 /// | `Chaos` | chaos point | action code | spin count | 0 |
+/// | `TaskSteal` | 1 if victim gated | `thief << 32 \| victim` | tasks moved | victim shard length before |
+/// | `WorkerPark` | 0 park / 1 unpark | worker tid | level at transition | 0 |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -52,11 +54,15 @@ pub enum EventKind {
     RubicState = 10,
     /// A chaos hook fired at an STM protocol point.
     Chaos = 11,
+    /// A dry worker stole a batch of tasks from another worker's shard.
+    TaskSteal = 12,
+    /// A worker parked on the gate (code 0) or resumed from it (code 1).
+    WorkerPark = 13,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode tables).
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::TxnBegin,
         EventKind::TxnCommit,
         EventKind::TxnAbort,
@@ -69,6 +75,8 @@ impl EventKind {
         EventKind::Decision,
         EventKind::RubicState,
         EventKind::Chaos,
+        EventKind::TaskSteal,
+        EventKind::WorkerPark,
     ];
 
     /// Decodes a discriminant byte.
@@ -93,6 +101,8 @@ impl EventKind {
             EventKind::Decision => "decision",
             EventKind::RubicState => "rubic_state",
             EventKind::Chaos => "chaos",
+            EventKind::TaskSteal => "task_steal",
+            EventKind::WorkerPark => "worker_park",
         }
     }
 }

@@ -50,7 +50,7 @@ pub fn scalability_sweeps(per_level: Duration, max_level: u32) -> Figure {
     }
     f.note(format!(
         "host parallelism: {} (flat curves and a ~1-thread optimum are correct on 1 CPU)",
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        rubic_sync::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     ));
     f
 }
@@ -72,7 +72,7 @@ pub fn adaptive_runs(duration: Duration) -> Figure {
         "Live tuned runs on the RBT workload (this host)",
         columns,
     );
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
+    let hw = rubic_sync::thread::available_parallelism().map_or(1, std::num::NonZero::get) as u32;
     let pool = (hw * 2).max(4);
     for policy in [Policy::Rubic, Policy::Ebs, Policy::F2c2, Policy::Greedy] {
         let stm = Stm::default();

@@ -165,7 +165,7 @@ fn run_once(
             let handle = workload.handle();
             let pool = MalleablePool::start(cfg, workload, make_controller(controller, workers));
             let start = Instant::now();
-            let producer = std::thread::spawn(move || {
+            let producer = rubic_sync::thread::spawn(move || {
                 for n in 0..items {
                     tx.send(n).unwrap();
                 }
@@ -182,7 +182,7 @@ fn run_once(
             let handle = workload.handle();
             let pool = MalleablePool::start(cfg, workload, make_controller(controller, workers));
             let start = Instant::now();
-            let producer = std::thread::spawn(move || {
+            let producer = rubic_sync::thread::spawn(move || {
                 tx.send_batch(0..items).unwrap();
             });
             producer.join().unwrap();
@@ -234,7 +234,7 @@ pub fn run_sweep(opts: &PoolSweepOptions) -> PoolBenchReport {
         items_tiny: opts.items_tiny,
         items_stm: opts.items_stm,
         smoke: opts.smoke,
-        hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        hw_threads: rubic_sync::thread::available_parallelism().map_or(1, |n| n.get() as u32),
         points,
     }
 }

@@ -196,7 +196,7 @@ fn drive<W: Workload>(workload: W, threads: u32, opts: &SweepOptions) -> (f64, f
         workload,
         Box::new(Fixed::new(threads, threads)),
     );
-    std::thread::sleep(opts.duration);
+    rubic_sync::thread::sleep(opts.duration);
     let report = pool.stop();
     (report.throughput(), report.abort_rate())
 }
@@ -236,7 +236,7 @@ pub fn run_sweep(opts: &SweepOptions) -> BenchReport {
         reps: opts.reps,
         duration_ms: opts.duration.as_millis() as u64,
         smoke: opts.smoke,
-        hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        hw_threads: rubic_sync::thread::available_parallelism().map_or(1, |n| n.get() as u32),
         points,
     }
 }

@@ -1,0 +1,24 @@
+//! Checkable ports of the workspace's riskiest protocols.
+//!
+//! These are *models*: faithful re-statements of a protocol against
+//! [`crate::sync`] primitives, small enough for the checker to explore.
+//! Two of the four protocols named in the verification plan live here
+//! because they need knobs (orderings, drain thresholds) the production
+//! code rightly does not expose:
+//!
+//! * [`vlock`] — the TL2-style versioned-lock + global-clock commit
+//!   protocol from `rubic-stm` (`vlock.rs` / `clock.rs` / `tvar.rs`),
+//!   with every memory ordering configurable so the mutation self-test
+//!   can weaken one and assert the checker catches it.
+//! * [`epoch`] — the pin / retire / prefix-drain protocol of the
+//!   vendored `crossbeam-epoch`-style reclamation, instance-based so
+//!   executions are independent, with the drain threshold configurable
+//!   to demonstrate premature-free detection.
+//!
+//! The other two protocols (`rubic-runtime`'s semaphore admission and
+//! sharded-queue accounting) are exercised directly on the production
+//! types — they need no knobs — from `crates/check/tests/models.rs`
+//! under `--cfg rubic_check`.
+
+pub mod epoch;
+pub mod vlock;

@@ -1,0 +1,149 @@
+//! Model of the TL2-style versioned-lock commit protocol.
+//!
+//! Mirrors `rubic-stm`: each transactional slot carries a versioned
+//! lock word (`version << 1 | locked`, as in `crates/stm/src/vlock.rs`)
+//! and a value published under it; commits tick a global clock
+//! (`crates/stm/src/clock.rs`) between acquiring write locks and
+//! releasing them with the new version. The model checks the snapshot
+//! validity half of opacity: a reader that samples, reads, and
+//! re-validates both slots must observe `x == y` (the writer maintains
+//! that invariant transactionally).
+//!
+//! All orderings are configurable so the mutation self-test can weaken
+//! exactly one (the commit release) and assert the checker reports a
+//! too-weak-ordering pairing within a bounded budget.
+
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::thread;
+
+/// Ordering knobs for the protocol, defaulting to what the production
+/// code uses.
+#[derive(Debug, Clone, Copy)]
+pub struct VLockModel {
+    /// Lock-word sample load (`VLock::sample`): `Acquire` in production.
+    pub sample: Ordering,
+    /// Commit release store (`VLock::release_commit`): `Release` in
+    /// production. Weakening this to `Relaxed` is the canonical
+    /// mutation — the reader's acquire sample then pairs with a store
+    /// that publishes nothing.
+    pub release: Ordering,
+    /// Global-clock read at transaction begin: `Acquire` in production.
+    pub clock_read: Ordering,
+}
+
+impl Default for VLockModel {
+    fn default() -> Self {
+        VLockModel {
+            sample: Ordering::Acquire,
+            release: Ordering::Release,
+            clock_read: Ordering::Acquire,
+        }
+    }
+}
+
+/// One transactional slot: versioned lock word plus published value.
+struct Slot {
+    /// `version << 1 | locked`, exactly the `vlock.rs` encoding.
+    lock: AtomicU64,
+    /// Published value. Relaxed accesses are correct here for the same
+    /// reason they are in `tvar.rs`: the versioned-lock protocol
+    /// (acquire sample before, validating re-sample after) orders them,
+    /// and reads that lose the validation race are discarded.
+    val: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            lock: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+        }
+    }
+}
+
+const WRITER_TXNS: u64 = 2;
+const READER_ATTEMPTS: u32 = 6;
+
+/// Builds the model closure: one committing writer, one validating
+/// reader, two slots with the invariant `x == y`.
+pub fn model(cfg: VLockModel) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        let x = Arc::new(Slot::new());
+        let y = Arc::new(Slot::new());
+
+        let writer = {
+            let (clock, x, y) = (Arc::clone(&clock), Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                for n in 1..=WRITER_TXNS {
+                    // Acquire both write locks (uncontended here — the
+                    // reader never locks — so a bounded CAS suffices).
+                    for slot in [&x, &y] {
+                        let cur = slot.lock.load(cfg.sample);
+                        assert_eq!(cur & 1, 0, "writer is the only locker");
+                        slot.lock
+                            // ordering: success Acquire pairs with the
+                            // previous commit's release store, as in
+                            // `VLock::try_lock`; failure value unused.
+                            .compare_exchange(cur, cur | 1, Ordering::Acquire, Ordering::Relaxed)
+                            .expect("uncontended lock");
+                    }
+                    // ordering: AcqRel tick, as `GlobalClock::tick`.
+                    let wv = clock.fetch_add(1, Ordering::AcqRel) + 1;
+                    // ordering: Relaxed value writes are ordered by the
+                    // lock protocol (see `Slot::val`).
+                    x.val.store(n, Ordering::Relaxed);
+                    y.val.store(n, Ordering::Relaxed);
+                    // Release with the new version, as
+                    // `VLock::release_commit`.
+                    x.lock.store(wv << 1, cfg.release);
+                    y.lock.store(wv << 1, cfg.release);
+                }
+            })
+        };
+
+        let reader = {
+            let (clock, x, y) = (Arc::clone(&clock), Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                'attempt: for _ in 0..READER_ATTEMPTS {
+                    // Transaction begin: snapshot the global clock.
+                    let rv = clock.load(cfg.clock_read);
+                    let mut vals = [0u64; 2];
+                    let mut vers = [0u64; 2];
+                    for (i, slot) in [&x, &y].into_iter().enumerate() {
+                        let v1 = slot.lock.load(cfg.sample);
+                        if v1 & 1 == 1 || (v1 >> 1) > rv {
+                            continue 'attempt; // locked or too new: retry
+                        }
+                        // ordering: Relaxed read ordered by the
+                        // sample/validate pair (see `Slot::val`).
+                        vals[i] = slot.val.load(Ordering::Relaxed);
+                        vers[i] = v1;
+                    }
+                    // Post-read validation, as `Txn::validate`.
+                    for (i, slot) in [&x, &y].into_iter().enumerate() {
+                        if slot.lock.load(cfg.sample) != vers[i] {
+                            continue 'attempt;
+                        }
+                    }
+                    // Snapshot validity (opacity): a validated read set
+                    // is a consistent cut.
+                    assert_eq!(
+                        vals[0], vals[1],
+                        "validated snapshot is inconsistent: x={} y={} rv={rv}",
+                        vals[0], vals[1]
+                    );
+                }
+                // Attempts are bounded (never retried to success) so
+                // every schedule is finite — a reader that loses all
+                // its validation races simply observed nothing, which
+                // other schedules cover.
+            })
+        };
+
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+    }
+}

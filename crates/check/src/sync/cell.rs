@@ -1,0 +1,79 @@
+//! Plain-data cells with race detection.
+
+use std::cell::UnsafeCell;
+
+use crate::engine::with_ctx;
+
+/// A shared plain-data cell whose accesses are checked for data races.
+///
+/// `RaceCell` is the model-building analogue of unsynchronized memory:
+/// inside a checker run every `get`/`set` is a scheduling point and is
+/// validated FastTrack-style against the vector clocks — two
+/// conflicting accesses with no happens-before edge fail the execution
+/// with a race report naming both sites.
+///
+/// Outside a run, accesses are plain unsynchronized reads/writes. Only
+/// use `RaceCell` inside model closures (or single-threaded setup
+/// code); that is the discipline that makes the `Sync` impl sound.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: cross-thread access is only valid under the checker, which
+// serializes all accesses (one runnable thread at a time) and reports
+// conflicting unsynchronized pairs instead of letting them proceed
+// unordered. See the type-level docs for the usage contract.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a new cell.
+    #[must_use]
+    pub const fn new(v: T) -> Self {
+        RaceCell {
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Reads the value (checked as a plain read).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        let loc = std::panic::Location::caller();
+        if let Some(ctx) = with_ctx(Clone::clone) {
+            ctx.engine.op_yield(ctx.tid, loc);
+            ctx.engine.cell_read(ctx.tid, self.addr(), loc);
+        }
+        // SAFETY: under the checker the engine serializes accesses and
+        // has validated this read against the last write's clock;
+        // outside the checker the contract restricts the cell to
+        // single-threaded use.
+        unsafe { *self.data.get() }
+    }
+
+    /// Writes the value (checked as a plain write).
+    #[track_caller]
+    pub fn set(&self, v: T) {
+        let loc = std::panic::Location::caller();
+        if let Some(ctx) = with_ctx(Clone::clone) {
+            ctx.engine.op_yield(ctx.tid, loc);
+            ctx.engine.cell_write(ctx.tid, self.addr(), loc);
+        }
+        // SAFETY: as in `get` — serialized by the engine or
+        // single-threaded by contract.
+        unsafe {
+            *self.data.get() = v;
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for RaceCell<T> {
+    fn default() -> Self {
+        RaceCell::new(T::default())
+    }
+}

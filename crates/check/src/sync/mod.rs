@@ -1,0 +1,14 @@
+//! Checked synchronization primitives.
+//!
+//! Drop-in counterparts of the primitives the workspace uses (same
+//! shapes the `rubic-sync` facade exposes): plain passthrough when no
+//! checker is running on the current thread, engine-controlled inside a
+//! [`crate::check`] run.
+
+pub mod atomic;
+mod cell;
+mod mutex;
+pub mod thread;
+
+pub use cell::RaceCell;
+pub use mutex::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};

@@ -1,0 +1,265 @@
+//! Checked `Mutex` and `Condvar` with a `parking_lot`-flavoured API
+//! (no poisoning; `lock()` returns the guard directly), matching the
+//! passthrough types the `rubic-sync` facade exposes in normal builds.
+//!
+//! Outside a checker run the embedded `std` primitives do the real
+//! work. Inside a run the engine arbitrates ownership, blocking, and
+//! wakeup order, and transfers vector clocks on release/acquire.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+use crate::engine::{with_ctx, Ctx};
+
+/// A mutual-exclusion lock (checked under the model checker).
+pub struct Mutex<T: ?Sized> {
+    raw: std::sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is mediated either by `raw` (passthrough
+// mode) or by the engine's single-owner arbitration (model mode), so
+// the usual Mutex bounds apply. // ordering: n/a
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only hands out data access through a
+// guard that witnesses exclusive ownership.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in statics).
+    #[must_use]
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            raw: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.raw) as usize
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let loc = std::panic::Location::caller();
+        match with_ctx(Clone::clone) {
+            Some(ctx) => {
+                ctx.engine.mutex_lock(ctx.tid, self.addr(), loc);
+                MutexGuard {
+                    m: self,
+                    raw: None,
+                    ctx: Some(ctx),
+                    _not_send: PhantomData,
+                }
+            }
+            None => MutexGuard {
+                raw: Some(self.raw.lock().unwrap_or_else(PoisonError::into_inner)),
+                m: self,
+                ctx: None,
+                _not_send: PhantomData,
+            },
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let loc = std::panic::Location::caller();
+        match with_ctx(Clone::clone) {
+            Some(ctx) => ctx
+                .engine
+                .mutex_try_lock(ctx.tid, self.addr(), loc)
+                .then(|| MutexGuard {
+                    m: self,
+                    raw: None,
+                    ctx: Some(ctx),
+                    _not_send: PhantomData,
+                }),
+            None => self.raw.try_lock().ok().map(|g| MutexGuard {
+                m: self,
+                raw: Some(g),
+                ctx: None,
+                _not_send: PhantomData,
+            }),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Diagnostics must not block or perturb the schedule.
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]. Releasing it unlocks the mutex.
+pub struct MutexGuard<'a, T: ?Sized> {
+    m: &'a Mutex<T>,
+    /// `Some` in passthrough mode; `None` when the engine owns
+    /// arbitration.
+    raw: Option<std::sync::MutexGuard<'a, ()>>,
+    ctx: Option<Ctx>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive ownership (std lock or
+        // engine arbitration), so dereferencing the cell is unique.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard is the unique owner.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if self.raw.is_none() {
+            // Model mode. `with_ctx` returns None while unwinding from
+            // an abandoned execution, in which case the engine is done
+            // with this thread and bookkeeping is moot.
+            let loc = std::panic::Location::caller();
+            if let Some(ctx) = &self.ctx {
+                let _ = with_ctx(|_| ctx.engine.mutex_unlock(ctx.tid, self.m.addr(), loc));
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable (checked under the model checker).
+///
+/// Timed waits never expire on wall-clock time inside a run: the engine
+/// force-times-out the longest waiter only when no other thread can
+/// run, so lost-wakeup bugs surface as step-budget/livelock failures
+/// while untimed waits surface as deadlocks.
+#[derive(Default)]
+pub struct Condvar {
+    raw: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar {
+            raw: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.raw) as usize
+    }
+
+    /// Blocks until notified, releasing the guard's mutex while parked.
+    #[track_caller]
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        let loc = std::panic::Location::caller();
+        match guard.ctx.clone() {
+            Some(ctx) => {
+                let _ = ctx
+                    .engine
+                    .condvar_wait(ctx.tid, self.addr(), guard.m.addr(), false, loc);
+            }
+            None => {
+                let raw = guard.raw.take().expect("passthrough guard");
+                let raw = self.raw.wait(raw).unwrap_or_else(PoisonError::into_inner);
+                guard.raw = Some(raw);
+            }
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    #[track_caller]
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let loc = std::panic::Location::caller();
+        match guard.ctx.clone() {
+            Some(ctx) => WaitTimeoutResult(ctx.engine.condvar_wait(
+                ctx.tid,
+                self.addr(),
+                guard.m.addr(),
+                true,
+                loc,
+            )),
+            None => {
+                let raw = guard.raw.take().expect("passthrough guard");
+                let (raw, r) = self
+                    .raw
+                    .wait_timeout(raw, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.raw = Some(raw);
+                WaitTimeoutResult(r.timed_out())
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO inside a run).
+    #[track_caller]
+    pub fn notify_one(&self) {
+        let loc = std::panic::Location::caller();
+        match with_ctx(Clone::clone) {
+            Some(ctx) => ctx.engine.condvar_notify(ctx.tid, self.addr(), false, loc),
+            None => self.raw.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        let loc = std::panic::Location::caller();
+        match with_ctx(Clone::clone) {
+            Some(ctx) => ctx.engine.condvar_notify(ctx.tid, self.addr(), true, loc),
+            None => self.raw.notify_all(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

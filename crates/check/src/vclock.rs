@@ -1,0 +1,107 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each controlled thread carries a [`VClock`]; synchronization objects
+//! (mutexes, release stores) carry snapshot clocks that acquiring
+//! threads join. The race detector (FastTrack-style, see
+//! `engine::CellMeta`) compares access *epochs* — `(tid, clock-value)`
+//! pairs — against the current thread's clock: an access epoch `(t, c)`
+//! happens-before the current thread iff `clock[t] >= c`.
+
+/// A vector clock: one logical-time component per controlled thread.
+///
+/// Components default to zero; the vector grows on demand so a clock
+/// created before a thread spawns still compares correctly against it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The empty clock (all components zero).
+    #[must_use]
+    pub const fn new() -> Self {
+        VClock { ticks: Vec::new() }
+    }
+
+    /// Component for thread `tid` (zero if never ticked).
+    #[must_use]
+    pub fn get(&self, tid: usize) -> u64 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self >= other` componentwise.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (mine, theirs) in self.ticks.iter_mut().zip(other.ticks.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True iff every component of `self` is `<=` the matching component
+    /// of `other` — i.e. everything this clock has seen happened-before
+    /// `other`'s owner.
+    #[must_use]
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.get(tid))
+    }
+
+    /// Resets to the empty clock (used when a relaxed store breaks a
+    /// location's release sequence).
+    pub fn clear(&mut self) {
+        self.ticks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn le_orders_causally() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        // Concurrent clocks: neither <= the other.
+        let mut c = VClock::new();
+        c.tick(2);
+        assert!(!b.le(&c) && !c.le(&b));
+    }
+}

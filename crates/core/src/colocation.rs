@@ -61,13 +61,13 @@ impl Colocation {
             let arrival = tenant.spec().arrival.min(self.duration);
             let now = start.elapsed();
             if arrival > now {
-                std::thread::sleep(arrival - now);
+                rubic_sync::thread::sleep(arrival - now);
             }
             running.push(tenant.start());
         }
         let elapsed = start.elapsed();
         if self.duration > elapsed {
-            std::thread::sleep(self.duration - elapsed);
+            rubic_sync::thread::sleep(self.duration - elapsed);
         }
         let reports = running
             .into_iter()

@@ -116,7 +116,7 @@ impl Tenant {
 #[must_use]
 pub fn run_tenant(tenant: Tenant, duration: Duration) -> TenantReport {
     let (spec, pool) = tenant.start();
-    std::thread::sleep(duration);
+    rubic_sync::thread::sleep(duration);
     let report = pool.stop();
     TenantReport {
         name: spec.name,
@@ -171,7 +171,7 @@ pub fn measure_sequential<W: Workload>(workload: W, duration: Duration) -> f64 {
         workload,
         Box::new(rubic_controllers::Fixed::new(1, 1)),
     );
-    std::thread::sleep(duration);
+    rubic_sync::thread::sleep(duration);
     pool.stop().throughput()
 }
 
@@ -194,7 +194,7 @@ pub fn scalability_sweep<W: Workload + Clone>(
                 workload.clone(),
                 Box::new(rubic_controllers::Fixed::new(l.max(1), l.max(1))),
             );
-            std::thread::sleep(duration_per_level);
+            rubic_sync::thread::sleep(duration_per_level);
             let report = pool.stop();
             (l, report.throughput())
         })

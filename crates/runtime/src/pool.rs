@@ -1,9 +1,10 @@
 //! The malleable worker pool and its monitoring thread.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use rubic_sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use rubic_sync::thread::JoinHandle;
+use rubic_sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use rubic_controllers::{Controller, Sample};
@@ -213,7 +214,7 @@ impl Shared {
     fn total_tasks(&self) -> u64 {
         self.slots
             .iter()
-            .map(|s| s.tasks.load(Ordering::Relaxed))
+            .map(|s| s.tasks.load(Ordering::Relaxed)) // ordering: monitoring read
             .sum()
     }
 
@@ -221,7 +222,7 @@ impl Shared {
     fn total_aborts(&self) -> u64 {
         self.slots
             .iter()
-            .map(|s| s.aborts.load(Ordering::Relaxed))
+            .map(|s| s.aborts.load(Ordering::Relaxed)) // ordering: monitoring read
             .sum()
     }
 }
@@ -242,6 +243,8 @@ impl PoolView {
     /// gated).
     #[must_use]
     pub fn level(&self) -> u32 {
+        // ordering: the level is advisory for steal prioritisation; a
+        // stale read only delays the gated-shard preference by one hop.
         self.shared.level.load(Ordering::Relaxed)
     }
 
@@ -301,7 +304,7 @@ impl MalleablePool {
             .map(|tid| {
                 let shared = Arc::clone(&shared);
                 let workload = Arc::clone(&workload);
-                std::thread::Builder::new()
+                rubic_sync::thread::Builder::new()
                     .name(format!("{}-w{}", cfg.name, tid))
                     .spawn(move || worker_loop(tid, &shared, &*workload))
                     .expect("failed to spawn worker thread")
@@ -312,7 +315,7 @@ impl MalleablePool {
             let shared = Arc::clone(&shared);
             let period = cfg.period;
             let stall_rounds = cfg.stall_rounds.max(1);
-            std::thread::Builder::new()
+            rubic_sync::thread::Builder::new()
                 .name(format!("{}-monitor", cfg.name))
                 .spawn(move || monitor_loop(&shared, period, stall_rounds, controller))
                 .expect("failed to spawn monitor thread")
@@ -330,7 +333,7 @@ impl MalleablePool {
     /// The current parallelism level.
     #[must_use]
     pub fn level(&self) -> u32 {
-        self.shared.level.load(Ordering::Relaxed)
+        self.shared.level.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Tasks completed so far across all workers.
@@ -375,13 +378,13 @@ impl MalleablePool {
             .shared
             .slots
             .iter()
-            .map(|s| s.tasks.load(Ordering::Relaxed))
+            .map(|s| s.tasks.load(Ordering::Relaxed)) // ordering: workers joined
             .collect();
         let per_worker_aborts: Vec<u64> = self
             .shared
             .slots
             .iter()
-            .map(|s| s.aborts.load(Ordering::Relaxed))
+            .map(|s| s.aborts.load(Ordering::Relaxed)) // ordering: workers joined
             .collect();
         RunReport {
             name: std::mem::take(&mut self.name),
@@ -390,8 +393,8 @@ impl MalleablePool {
             per_worker,
             per_worker_aborts,
             elapsed,
-            worker_panics: self.shared.panics.load(Ordering::Relaxed),
-            stall_warnings: self.shared.stalls.load(Ordering::Relaxed),
+            worker_panics: self.shared.panics.load(Ordering::Relaxed), // ordering: workers joined
+            stall_warnings: self.shared.stalls.load(Ordering::Relaxed), // ordering: monitor joined
             trace,
         }
     }
@@ -480,6 +483,10 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
     while shared.running.load(Ordering::Acquire) {
         // The gate (Algorithm 1, AcquireTask): a single relaxed load on
         // the hot path; the semaphore wait only happens when gated.
+        // ordering: the level is a pure admission threshold — no data is
+        // published with it, and the predicate re-check inside
+        // `wait_while` runs under the gate's lock, which orders the
+        // monitor's store. A stale read here costs one extra loop.
         if tid_u32 >= shared.level.load(Ordering::Relaxed) {
             // Hand locally buffered tasks back to steal-visible storage
             // *before* parking — a level decrease must never strand
@@ -487,9 +494,11 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
             workload.on_park(&mut state);
             if !parked {
                 parked = true;
+                // ordering: trace payload only
                 crate::trc::worker_park(tid, shared.level.load(Ordering::Relaxed), true);
             }
             let _ = shared.gate.wait_while(park_timeout, || {
+                // ordering: evaluated under the gate's lock (see above)
                 tid_u32 >= shared.level.load(Ordering::Relaxed)
                     && shared.running.load(Ordering::Acquire)
             });
@@ -497,6 +506,7 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
         }
         if parked {
             parked = false;
+            // ordering: trace payload only
             crate::trc::worker_park(tid, shared.level.load(Ordering::Relaxed), false);
         }
 
@@ -516,13 +526,16 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
         }))
         .is_ok();
         if !completed {
-            shared.panics.fetch_add(1, Ordering::Relaxed);
+            shared.panics.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
             state = workload.init_worker(tid);
             continue; // the task did not complete; don't count it
         }
 
         // Single-writer counter: plain add, relaxed. Only the monitor
         // reads it. Both cells live on this worker's own padded slot.
+        // ordering: single-writer slot, monitor reads are tolerant of
+        // staleness — the sound equivalent of the paper's plain
+        // thread-local counters.
         let slot = &shared.slots[tid];
         slot.tasks
             .store(slot.tasks.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
@@ -532,6 +545,7 @@ fn worker_loop<W: Workload>(tid: usize, shared: &Shared, workload: &W) {
         // the default impl short-circuits and the store is skipped).
         let aborted = workload.drain_aborts(&mut state);
         if aborted > 0 {
+            // ordering: same single-writer discipline as `tasks`.
             slot.aborts.store(
                 slot.aborts.load(Ordering::Relaxed) + aborted,
                 Ordering::Relaxed,
@@ -558,7 +572,7 @@ fn monitor_loop(
     let mut zero_progress_rounds = 0u32;
 
     while shared.running.load(Ordering::Acquire) {
-        std::thread::sleep(period);
+        rubic_sync::thread::sleep(period);
         let now = Instant::now();
         let elapsed = now.duration_since(prev_instant).as_secs_f64();
         prev_instant = now;
@@ -573,6 +587,8 @@ fn monitor_loop(
             0.0
         };
 
+        // ordering: the monitor is the only writer of `level`; its own
+        // read-back needs no synchronisation.
         let level = shared.level.load(Ordering::Relaxed);
 
         crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
@@ -592,11 +608,12 @@ fn monitor_loop(
         if delta == 0 && shared.running.load(Ordering::Acquire) {
             zero_progress_rounds += 1;
             if zero_progress_rounds >= stall_rounds {
-                shared.stalls.fetch_add(1, Ordering::Relaxed);
+                shared.stalls.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
                 eprintln!(
                     "[{}] watchdog: no task completed for {} monitor rounds \
                      (round {}, level {}) — possible abort storm or livelock",
-                    std::thread::current().name().unwrap_or("rubic-monitor"),
+                    // The thread name is diagnostics only, not a sync edge.
+                    std::thread::current().name().unwrap_or("rubic-monitor"), // lint: allow-std-sync
                     zero_progress_rounds,
                     round,
                     level,
@@ -620,6 +637,10 @@ fn monitor_loop(
 
         if new_level != level {
             crate::trc::level_change(level, new_level, round);
+            // ordering: Relaxed is sound because the level never travels
+            // with data: ungating workers observe it through the gate's
+            // semaphore lock (signal_n below), and the worker hot path
+            // tolerates staleness (re-checked under the same lock).
             shared.level.store(new_level, Ordering::Relaxed);
             // Wake the newly enabled workers (Algorithm 2 lines 20-22)
             // in one batch: a single lock acquisition plus one
@@ -642,7 +663,7 @@ fn monitor_loop(
     let (delta, abort_delta) = sweep.take(shared);
     if elapsed > 0.0 && delta > 0 {
         let t_c = delta as f64 / elapsed;
-        let level = shared.level.load(Ordering::Relaxed);
+        let level = shared.level.load(Ordering::Relaxed); // ordering: own store, see above
         crate::trc::monitor_round(round, delta, level, abort_delta, t_c);
         trace.push_with_aborts(round, level, t_c, abort_delta);
     }
@@ -677,6 +698,8 @@ impl CounterSweep {
         let mut tasks = 0u64;
         let mut aborts = 0u64;
         for (tid, slot) in shared.slots.iter().enumerate() {
+            // ordering: single-writer monotone counters; a stale read
+            // shifts a task into the next round's delta, never loses it.
             let t = slot.tasks.load(Ordering::Relaxed);
             let a = slot.aborts.load(Ordering::Relaxed);
             let (pt, pa) = self.prev[tid];

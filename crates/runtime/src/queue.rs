@@ -12,12 +12,11 @@
 //! benchmarks) and this finite-queue mode cover the two execution
 //! styles the paper describes for malleable applications.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
+use rubic_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rubic_sync::{Arc, Condvar, Mutex};
 
 use crate::pool::Workload;
 
@@ -66,13 +65,13 @@ impl DrainSignal {
         let mut fired = self.state.lock();
         while !*fired {
             self.cv.wait(&mut fired);
-            self.wakes.fetch_add(1, Ordering::Relaxed);
+            self.wakes.fetch_add(1, Ordering::Relaxed); // ordering: diagnostic counter
         }
     }
 
     /// Condvar wakeups observed across all `wait` calls (diagnostic).
     pub(crate) fn wakes(&self) -> u64 {
-        self.wakes.load(Ordering::Relaxed)
+        self.wakes.load(Ordering::Relaxed) // ordering: diagnostic read
     }
 }
 
@@ -96,7 +95,7 @@ impl QueueHandle {
     /// Items processed so far.
     #[must_use]
     pub fn processed(&self) -> u64 {
-        self.state.processed.load(Ordering::Relaxed)
+        self.state.processed.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// True once every producer hung up **and** the queue was emptied.
@@ -204,7 +203,7 @@ where
         match self.receiver.recv_timeout(Duration::from_millis(5)) {
             Ok(item) => {
                 (self.handler)(item);
-                self.state.processed.fetch_add(1, Ordering::Relaxed);
+                self.state.processed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Queue momentarily empty: an idle poll, not real work.
@@ -213,7 +212,7 @@ where
                 // All senders gone and nothing queued: signal the
                 // driver and yield until it stops the pool.
                 self.state.drain.fire();
-                std::thread::yield_now();
+                rubic_sync::thread::yield_now();
             }
         }
     }

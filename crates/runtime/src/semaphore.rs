@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use rubic_sync::{Condvar, Mutex};
 
 /// A counting semaphore built on `parking_lot`'s mutex + condvar.
 #[derive(Debug, Default)]

@@ -29,13 +29,12 @@
 //! each hop under a shard lock or within a single worker's state.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crossbeam_channel::SendError;
 use crossbeam_utils::CachePadded;
-use parking_lot::{Condvar, Mutex};
+use rubic_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use rubic_sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::pool::{PoolView, Workload};
 use crate::queue::DrainSignal;
@@ -90,6 +89,11 @@ struct Gauges {
 impl Gauges {
     /// Wakes idle-sleeping workers (called after making work visible).
     fn wake_idle(&self) {
+        // ordering: SeqCst pairs with the SeqCst `sleepers` increment in
+        // `idle_wait` — producer and sleeper each write their flag then
+        // read the other's (Dekker pattern), so both sides need the
+        // single total order; Acquire/Release alone would allow a missed
+        // wake. Verified by the sharded model under `--cfg rubic_check`.
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Acquire/release the idle mutex so a worker between its
             // emptiness re-check and its park cannot miss the notify.
@@ -104,6 +108,12 @@ impl Gauges {
         if self.drain.is_fired() {
             return true;
         }
+        // ordering: drain detection is a lock-free conjunction over two
+        // counters updated by different threads; SeqCst on both loads and
+        // on every producer/queued update puts them in one total order so
+        // "producers == 0 && queued == 0" can never observe a stale mix
+        // (e.g. a hand-off where queued dips to 0 while a producer is
+        // mid-push). Verified by the sharded model under `rubic_check`.
         if self.producers.load(Ordering::SeqCst) == 0 && self.queued.load(Ordering::SeqCst) == 0 {
             self.drain.fire();
             self.idle_cv.notify_all();
@@ -152,6 +162,8 @@ impl<T> Core<T> {
             return Err(SendError(item));
         }
         q.push_back(item);
+        // ordering: the mirror is an advisory skip-hint read outside the
+        // lock; the deque itself is lock-protected, so Relaxed suffices.
         shard.len.store(q.len(), Ordering::Relaxed);
         drop(q);
         self.g.wake_idle();
@@ -167,8 +179,8 @@ impl<T> Core<T> {
         let take = q.len().min(max);
         if take > 0 {
             local.extend(q.drain(..take));
-            shard.len.store(q.len(), Ordering::Relaxed);
-            // Free capacity: unblock producers waiting on this shard.
+            shard.len.store(q.len(), Ordering::Relaxed); // ordering: advisory mirror
+                                                         // Free capacity: unblock producers waiting on this shard.
             shard.not_full.notify_all();
         }
         take
@@ -187,7 +199,7 @@ impl<T> Core<T> {
         while let Some(item) = local.pop_back() {
             q.push_front(item);
         }
-        shard.len.store(q.len(), Ordering::Relaxed);
+        shard.len.store(q.len(), Ordering::Relaxed); // ordering: advisory mirror
         drop(q);
         self.g.wake_idle();
     }
@@ -209,11 +221,16 @@ impl<T: Send + 'static> ShardSender<T> {
         if self.core.g.closed.load(Ordering::Acquire) {
             return Err(SendError(item));
         }
+        // ordering: SeqCst — part of the drain-detection total order
+        // (see `Gauges::check_drained`).
         self.core.g.queued.fetch_add(1, Ordering::SeqCst);
+        // ordering: the cursor only spreads load; any distribution is
+        // correct, so Relaxed.
         let s = self.core.cursor.fetch_add(1, Ordering::Relaxed) % self.core.shards.len();
         match self.core.push_blocking(s, item) {
             Ok(()) => Ok(()),
             Err(e) => {
+                // ordering: SeqCst — drain-detection total order.
                 self.core.g.queued.fetch_sub(1, Ordering::SeqCst);
                 Err(e)
             }
@@ -247,6 +264,8 @@ impl<T: Send + 'static> ShardSender<T> {
         if self.core.g.closed.load(Ordering::Acquire) {
             return Err(SendError(chunk.remove(0)));
         }
+        // ordering: SeqCst — drain-detection total order; Relaxed cursor
+        // as in `send` (distribution only).
         self.core
             .g
             .queued
@@ -259,6 +278,7 @@ impl<T: Send + 'static> ShardSender<T> {
         while q.len() + chunk.len() > self.core.shard_cap.max(chunk.len()) {
             if self.core.g.closed.load(Ordering::Acquire) {
                 drop(q);
+                // ordering: SeqCst — drain-detection total order.
                 self.core
                     .g
                     .queued
@@ -268,7 +288,7 @@ impl<T: Send + 'static> ShardSender<T> {
             shard.not_full.wait(&mut q);
         }
         q.extend(chunk.drain(..));
-        shard.len.store(q.len(), Ordering::Relaxed);
+        shard.len.store(q.len(), Ordering::Relaxed); // ordering: advisory mirror
         drop(q);
         self.core.g.wake_idle();
         Ok(())
@@ -277,6 +297,8 @@ impl<T: Send + 'static> ShardSender<T> {
 
 impl<T> Clone for ShardSender<T> {
     fn clone(&self) -> Self {
+        // ordering: SeqCst — the producer count is the other half of the
+        // drain-detection conjunction (see `Gauges::check_drained`).
         self.core.g.producers.fetch_add(1, Ordering::SeqCst);
         ShardSender {
             core: Arc::clone(&self.core),
@@ -286,6 +308,9 @@ impl<T> Clone for ShardSender<T> {
 
 impl<T> Drop for ShardSender<T> {
     fn drop(&mut self) {
+        // ordering: SeqCst — drain-detection total order; the last
+        // producer's decrement must be globally ordered before its own
+        // `check_drained` loads.
         if self.core.g.producers.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last producer gone: the queue may already be empty, and
             // idle workers must re-examine the drain condition now
@@ -307,25 +332,25 @@ impl ShardedHandle {
     /// Items handed to the handler so far.
     #[must_use]
     pub fn processed(&self) -> u64 {
-        self.g.processed.load(Ordering::Relaxed)
+        self.g.processed.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Items accepted but not yet processed (approximate backlog).
     #[must_use]
     pub fn queued(&self) -> u64 {
-        self.g.queued.load(Ordering::Relaxed)
+        self.g.queued.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Cross-shard steal operations performed by dry workers.
     #[must_use]
     pub fn steals(&self) -> u64 {
-        self.g.steals.load(Ordering::Relaxed)
+        self.g.steals.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Steals whose victim shard belonged to a gated (parked) worker.
     #[must_use]
     pub fn gated_steals(&self) -> u64 {
-        self.g.gated_steals.load(Ordering::Relaxed)
+        self.g.gated_steals.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// True once every producer hung up and every accepted item was
@@ -462,6 +487,8 @@ where
         let own = state.tid % n;
 
         // 1. Own shard, full batch (the cheap, contention-free path).
+        // ordering: the mirror is advisory (Relaxed) — a stale read only
+        // costs a skipped or wasted lock acquisition, never an item.
         if core.shards[own].len.load(Ordering::Relaxed) > 0
             && core.take_from(own, &mut state.local, core.batch) > 0
         {
@@ -480,7 +507,7 @@ where
                 if s == own || core.shard_gated(s) != gated_pass {
                     continue;
                 }
-                let visible = core.shards[s].len.load(Ordering::Relaxed);
+                let visible = core.shards[s].len.load(Ordering::Relaxed); // ordering: advisory mirror
                 if visible == 0 {
                     continue;
                 }
@@ -491,8 +518,9 @@ where
                 };
                 let got = core.take_from(s, &mut state.local, want);
                 if got > 0 {
-                    core.g.steals.fetch_add(1, Ordering::Relaxed);
+                    core.g.steals.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
                     if gated_pass {
+                        // ordering: stat counter
                         core.g.gated_steals.fetch_add(1, Ordering::Relaxed);
                     }
                     crate::trc::task_steal(state.tid, s, got, visible, gated_pass);
@@ -507,6 +535,10 @@ where
     /// and shutdown checks stay responsive).
     fn idle_wait(&self) {
         let g = &self.core.g;
+        // ordering: SeqCst pairs with `wake_idle`'s SeqCst load — the
+        // sleeper publishes itself, then re-reads shard state; the
+        // producer publishes work, then reads `sleepers`. One total
+        // order rules out both sides missing each other.
         g.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut guard = g.idle_m.lock();
         // Re-check under the idle lock: a producer that pushed before we
@@ -516,12 +548,12 @@ where
             .core
             .shards
             .iter()
-            .any(|s| s.len.load(Ordering::Relaxed) > 0);
+            .any(|s| s.len.load(Ordering::Relaxed) > 0); // ordering: advisory mirror
         if !work_visible && !g.drain.is_fired() {
             let _ = g.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
         drop(guard);
-        g.sleepers.fetch_sub(1, Ordering::SeqCst);
+        g.sleepers.fetch_sub(1, Ordering::SeqCst); // ordering: pairs with the increment above
     }
 }
 
@@ -571,7 +603,7 @@ where
             // the drain and yield until the driver stops the pool) or
             // it is momentarily empty (sleep briefly).
             if self.core.g.check_drained() {
-                std::thread::yield_now();
+                rubic_sync::thread::yield_now();
             } else {
                 self.idle_wait();
             }
@@ -582,9 +614,10 @@ where
             // handler: if the handler panics, the pool catches it and
             // discards it as a failed task — it must not leave `queued`
             // permanently non-zero and wedge `wait_drained`.
+            // ordering: SeqCst — drain-detection total order.
             self.core.g.queued.fetch_sub(1, Ordering::SeqCst);
             (self.handler)(item);
-            self.core.g.processed.fetch_add(1, Ordering::Relaxed);
+            self.core.g.processed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
             self.core.g.check_drained();
         }
     }

@@ -89,8 +89,8 @@ pub use enabled::{install, ChaosAction, ChaosGuard, ChaosHook, Decision, SeededC
 #[cfg(feature = "chaos")]
 mod enabled {
     use super::ChaosPoint;
+    use rubic_sync::{Arc, Mutex, MutexGuard, RwLock};
     use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
     /// A fault-injection hook consulted at every [`ChaosPoint`].
     ///
@@ -124,25 +124,25 @@ mod enabled {
     /// the guard alive for exactly the code under test.
     #[must_use]
     pub fn install(hook: Arc<dyn ChaosHook>) -> ChaosGuard {
-        let scope = SCOPE.lock().unwrap_or_else(PoisonError::into_inner);
-        *HOOK.write().unwrap_or_else(PoisonError::into_inner) = Some(hook);
+        let scope = SCOPE.lock();
+        *HOOK.write() = Some(hook);
         ChaosGuard { _scope: scope }
     }
 
     /// Uninstalls the hook (and releases the chaos scope) on drop.
     pub struct ChaosGuard {
-        _scope: std::sync::MutexGuard<'static, ()>,
+        _scope: MutexGuard<'static, ()>,
     }
 
     impl Drop for ChaosGuard {
         fn drop(&mut self) {
-            *HOOK.write().unwrap_or_else(PoisonError::into_inner) = None;
+            *HOOK.write() = None;
         }
     }
 
     pub(super) fn fire(point: ChaosPoint) {
         // Clone out of the lock so a slow hook never blocks install.
-        let hook = HOOK.read().unwrap_or_else(PoisonError::into_inner).clone();
+        let hook = HOOK.read().clone();
         if let Some(hook) = hook {
             #[cfg(feature = "trace")]
             rubic_trace::emit(rubic_trace::EventKind::Chaos, point.code(), 0, 0, 0);
@@ -151,7 +151,7 @@ mod enabled {
     }
 
     pub(super) fn query_abort(point: ChaosPoint) -> bool {
-        let hook = HOOK.read().unwrap_or_else(PoisonError::into_inner).clone();
+        let hook = HOOK.read().clone();
         match hook {
             Some(hook) if hook.abort_at(point) => {
                 // Payload word a = 1 marks a kill (vs. a = 0 for a plain
@@ -169,7 +169,7 @@ mod enabled {
     pub enum ChaosAction {
         /// Proceed untouched.
         Pass,
-        /// `std::thread::yield_now()` — hand the core to a rival.
+        /// Yield the time slice — hand the core to a rival.
         Yield,
         /// Spin for the given number of `spin_loop` hints — stretch the
         /// current protocol window without a scheduler round-trip.
@@ -204,7 +204,7 @@ mod enabled {
         /// When `Some(n)`, roughly one in `n` abort queries kills the
         /// attempt (deterministically, from the same seed machinery).
         kill_one_in: Option<u64>,
-        streams: Mutex<HashMap<std::thread::ThreadId, (u64, u64)>>,
+        streams: Mutex<HashMap<std::thread::ThreadId, (u64, u64)>>, // lint: allow-std-sync — identity key only
         log: Mutex<Vec<Decision>>,
     }
 
@@ -241,10 +241,7 @@ mod enabled {
         /// Every decision taken so far, in global arrival order.
         #[must_use]
         pub fn decision_log(&self) -> Vec<Decision> {
-            self.log
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .clone()
+            self.log.lock().clone()
         }
 
         /// SplitMix64: the n-th draw of stream `stream` under this seed.
@@ -264,8 +261,10 @@ mod enabled {
         /// one index, so the decision sequence stays a pure function of
         /// the seed and each thread's call sequence.
         fn advance(&self) -> (u64, u64) {
-            let me = std::thread::current().id();
-            let mut streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+            // Thread identity is diagnostics/keying only, never a
+            // synchronization edge, so the raw std call stays.
+            let me = std::thread::current().id(); // lint: allow-std-sync — identity key only
+            let mut streams = self.streams.lock();
             let next_stream = streams.len() as u64;
             let entry = streams.entry(me).or_insert((next_stream, 0));
             let snapshot = *entry;
@@ -294,13 +293,10 @@ mod enabled {
     impl ChaosHook for SeededChaos {
         fn at(&self, point: ChaosPoint) {
             let decision = self.decide(point);
-            self.log
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(decision);
+            self.log.lock().push(decision);
             match decision.action {
                 ChaosAction::Pass | ChaosAction::Kill => {}
-                ChaosAction::Yield => std::thread::yield_now(),
+                ChaosAction::Yield => rubic_sync::thread::yield_now(),
                 ChaosAction::Spin(n) => {
                     for _ in 0..n {
                         std::hint::spin_loop();
@@ -318,14 +314,11 @@ mod enabled {
             #[allow(clippy::manual_is_multiple_of)]
             let kill = self.draw(stream, n) % one_in == 0;
             if kill {
-                self.log
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(Decision {
-                        point,
-                        stream,
-                        action: ChaosAction::Kill,
-                    });
+                self.log.lock().push(Decision {
+                    point,
+                    stream,
+                    action: ChaosAction::Kill,
+                });
             }
             kill
         }

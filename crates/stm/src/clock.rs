@@ -17,7 +17,7 @@
 //! the same `.data` line would be false-shared across every core running
 //! transactions.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -69,7 +69,7 @@ impl ContentionManager for Backoff {
             std::hint::spin_loop();
         }
         if attempt >= self.yield_after {
-            std::thread::yield_now();
+            rubic_sync::thread::yield_now();
         }
     }
 
@@ -89,7 +89,7 @@ impl ContentionManager for Polite {
         for _ in 0..(attempt.min(64) * 16) {
             std::hint::spin_loop();
         }
-        std::thread::yield_now();
+        rubic_sync::thread::yield_now();
     }
 
     fn name(&self) -> &'static str {

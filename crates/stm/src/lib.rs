@@ -59,7 +59,9 @@
 
 #![warn(missing_docs)]
 // `unsafe` is confined to `tvar.rs` (epoch-pointer dereferences) and
-// justified inline at each site.
+// justified inline at each site; any future `unsafe fn` must spell its
+// internal unsafety out block by block.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod abort;
 pub mod chaos;

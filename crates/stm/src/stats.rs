@@ -8,7 +8,7 @@
 //! reports (and the abort-rate visibility useful when tuning contention
 //! managers).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -34,6 +34,8 @@ impl StmStats {
         StmStats::default()
     }
 
+    // ordering: pure monotonic counters — no reader derives ownership
+    // or publication from them, so Relaxed increments suffice.
     #[inline]
     pub(crate) fn record_commit(&self, reads: u64, writes: u64) {
         self.commits.fetch_add(1, Ordering::Relaxed);
@@ -41,6 +43,7 @@ impl StmStats {
         self.writes.fetch_add(writes, Ordering::Relaxed);
     }
 
+    // ordering: same counter discipline as `record_commit`.
     #[inline]
     pub(crate) fn record_abort(&self, reason: AbortReason) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
@@ -50,18 +53,19 @@ impl StmStats {
     /// Total committed transactions.
     #[must_use]
     pub fn commits(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.commits.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
     /// Total aborted attempts.
     #[must_use]
     pub fn aborts(&self) -> u64 {
-        self.aborts.load(Ordering::Relaxed)
+        self.aborts.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
     /// Aborts attributed to one [`AbortReason`].
     #[must_use]
     pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        // ordering: monitoring read of a counter
         self.by_reason[reason.code() as usize].load(Ordering::Relaxed)
     }
 
@@ -72,7 +76,7 @@ impl StmStats {
     pub fn aborts_by_reason(&self) -> [u64; AbortReason::COUNT] {
         let mut out = [0; AbortReason::COUNT];
         for (slot, counter) in out.iter_mut().zip(&self.by_reason) {
-            *slot = counter.load(Ordering::Relaxed);
+            *slot = counter.load(Ordering::Relaxed); // ordering: monitoring read
         }
         out
     }
@@ -80,13 +84,13 @@ impl StmStats {
     /// Total transactional reads performed by committed transactions.
     #[must_use]
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.reads.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
     /// Total transactional writes performed by committed transactions.
     #[must_use]
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.writes.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
     /// Fraction of attempts that aborted: `aborts / (commits + aborts)`.

@@ -16,6 +16,11 @@
 
 use std::sync::Arc;
 
+// crossbeam-epoch's pointer API takes `std` orderings directly; the
+// reclamation protocol itself is modeled by `rubic-check`'s epoch model
+// rather than swapped at compile time, so the raw import stays.
+use std::sync::atomic::Ordering as EpochOrdering; // lint: allow-std-sync — epoch API
+
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 
 use crate::vlock::VLock;
@@ -50,7 +55,7 @@ impl<T: TxValue> TVarCore<T> {
     /// the clone itself is safe.
     #[inline]
     pub(crate) fn load_clone(&self, guard: &Guard) -> T {
-        let shared = self.data.load(std::sync::atomic::Ordering::Acquire, guard);
+        let shared = self.data.load(EpochOrdering::Acquire, guard);
         // SAFETY: `shared` was published by `TVarCore::new` or `publish`,
         // both of which store a valid, initialized `T`. The pointer is
         // retired only through `guard`-deferred destruction, and we hold
@@ -67,7 +72,7 @@ impl<T: TxValue> TVarCore<T> {
     /// observation was consistent.
     #[inline]
     pub(crate) fn with_value<R>(&self, guard: &Guard, f: impl FnOnce(&T) -> R) -> R {
-        let shared = self.data.load(std::sync::atomic::Ordering::Acquire, guard);
+        let shared = self.data.load(EpochOrdering::Acquire, guard);
         // SAFETY: identical argument to `load_clone` — valid initialized
         // pointer, pinned guard prevents reclamation, published values
         // are immutable.
@@ -82,11 +87,9 @@ impl<T: TxValue> TVarCore<T> {
     /// `publish` runs) and must release it with the new version
     /// afterwards.
     pub(crate) fn publish(&self, value: T, guard: &Guard) {
-        let old: Shared<'_, T> = self.data.swap(
-            Owned::new(value),
-            std::sync::atomic::Ordering::Release,
-            guard,
-        );
+        let old: Shared<'_, T> = self
+            .data
+            .swap(Owned::new(value), EpochOrdering::Release, guard);
         debug_assert!(!old.is_null());
         // SAFETY: `old` was the uniquely published snapshot; after the
         // swap no new reader can acquire it, and existing readers hold

@@ -18,7 +18,7 @@
 //! record layout, applied per-object instead of to a striped global
 //! table.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 /// Snapshot of a versioned lock word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +84,8 @@ impl VLock {
     #[must_use]
     pub fn try_lock(&self, expected: LockWord) -> bool {
         debug_assert!(!expected.is_locked());
+        // ordering: Relaxed on failure — a failed acquisition publishes
+        // nothing and the caller aborts on the observed word alone.
         self.word
             .compare_exchange(
                 expected.raw(),

@@ -22,6 +22,7 @@
 //! is always functional.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::pedantic)]
 #![allow(
     clippy::cast_possible_truncation,

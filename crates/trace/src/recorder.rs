@@ -15,9 +15,10 @@
 //! and returns the [`TraceReport`].
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+use rubic_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rubic_sync::{Arc, Mutex, OnceLock};
 
 use crate::event::{Event, EventKind};
 use crate::report::{Sink, TraceReport};
@@ -51,6 +52,9 @@ pub fn now_ns() -> u64 {
 #[inline]
 #[must_use]
 pub fn is_enabled() -> bool {
+    // ordering: fast-path probe only — a stale `false` skips one event,
+    // a stale `true` falls into `emit_slow`, which re-checks the
+    // generation under Acquire. No data is published through this flag.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -112,15 +116,12 @@ fn emit_slow(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
 }
 
 fn register_thread(generation: u64) -> Option<LocalRing> {
-    let state = STATE
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clone()?;
+    let state = STATE.lock().clone()?;
     if state.generation != generation {
         return None;
     }
     let ring = Arc::new(Ring::new(state.ring_capacity));
-    let mut rings = state.rings.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut rings = state.rings.lock();
     let tid = u16::try_from(rings.len()).unwrap_or(u16::MAX);
     rings.push(Arc::clone(&ring));
     Some(LocalRing {
@@ -173,7 +174,7 @@ pub struct TraceSession {
     state: Arc<SessionState>,
     sink: Arc<Mutex<Sink>>,
     stop: Arc<AtomicBool>,
-    collector: Option<std::thread::JoinHandle<()>>,
+    collector: Option<rubic_sync::thread::JoinHandle<()>>,
 }
 
 impl TraceSession {
@@ -186,11 +187,14 @@ impl TraceSession {
     #[must_use]
     #[allow(clippy::needless_pass_by_value)] // config structs move in
     pub fn start(cfg: TraceConfig) -> TraceSession {
+        // ordering: Relaxed on failure — a losing starter learns nothing
+        // from the current holder except "occupied" and retries; the
+        // winning Acquire pairs with teardown's Release store.
         while SESSION_ACTIVE
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
-            std::thread::sleep(Duration::from_millis(1));
+            rubic_sync::thread::sleep(Duration::from_millis(1));
         }
         let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
         let state = Arc::new(SessionState {
@@ -198,7 +202,7 @@ impl TraceSession {
             ring_capacity: cfg.ring_capacity,
             rings: Mutex::new(Vec::new()),
         });
-        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&state));
+        *STATE.lock() = Some(Arc::clone(&state));
         let sink = Arc::new(Mutex::new(Sink::new(cfg.keep_events)));
         let stop = Arc::new(AtomicBool::new(false));
         let collector = {
@@ -206,11 +210,11 @@ impl TraceSession {
             let sink = Arc::clone(&sink);
             let stop = Arc::clone(&stop);
             let period = cfg.drain_period;
-            std::thread::Builder::new()
+            rubic_sync::thread::Builder::new()
                 .name("rubic-trace-collector".into())
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
-                        std::thread::sleep(period);
+                        rubic_sync::thread::sleep(period);
                         drain_into(&state, &sink);
                     }
                 })
@@ -230,15 +234,8 @@ impl TraceSession {
     #[must_use]
     pub fn finish(mut self) -> TraceReport {
         self.teardown();
-        let mut sink = std::mem::replace(
-            &mut *self.sink.lock().unwrap_or_else(PoisonError::into_inner),
-            Sink::new(false),
-        );
-        let rings = self
-            .state
-            .rings
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut sink = std::mem::replace(&mut *self.sink.lock(), Sink::new(false));
+        let rings = self.state.rings.lock();
         sink.dropped = rings.iter().map(|r| r.dropped()).sum();
         drop(rings);
         sink.into_report()
@@ -254,7 +251,7 @@ impl TraceSession {
         // Final drain after every producer either finished its push or
         // will bail on the ENABLED fast path.
         drain_into(&self.state, &self.sink);
-        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        *STATE.lock() = None;
         SESSION_ACTIVE.store(false, Ordering::Release);
     }
 }
@@ -270,12 +267,8 @@ impl Drop for TraceSession {
 fn drain_into(state: &SessionState, sink: &Mutex<Sink>) {
     // Snapshot the ring list first so a registering thread never waits
     // on the sink lock.
-    let rings: Vec<Arc<Ring>> = state
-        .rings
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clone();
-    let mut sink = sink.lock().unwrap_or_else(PoisonError::into_inner);
+    let rings: Vec<Arc<Ring>> = state.rings.lock().clone();
+    let mut sink = sink.lock();
     for ring in rings {
         while let Some(words) = ring.pop() {
             if let Some(event) = Event::decode(words) {

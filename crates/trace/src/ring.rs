@@ -16,9 +16,8 @@
 //! word accesses are single-owner; the sequence number's Acquire/Release
 //! pair carries the payload across threads. No `unsafe` anywhere.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
 use crossbeam_utils::CachePadded;
+use rubic_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 struct Slot {
     seq: AtomicUsize,
@@ -61,12 +60,14 @@ impl Ring {
     /// Events discarded by the drop-oldest overflow policy so far.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
     /// Events currently buffered (approximate under concurrency).
     #[must_use]
     pub fn len(&self) -> usize {
+        // ordering: advisory occupancy estimate — documented as
+        // approximate; no caller derives ownership from it.
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Relaxed);
         tail.wrapping_sub(head)
@@ -85,12 +86,19 @@ impl Ring {
     #[allow(clippy::cast_possible_wrap)]
     pub fn push(&self, words: [u64; 5]) {
         let cap = self.slots.len();
+        // ordering: Vyukov protocol — head/tail are mere position hints;
+        // the per-slot `seq` Acquire/Release pair is the only edge that
+        // carries payload words across threads. A stale position costs a
+        // CAS retry, never a torn or lost record.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & (cap - 1)];
             let seq = slot.seq.load(Ordering::Acquire);
             match (seq as isize).wrapping_sub(pos as isize).cmp(&0) {
                 std::cmp::Ordering::Equal => {
+                    // ordering: the CAS only claims a position; the slot
+                    // payload is published by the `seq` Release below,
+                    // so neither CAS arm needs to order anything.
                     match self.tail.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
@@ -98,6 +106,10 @@ impl Ring {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // ordering: between the CAS win and the seq
+                            // Release this thread owns the slot's words
+                            // exclusively; the Release fence publishes
+                            // them to the consumer's Acquire.
                             for (w, &v) in slot.words.iter().zip(&words) {
                                 w.store(v, Ordering::Relaxed);
                             }
@@ -109,12 +121,15 @@ impl Ring {
                 }
                 std::cmp::Ordering::Less => {
                     // Full: evict the oldest (drop-oldest policy), retry.
+                    // ordering: stat counter + position-hint reload.
                     if self.pop().is_some() {
                         self.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                     pos = self.tail.load(Ordering::Relaxed);
                 }
                 std::cmp::Ordering::Greater => {
+                    // ordering: position hint reload, re-validated by the
+                    // slot's Acquire `seq` load on the next iteration.
                     pos = self.tail.load(Ordering::Relaxed);
                 }
             }
@@ -126,6 +141,8 @@ impl Ring {
     #[allow(clippy::cast_possible_wrap)]
     pub fn pop(&self) -> Option<[u64; 5]> {
         let cap = self.slots.len();
+        // ordering: position hint only, same discipline as `push` — the
+        // slot's `seq` Acquire load decides whether the record is ready.
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & (cap - 1)];
@@ -135,6 +152,8 @@ impl Ring {
                 .cmp(&0)
             {
                 std::cmp::Ordering::Equal => {
+                    // ordering: claims the position only; the payload was
+                    // already acquired via the `seq` load above.
                     match self.head.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
@@ -142,6 +161,11 @@ impl Ring {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // ordering: the `seq` Acquire above
+                            // synchronised with the producer's Release,
+                            // so the word loads see the full record; the
+                            // Release store below hands the slot back to
+                            // a future producer.
                             let mut words = [0u64; 5];
                             for (v, w) in words.iter_mut().zip(&slot.words) {
                                 *v = w.load(Ordering::Relaxed);
@@ -154,6 +178,8 @@ impl Ring {
                 }
                 std::cmp::Ordering::Less => return None,
                 std::cmp::Ordering::Greater => {
+                    // ordering: position hint reload, re-validated by the
+                    // next iteration's Acquire `seq` load.
                     pos = self.head.load(Ordering::Relaxed);
                 }
             }

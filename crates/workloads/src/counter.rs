@@ -11,7 +11,7 @@
 //!   grows with the stripe count. Sweeping `N` produces a family of
 //!   scalability curves for controller studies.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rubic_sync::atomic::{AtomicUsize, Ordering};
 
 use rubic_runtime::Workload;
 use rubic_stm::{Stm, TVar};
@@ -112,6 +112,8 @@ impl Workload for StripedCounter {
 
     fn init_worker(&self, _tid: usize) -> StripeCursor {
         StripeCursor {
+            // ordering: stripe assignment only spreads load across
+            // counters; any distribution is correct.
             at: self.next.fetch_add(1, Ordering::Relaxed),
         }
     }

@@ -15,7 +15,7 @@
 //! reconstruction ([`GenomeWorkload::reconstruct`]) doubles as the
 //! correctness oracle: tests reassemble the original genome exactly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -112,13 +112,13 @@ impl GenomeWorkload {
     /// Unique segments admitted so far.
     #[must_use]
     pub fn uniques(&self) -> u64 {
-        self.uniques.load(Ordering::Relaxed)
+        self.uniques.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Duplicate segments rejected so far.
     #[must_use]
     pub fn duplicates(&self) -> u64 {
-        self.duplicates.load(Ordering::Relaxed)
+        self.duplicates.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Processes one segment: transactional dedup insert + prefix
@@ -134,6 +134,8 @@ impl GenomeWorkload {
             self.by_prefix.insert(tx, prefix, segment.clone())?;
             Ok(true)
         });
+        // ordering: stat counters — the transactional insert above is
+        // the synchronisation point; these only feed progress reports.
         if fresh {
             self.uniques.fetch_add(1, Ordering::Relaxed);
         } else {

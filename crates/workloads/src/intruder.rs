@@ -22,7 +22,7 @@
 //! (same fragmentation/shuffle/attack-injection scheme, deterministic
 //! per seed). Everything else follows STAMP.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -220,13 +220,13 @@ impl IntruderWorkload {
     /// Attacks detected so far.
     #[must_use]
     pub fn attacks_found(&self) -> u64 {
-        self.attacks_found.load(Ordering::Relaxed)
+        self.attacks_found.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Flows fully reassembled so far.
     #[must_use]
     pub fn flows_completed(&self) -> u64 {
-        self.flows_completed.load(Ordering::Relaxed)
+        self.flows_completed.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// In-progress (incomplete) sessions right now.
@@ -298,6 +298,8 @@ impl Workload for IntruderWorkload {
 
     fn run_task(&self, state: &mut IntruderWorkerState) {
         let packet = self.capture(&mut state.gen);
+        // ordering: stat counters — reassembly's transactional commit
+        // is the synchronisation point; these only feed reports.
         if let Some(payload) = self.reassemble(&packet) {
             self.flows_completed.fetch_add(1, Ordering::Relaxed);
             if detect(&payload) {

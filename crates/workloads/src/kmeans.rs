@@ -12,7 +12,7 @@
 //! scales as ~1/K, so the cluster count is a contention dial, like
 //! STAMP's low/high variants.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rubic_sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -147,7 +147,7 @@ impl KMeansWorkload {
     /// Points assigned so far.
     #[must_use]
     pub fn assigned(&self) -> u64 {
-        self.assigned.load(Ordering::Relaxed)
+        self.assigned.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Current centres (non-transactional snapshot).
@@ -194,7 +194,7 @@ impl KMeansWorkload {
             tx.write(&self.clusters[best], cluster.absorb(point))?;
             Ok(best)
         });
-        self.assigned.fetch_add(1, Ordering::Relaxed);
+        self.assigned.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
         idx
     }
 }

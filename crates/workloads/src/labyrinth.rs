@@ -11,8 +11,8 @@
 //! globally). Long transactions + large write footprints make this the
 //! coarse-conflict end of the workload spectrum.
 
+use rubic_sync::atomic::{AtomicU64, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -238,13 +238,13 @@ impl LabyrinthWorkload {
     /// Successfully claimed routes so far.
     #[must_use]
     pub fn routed(&self) -> u64 {
-        self.routed.load(Ordering::Relaxed)
+        self.routed.load(Ordering::Relaxed) // ordering: monitoring read
     }
 
     /// Route attempts that found no path.
     #[must_use]
     pub fn failed(&self) -> u64 {
-        self.failed.load(Ordering::Relaxed)
+        self.failed.load(Ordering::Relaxed) // ordering: monitoring read
     }
 }
 
@@ -279,14 +279,16 @@ impl Workload for LabyrinthWorkload {
         let dst_y = state.rng.gen_range(0..self.cfg.height);
         let src = src_y * self.cfg.width + src_x;
         let dst = dst_y * self.cfg.width + dst_x;
+        // ordering: route ids only need uniqueness, which fetch_add
+        // guarantees at any ordering.
         let id = self.next_route_id.fetch_add(1, Ordering::Relaxed);
         match self.maze.route(&self.stm, id, src, dst) {
             Some(path) => {
-                self.routed.fetch_add(1, Ordering::Relaxed);
+                self.routed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
                 state.live.push_back((id, path));
             }
             None => {
-                self.failed.fetch_add(1, Ordering::Relaxed);
+                self.failed.fetch_add(1, Ordering::Relaxed); // ordering: stat counter
             }
         }
     }

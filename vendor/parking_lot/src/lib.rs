@@ -13,9 +13,9 @@ use std::time::Duration;
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 impl<T> Mutex<T> {
-    /// Creates a mutex holding `value`.
+    /// Creates a mutex holding `value` (usable in statics, as upstream).
     #[must_use]
-    pub fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         Mutex(std::sync::Mutex::new(value))
     }
 
@@ -84,9 +84,9 @@ impl WaitTimeoutResult {
 pub struct Condvar(std::sync::Condvar);
 
 impl Condvar {
-    /// Creates a condition variable.
+    /// Creates a condition variable (usable in statics, as upstream).
     #[must_use]
-    pub fn new() -> Self {
+    pub const fn new() -> Self {
         Condvar(std::sync::Condvar::new())
     }
 
@@ -128,9 +128,9 @@ impl Condvar {
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
 impl<T> RwLock<T> {
-    /// Creates a lock holding `value`.
+    /// Creates a lock holding `value` (usable in statics, as upstream).
     #[must_use]
-    pub fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         RwLock(std::sync::RwLock::new(value))
     }
 }

@@ -1,0 +1,48 @@
+//! Workspace automation. `cargo xtask lint` runs the concurrency
+//! hygiene lint; see `lint.rs` for the rules.
+
+mod lint;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            match lint::run(&root) {
+                Ok(stats) => {
+                    println!(
+                        "xtask lint: OK ({} files, {} ordering sites, {} unsafe blocks checked)",
+                        stats.files, stats.ordering_sites, stats.unsafe_blocks
+                    );
+                }
+                Err(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask <command>\n\ncommands:\n  lint    concurrency hygiene lint \
+                 (sync-facade imports, ordering justifications,\n          SAFETY comments, \
+                 hot-path timing calls)"
+            );
+            if let Some(o) = other {
+                eprintln!("\nunknown command: {o}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The manifest dir of this crate is `<root>/xtask`.
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask lives one level below the workspace root")
+        .to_path_buf()
+}

@@ -4,17 +4,20 @@
 //! cargo run --release -p rubic-bench --bin stmbench             # full sweep → BENCH_stm.json
 //! cargo run --release -p rubic-bench --bin stmbench -- --smoke  # ~1 s schema-validation run
 //! cargo run --release -p rubic-bench --bin stmbench -- --reps 5 --duration-ms 500 --out /tmp/b.json
+//! cargo run --release -p rubic-bench --features mvcc --bin stmbench -- --mode sv,mvcc
 //! ```
 //!
-//! Writes the `rubic-stmbench/v1` JSON report (see the README's
+//! Writes the `rubic-stmbench/v2` JSON report (see the README's
 //! "Benchmarking" section for the schema) after validating it; a run
 //! that produces an out-of-range or structurally broken report exits
-//! non-zero without touching the output file.
+//! non-zero without touching the output file. `--mode` restricts the
+//! protocol modes swept (`sv` always available; `mvcc` only in builds
+//! with `--features mvcc` — by default every available mode runs).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use rubic_bench::stmbench::{run_sweep, SweepOptions};
+use rubic_bench::stmbench::{available_modes, run_sweep, SweepOptions};
 
 struct Args {
     opts: SweepOptions,
@@ -48,10 +51,27 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads needs positive thread counts".into());
                 }
             }
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a comma-separated list")?;
+                let avail = available_modes();
+                let mut modes = Vec::new();
+                for m in v.split(',') {
+                    let Some(&known) = avail.iter().find(|&&a| a == m) else {
+                        return Err(format!(
+                            "--mode {m} not available in this build (have: {})",
+                            avail.join(",")
+                        ));
+                    };
+                    if !modes.contains(&known) {
+                        modes.push(known);
+                    }
+                }
+                opts.modes = modes;
+            }
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: stmbench [--smoke] [--reps N] [--duration-ms N] [--threads 1,2,4] [--out PATH]"
+                    "usage: stmbench [--smoke] [--reps N] [--duration-ms N] [--threads 1,2,4] [--mode sv,mvcc] [--out PATH]"
                         .into(),
                 );
             }
@@ -70,13 +90,14 @@ fn main() {
         }
     };
     eprintln!(
-        "stmbench: {} threads sweep, {} reps x {} ms{}",
+        "stmbench: {} threads sweep, modes {}, {} reps x {} ms{}",
         args.opts
             .threads
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(","),
+        args.opts.modes.join(","),
         args.opts.reps,
         args.opts.duration.as_millis(),
         if args.opts.smoke { " (smoke)" } else { "" },

@@ -8,10 +8,18 @@
 //!
 //! The `stmbench` binary writes the result as `BENCH_stm.json` at the
 //! repository root — the seed of the perf trajectory later PRs are
-//! judged against. The schema (`rubic-stmbench/v1`) is documented in
+//! judged against. The schema (`rubic-stmbench/v2`) is documented in
 //! the README's "Benchmarking" section and validated by
 //! [`BenchReport::validate`], which the binary runs before writing so
 //! a malformed report can never be committed silently.
+//!
+//! Since v2 every point also carries a protocol **mode**: `sv` is the
+//! classic single-version validated protocol; `mvcc` (swept only when
+//! built with `--features mvcc`) runs the same workload on an
+//! `Stm::builder().mvcc(true)` runtime, where declared read-only
+//! transactions pin snapshots and commit abort-free. The per-point
+//! `ro_commits`/`ro_aborts` totals make the abort-freedom claim
+//! measurable: an mvcc rbtree read-mix row must show `ro_aborts: 0`.
 //!
 //! Mix mapping per workload (the axis is "how much write conflict"):
 //!
@@ -31,7 +39,19 @@ use rubic::workloads::vacation::{VacationConfig, VacationWorkload};
 use rubic::workloads::{ConflictCounter, StripedCounter};
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "rubic-stmbench/v1";
+pub const SCHEMA: &str = "rubic-stmbench/v2";
+
+/// Protocol modes this build can sweep: the single-version validated
+/// protocol always, plus mvcc snapshot mode when compiled with
+/// `--features mvcc`.
+#[must_use]
+pub fn available_modes() -> Vec<&'static str> {
+    if cfg!(feature = "mvcc") {
+        vec!["sv", "mvcc"]
+    } else {
+        vec!["sv"]
+    }
+}
 
 /// Mean ± sample standard deviation over a set of repetitions.
 #[derive(Debug, Clone)]
@@ -75,12 +95,19 @@ pub struct BenchPoint {
     pub workload: &'static str,
     /// Operation mix: `read-heavy` or `write-heavy`.
     pub mix: &'static str,
+    /// Protocol mode: `sv` (single-version) or `mvcc` (snapshot mode).
+    pub mode: &'static str,
     /// Worker threads (fixed parallelism level for the whole run).
     pub threads: u32,
     /// Committed transactions per second.
     pub ops_per_sec: Stat,
     /// `aborts / (commits + aborts)` over the run.
     pub abort_rate: Stat,
+    /// Read-only commits summed across all repetitions.
+    pub ro_commits: u64,
+    /// Read-only aborted attempts summed across all repetitions. The
+    /// mvcc abort-freedom claim shows up here as an exact `0`.
+    pub ro_aborts: u64,
 }
 
 /// A complete sweep: harness parameters plus every measured point.
@@ -108,18 +135,22 @@ pub struct SweepOptions {
     pub duration: Duration,
     /// Thread counts to sweep.
     pub threads: Vec<u32>,
+    /// Protocol modes to sweep (subset of [`available_modes`]).
+    pub modes: Vec<&'static str>,
     /// Reduced grid for CI schema validation.
     pub smoke: bool,
 }
 
 impl SweepOptions {
-    /// The full sweep: {1,2,4,8,16} threads, 3 reps, 300 ms each.
+    /// The full sweep: {1,2,4,8,16} threads, 3 reps, 300 ms each,
+    /// every protocol mode the build supports.
     #[must_use]
     pub fn full() -> Self {
         SweepOptions {
             reps: 3,
             duration: Duration::from_millis(300),
             threads: vec![1, 2, 4, 8, 16],
+            modes: available_modes(),
             smoke: false,
         }
     }
@@ -132,6 +163,7 @@ impl SweepOptions {
             reps: 1,
             duration: Duration::from_millis(25),
             threads: vec![1, 2],
+            modes: available_modes(),
             smoke: true,
         }
     }
@@ -140,21 +172,48 @@ impl SweepOptions {
 /// The benchmarked grid axes.
 const WORKLOADS: [&str; 3] = ["counter", "rbtree", "vacation"];
 const MIXES: [&str; 2] = ["read-heavy", "write-heavy"];
+const MODES: [&str; 2] = ["sv", "mvcc"];
 
-/// Runs one (workload, mix, threads) repetition and returns
-/// `(ops_per_sec, abort_rate)`.
+/// Builds the runtime for one protocol mode. `mode` can only be
+/// `"mvcc"` when the feature is compiled in (the CLI and
+/// [`SweepOptions`] both draw from [`available_modes`]).
+fn make_stm(mode: &str) -> Stm {
+    #[cfg(feature = "mvcc")]
+    if mode == "mvcc" {
+        return Stm::builder().mvcc(true).build();
+    }
+    debug_assert_eq!(mode, "sv", "mode {mode} not available in this build");
+    Stm::default()
+}
+
+/// Per-repetition measurements of one configuration.
+struct RunSample {
+    ops_per_sec: f64,
+    abort_rate: f64,
+    ro_commits: u64,
+    ro_aborts: u64,
+}
+
+/// Runs one (workload, mix, mode, threads) repetition.
 fn run_once(
     workload: &'static str,
     mix: &'static str,
+    mode: &'static str,
     threads: u32,
     opts: &SweepOptions,
-) -> (f64, f64) {
+) -> RunSample {
+    let stm = make_stm(mode);
     match (workload, mix) {
         ("counter", "read-heavy") => {
             let stripes = if opts.smoke { 64 } else { 1024 };
-            drive(StripedCounter::new(stripes, Stm::default()), threads, opts)
+            drive(
+                StripedCounter::new(stripes, stm.clone()),
+                &stm,
+                threads,
+                opts,
+            )
         }
-        ("counter", "write-heavy") => drive(ConflictCounter::new(Stm::default()), threads, opts),
+        ("counter", "write-heavy") => drive(ConflictCounter::new(stm.clone()), &stm, threads, opts),
         ("rbtree", m) => {
             let mix = if m == "read-heavy" {
                 OpMix::paper()
@@ -171,7 +230,7 @@ fn run_once(
                     seed: 0x5EED_BEAC,
                 }
             };
-            drive(RbTreeWorkload::new(cfg, Stm::default()), threads, opts)
+            drive(RbTreeWorkload::new(cfg, stm.clone()), &stm, threads, opts)
         }
         ("vacation", m) => {
             let relations = if opts.smoke { 64 } else { 256 };
@@ -180,14 +239,18 @@ fn run_once(
             } else {
                 VacationConfig::high_contention(relations)
             };
-            drive(VacationWorkload::new(cfg, Stm::default()), threads, opts)
+            drive(VacationWorkload::new(cfg, stm.clone()), &stm, threads, opts)
         }
         other => unreachable!("unknown configuration {other:?}"),
     }
 }
 
 /// Runs `workload` on a fixed-level pool for the configured duration.
-fn drive<W: Workload>(workload: W, threads: u32, opts: &SweepOptions) -> (f64, f64) {
+/// `stm` is a handle to the same runtime the workload uses, so the
+/// read-only counters can be measured as a delta around the run
+/// (excluding any setup transactions the constructor issued).
+fn drive<W: Workload>(workload: W, stm: &Stm, threads: u32, opts: &SweepOptions) -> RunSample {
+    let before = stm.stats().snapshot();
     let pool = MalleablePool::start(
         PoolConfig::new(threads)
             .initial_level(threads)
@@ -198,7 +261,13 @@ fn drive<W: Workload>(workload: W, threads: u32, opts: &SweepOptions) -> (f64, f
     );
     rubic_sync::thread::sleep(opts.duration);
     let report = pool.stop();
-    (report.throughput(), report.abort_rate())
+    let delta = stm.stats().snapshot().delta_since(&before);
+    RunSample {
+        ops_per_sec: report.throughput(),
+        abort_rate: report.abort_rate(),
+        ro_commits: delta.ro_commits,
+        ro_aborts: delta.ro_aborts,
+    }
 }
 
 /// Runs the whole sweep, printing one progress line per configuration.
@@ -207,28 +276,39 @@ pub fn run_sweep(opts: &SweepOptions) -> BenchReport {
     let mut points = Vec::new();
     for workload in WORKLOADS {
         for mix in MIXES {
-            for &threads in &opts.threads {
-                let mut ops = Vec::with_capacity(opts.reps as usize);
-                let mut aborts = Vec::with_capacity(opts.reps as usize);
-                for _ in 0..opts.reps {
-                    let (o, a) = run_once(workload, mix, threads, opts);
-                    ops.push(o);
-                    aborts.push(a);
+            for &mode in &opts.modes {
+                for &threads in &opts.threads {
+                    let mut ops = Vec::with_capacity(opts.reps as usize);
+                    let mut aborts = Vec::with_capacity(opts.reps as usize);
+                    let mut ro_commits = 0u64;
+                    let mut ro_aborts = 0u64;
+                    for _ in 0..opts.reps {
+                        let s = run_once(workload, mix, mode, threads, opts);
+                        ops.push(s.ops_per_sec);
+                        aborts.push(s.abort_rate);
+                        ro_commits += s.ro_commits;
+                        ro_aborts += s.ro_aborts;
+                    }
+                    let point = BenchPoint {
+                        workload,
+                        mix,
+                        mode,
+                        threads,
+                        ops_per_sec: Stat::from_samples(ops),
+                        abort_rate: Stat::from_samples(aborts),
+                        ro_commits,
+                        ro_aborts,
+                    };
+                    eprintln!(
+                        "  {workload:>8} {mix:<11} {mode:<4} t={threads:<2} {:>12.0} ops/s ± {:>6.0}  abort {:.1}%  ro {}/{}",
+                        point.ops_per_sec.mean,
+                        point.ops_per_sec.stddev,
+                        point.abort_rate.mean * 100.0,
+                        point.ro_commits,
+                        point.ro_aborts,
+                    );
+                    points.push(point);
                 }
-                let point = BenchPoint {
-                    workload,
-                    mix,
-                    threads,
-                    ops_per_sec: Stat::from_samples(ops),
-                    abort_rate: Stat::from_samples(aborts),
-                };
-                eprintln!(
-                    "  {workload:>8} {mix:<11} t={threads:<2} {:>12.0} ops/s ± {:>6.0}  abort {:.1}%",
-                    point.ops_per_sec.mean,
-                    point.ops_per_sec.stddev,
-                    point.abort_rate.mean * 100.0,
-                );
-                points.push(point);
             }
         }
     }
@@ -262,7 +342,7 @@ fn json_stat(s: &Stat, indent: &str) -> String {
 }
 
 impl BenchReport {
-    /// Serialises the report as the documented `rubic-stmbench/v1`
+    /// Serialises the report as the documented `rubic-stmbench/v2`
     /// JSON schema.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -278,12 +358,15 @@ impl BenchReport {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\n      \"workload\": \"{}\",\n      \"mix\": \"{}\",\n      \"threads\": {},\n      \"ops_per_sec\": {},\n      \"abort_rate\": {}\n    }}",
+                    "    {{\n      \"workload\": \"{}\",\n      \"mix\": \"{}\",\n      \"mode\": \"{}\",\n      \"threads\": {},\n      \"ops_per_sec\": {},\n      \"abort_rate\": {},\n      \"ro_commits\": {},\n      \"ro_aborts\": {}\n    }}",
                     p.workload,
                     p.mix,
+                    p.mode,
                     p.threads,
                     json_stat(&p.ops_per_sec, "      "),
                     json_stat(&p.abort_rate, "      "),
+                    p.ro_commits,
+                    p.ro_aborts,
                 )
             })
             .collect();
@@ -309,6 +392,9 @@ impl BenchReport {
             }
             if !MIXES.contains(&p.mix) {
                 return Err(format!("{tag}: unknown mix"));
+            }
+            if !MODES.contains(&p.mode) {
+                return Err(format!("{tag}: unknown mode {}", p.mode));
             }
             if p.threads == 0 {
                 return Err(format!("{tag}: zero threads"));
@@ -361,9 +447,15 @@ mod tests {
         let report = run_sweep(&opts);
         report.validate().expect("smoke report must validate");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rubic-stmbench/v1\""));
+        assert!(json.contains("\"schema\": \"rubic-stmbench/v2\""));
         assert!(json.contains("\"workload\": \"rbtree\""));
-        assert_eq!(report.points.len(), 6, "3 workloads x 2 mixes x 1 level");
+        assert!(json.contains("\"mode\": \"sv\""));
+        let expected = 6 * available_modes().len();
+        assert_eq!(
+            report.points.len(),
+            expected,
+            "3 workloads x 2 mixes x modes x 1 level"
+        );
         // Balanced braces/brackets — cheap structural check without a
         // JSON parser in the dependency tree.
         let opens = json.matches('{').count();
@@ -391,11 +483,46 @@ mod tests {
             points: vec![BenchPoint {
                 workload: "counter",
                 mix: "read-heavy",
+                mode: "sv",
                 threads: 1,
                 ops_per_sec: Stat::from_samples(vec![100.0]),
                 abort_rate: Stat::from_samples(vec![1.5]),
+                ro_commits: 0,
+                ro_aborts: 0,
             }],
         };
         assert!(bad.validate().unwrap_err().contains("abort rate"));
+
+        let unknown_mode = BenchReport {
+            reps: 1,
+            duration_ms: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: vec![BenchPoint {
+                workload: "counter",
+                mix: "read-heavy",
+                mode: "hybrid",
+                threads: 1,
+                ops_per_sec: Stat::from_samples(vec![100.0]),
+                abort_rate: Stat::from_samples(vec![0.0]),
+                ro_commits: 0,
+                ro_aborts: 0,
+            }],
+        };
+        assert!(unknown_mode.validate().unwrap_err().contains("mode"));
+    }
+
+    #[cfg(feature = "mvcc")]
+    #[test]
+    fn mvcc_smoke_rows_are_abort_free_for_read_only() {
+        // One tiny rbtree read-heavy mvcc rep: the declared read-only
+        // lookups must commit through the snapshot path with zero
+        // read-only aborts.
+        let mut opts = SweepOptions::smoke();
+        opts.threads = vec![2];
+        opts.duration = Duration::from_millis(10);
+        let s = run_once("rbtree", "read-heavy", "mvcc", 2, &opts);
+        assert!(s.ro_commits > 0, "read-only lookups should have run");
+        assert_eq!(s.ro_aborts, 0, "mvcc snapshots must not abort");
     }
 }

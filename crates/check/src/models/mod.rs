@@ -14,6 +14,11 @@
 //!   vendored `crossbeam-epoch`-style reclamation, instance-based so
 //!   executions are independent, with the drain threshold configurable
 //!   to demonstrate premature-free detection.
+//! * [`mvcc`] — the multi-version snapshot protocol layered on the
+//!   vlock model (`rubic-stm --features mvcc`): version chains, the
+//!   snapshot-timestamp registry's SC-fence handshake, and prefix-drain
+//!   pruning, with the retention rule configurable so the mutation
+//!   self-test can prune early and assert the checker catches it.
 //!
 //! The other two protocols (`rubic-runtime`'s semaphore admission and
 //! sharded-queue accounting) are exercised directly on the production
@@ -21,4 +26,5 @@
 //! under `--cfg rubic_check`.
 
 pub mod epoch;
+pub mod mvcc;
 pub mod vlock;

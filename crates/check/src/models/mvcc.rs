@@ -1,0 +1,229 @@
+//! Model of the multi-version snapshot protocol (`--features mvcc` in
+//! `rubic-stm`): per-variable version chains, the snapshot-timestamp
+//! registry with its SC-fence Dekker handshake, and the prefix-drain
+//! pruning rule.
+//!
+//! Mirrors `crates/stm/src/{tvar,snap}.rs`: a writing commit ticks the
+//! global clock, publishes new values stamped `wv`, chains the
+//! displaced versions (`stamp ..= wv - 1` visibility window), and then
+//! prunes chain entries whose successor stamp is at or below the
+//! minimum registered snapshot timestamp (clamped to `wv`). A read-only
+//! snapshot pins `rv` through the registry — store the slot, SC fence,
+//! confirm the clock has not moved — and reads the newest version with
+//! `stamp <= rv < succ`, with zero validation.
+//!
+//! Two properties are checked on every explored schedule:
+//!
+//! * **Multi-version opacity** — the snapshot's reads across both
+//!   variables form a consistent cut (`x == y`), whether each read
+//!   resolved through the current value or the chain.
+//! * **Safe reclamation** — a pinned snapshot never observes a pruned
+//!   version. Pruned entries are poisoned in place (the model's stand-in
+//!   for reuse after epoch retirement), so a visibility/retention bug
+//!   surfaces as a poisoned read.
+//!
+//! The retention rule is configurable: [`MvccModel::early_prune`] makes
+//! the writer ignore the registry and prune everything below its own
+//! write stamp — the canonical retention bug (prune without the Dekker
+//! handshake), which the checker must catch as a poisoned snapshot
+//! read.
+
+use std::sync::Arc;
+
+use crate::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::sync::{thread, Mutex};
+
+/// Protocol knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvccModel {
+    /// Prune with `min_active = wv`, skipping the registry scan. Unsafe:
+    /// a registered snapshot below `wv` can still need the entry.
+    pub early_prune: bool,
+}
+
+/// Poison value stored into pruned chain entries.
+const POISON: u64 = u64::MAX;
+/// Registry sentinel: no snapshot registered.
+const FREE: u64 = u64::MAX;
+/// Writer transactions per execution.
+const WRITER_TXNS: u64 = 2;
+/// Bounded snapshot read attempts (locked variables retry, as the
+/// production slow path waits; bounding keeps schedules finite).
+const READER_ATTEMPTS: u32 = 4;
+/// Bounded registration confirm retries, as `snap::REGISTER_RETRIES`.
+const PIN_RETRIES: u32 = 2;
+
+/// One chained displaced version: visible for `stamp <= rv < succ`.
+struct OldVersion {
+    stamp: u64,
+    succ: u64,
+    /// `POISON` once pruned — reading it models a use-after-free.
+    val: u64,
+}
+
+/// One transactional variable: versioned lock word, current value, and
+/// the displaced-version chain under its history mutex.
+struct Var {
+    /// `version << 1 | locked`, the `vlock.rs` encoding.
+    lock: AtomicU64,
+    /// Current published value. Relaxed accesses are correct for the
+    /// same reason as in `tvar.rs`: the lock protocol orders them.
+    val: AtomicU64,
+    chain: Mutex<Vec<OldVersion>>,
+}
+
+impl Var {
+    fn new() -> Self {
+        Var {
+            lock: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+            chain: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Builds the model closure: one committing writer maintaining the
+/// invariant `x == y`, one registered snapshot reader.
+pub fn model(cfg: MvccModel) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        let slot = Arc::new(AtomicU64::new(FREE)); // one-slot registry
+        let x = Arc::new(Var::new());
+        let y = Arc::new(Var::new());
+
+        let writer = {
+            let (clock, slot) = (Arc::clone(&clock), Arc::clone(&slot));
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                for n in 1..=WRITER_TXNS {
+                    // Encounter-time locking, as `Transaction::write`.
+                    for var in [&x, &y] {
+                        let cur = var.lock.load(Ordering::Acquire);
+                        assert_eq!(cur & 1, 0, "writer is the only locker");
+                        var.lock
+                            // ordering: success Acquire pairs with the
+                            // previous release, as `VLock::try_lock`.
+                            .compare_exchange(cur, cur | 1, Ordering::Acquire, Ordering::Relaxed)
+                            .expect("uncontended lock");
+                    }
+                    // ordering: AcqRel tick, as `GlobalClock::tick`;
+                    // this is the writer half of the Dekker handshake.
+                    let wv = clock.fetch_add(1, Ordering::AcqRel) + 1;
+                    // Retention bound, as `snap::min_active`: SC fence
+                    // between the tick and the registry scan — or the
+                    // mutated rule that skips the scan entirely.
+                    let min_active = if cfg.early_prune {
+                        wv
+                    } else {
+                        // ordering: SeqCst fence then SeqCst scan, as
+                        // `snap::min_active`.
+                        fence(Ordering::SeqCst);
+                        slot.load(Ordering::SeqCst).min(wv)
+                    };
+                    for var in [&x, &y] {
+                        // Publish under the history mutex, as
+                        // `TVarCore::publish_versioned`: swap the value,
+                        // chain the displaced version, prune.
+                        let mut chain = var.chain.lock();
+                        let stamp = var.lock.load(Ordering::Relaxed) >> 1;
+                        // ordering: Relaxed value accesses are ordered
+                        // by the lock protocol (see `Var::val`).
+                        let old = var.val.swap(n, Ordering::Relaxed);
+                        chain.push(OldVersion {
+                            stamp,
+                            succ: wv,
+                            val: old,
+                        });
+                        // Prefix-drain: poison (— reuse after epoch
+                        // retirement —) everything no registered
+                        // snapshot can need.
+                        for v in chain.iter_mut() {
+                            if v.succ <= min_active {
+                                v.val = POISON;
+                            }
+                        }
+                        drop(chain);
+                        // ordering: Release with the new version, as
+                        // `VLock::release_commit`.
+                        var.lock.store(wv << 1, Ordering::Release);
+                    }
+                }
+            })
+        };
+
+        let reader = {
+            let (clock, slot) = (Arc::clone(&clock), Arc::clone(&slot));
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                // Pin a snapshot, as `snap::register`: publish a clock
+                // sample, SC fence, confirm the clock has not moved.
+                // ordering: Acquire clock read, as `clock::now`.
+                let mut rv = clock.load(Ordering::Acquire);
+                // ordering: SeqCst slot store + fence + confirm — the
+                // reader half of the Dekker handshake.
+                slot.store(rv, Ordering::SeqCst);
+                let mut pinned = false;
+                for _ in 0..=PIN_RETRIES {
+                    fence(Ordering::SeqCst);
+                    let now = clock.load(Ordering::Acquire);
+                    if now == rv {
+                        pinned = true;
+                        break;
+                    }
+                    rv = now;
+                    slot.store(rv, Ordering::SeqCst);
+                }
+                if pinned {
+                    'attempt: for _ in 0..READER_ATTEMPTS {
+                        let mut vals = [0u64; 2];
+                        for (i, var) in [&x, &y].into_iter().enumerate() {
+                            let w = var.lock.load(Ordering::Acquire);
+                            if w & 1 == 0 && (w >> 1) <= rv {
+                                // Current version visible: load, then
+                                // re-sample for stability, as the fast
+                                // path in `TVarCore::read_at_with`.
+                                let v = var.val.load(Ordering::Relaxed);
+                                if var.lock.load(Ordering::Acquire) != w {
+                                    continue 'attempt;
+                                }
+                                vals[i] = v;
+                                continue;
+                            }
+                            // Locked or too new: resolve through the
+                            // chain (visibility: stamp <= rv < succ).
+                            let chain = var.chain.lock();
+                            match chain.iter().find(|v| v.stamp <= rv && rv < v.succ) {
+                                Some(v) => {
+                                    // Safe reclamation: a registered
+                                    // snapshot must never see a pruned
+                                    // version.
+                                    assert_ne!(
+                                        v.val, POISON,
+                                        "snapshot at rv={rv} read a pruned version"
+                                    );
+                                    vals[i] = v.val;
+                                }
+                                // Locked mid-publication or pruned away:
+                                // the production path waits or re-pins;
+                                // the bounded model just retries.
+                                None => continue 'attempt,
+                            }
+                        }
+                        // Multi-version opacity: one snapshot, one cut.
+                        assert_eq!(
+                            vals[0], vals[1],
+                            "snapshot at rv={rv} is inconsistent: x={} y={}",
+                            vals[0], vals[1]
+                        );
+                        break 'attempt;
+                    }
+                }
+                // Unregister, as `SlotClaim::drop`.
+                slot.store(FREE, Ordering::Release);
+            })
+        };
+
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+    }
+}

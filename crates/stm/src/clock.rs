@@ -30,6 +30,42 @@ use crossbeam_utils::CachePadded;
 /// cross-tenant `TVar` sharing is exactly what the timestamps protect.
 static GLOBAL_CLOCK: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
 
+/// Headroom guard for the version timestamp space.
+///
+/// # Wraparound story
+///
+/// Version timestamps must stay totally ordered by plain integer
+/// comparison: the versioned locks compare them (`version <= rv`), the
+/// mvcc visibility rule compares them (`stamp <= rv < succ`), and a
+/// wrapped clock would silently invert every one of those comparisons.
+/// Nothing in the engine renumbers or epochs the clock, so the design
+/// stance is *saturation is unreachable, and we assert it*:
+///
+/// * The hard encoding ceiling is `u64::MAX >> 1` — [`crate::vlock`]
+///   packs `version << 1 | locked` into one word.
+/// * This guard trips (debug builds) at `u64::MAX >> 2`, two full
+///   doublings below the ceiling, so the assertion can never race the
+///   encoding limit itself.
+/// * Reaching it would take `2^62` writing commits: at an (absurd)
+///   sustained 1 G commits/second that is ≈ 146 years of uptime. Release
+///   builds therefore carry no branch; if a deployment ever approached
+///   the limit the debug assertion in soak testing would fire decades
+///   first.
+pub(crate) const VERSION_HEADROOM: u64 = u64::MAX >> 2;
+
+/// Debug-asserts that a freshly drawn timestamp is still far from the
+/// encoding ceiling (see [`VERSION_HEADROOM`]). Factored out of
+/// [`tick`] so the wrap guard is unit-testable without driving the
+/// process-global clock anywhere near `2^62`.
+#[inline]
+pub(crate) fn check_headroom(stamp: u64) {
+    debug_assert!(
+        stamp < VERSION_HEADROOM,
+        "version clock at {stamp} is within 2 doublings of the vlock \
+         encoding ceiling; see clock.rs wraparound story"
+    );
+}
+
 /// Returns the current clock value.
 ///
 /// `Acquire` so that a transaction beginning at `rv = now()` observes
@@ -48,7 +84,9 @@ pub fn now() -> u64 {
 #[inline]
 #[must_use]
 pub fn tick() -> u64 {
-    GLOBAL_CLOCK.fetch_add(1, Ordering::AcqRel) + 1
+    let stamp = GLOBAL_CLOCK.fetch_add(1, Ordering::AcqRel) + 1;
+    check_headroom(stamp);
+    stamp
 }
 
 #[cfg(test)]
@@ -69,6 +107,24 @@ mod tests {
         let t = tick();
         assert!(t > before);
         assert!(now() >= t);
+    }
+
+    #[test]
+    fn headroom_accepts_realistic_stamps() {
+        check_headroom(0);
+        check_headroom(1 << 40);
+        check_headroom(VERSION_HEADROOM - 1);
+    }
+
+    /// The wrap guard must trip *below* the vlock encoding ceiling, not
+    /// at it — tested against the helper so the process-global clock is
+    /// never perturbed.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "encoding ceiling")]
+    fn headroom_trips_well_below_encoding_limit() {
+        const { assert!(VERSION_HEADROOM < u64::MAX >> 1) }
+        check_headroom(VERSION_HEADROOM);
     }
 
     #[test]

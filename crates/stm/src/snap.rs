@@ -1,0 +1,219 @@
+//! The snapshot-timestamp registry for mvcc read-only transactions.
+//!
+//! A snapshot transaction reads at a *pinned* timestamp `rv` with zero
+//! validation, which is only sound if no writer reclaims a version the
+//! snapshot still needs. The registry is how readers and writers agree
+//! on that without readers ever taking locks:
+//!
+//! * **Readers** claim a slot and publish their `rv` in it, then
+//!   confirm the clock has not moved past `rv` (bounded retries).
+//! * **Writers** (mvcc-mode commits), after drawing their write stamp
+//!   `wv`, scan the slots for the minimum registered timestamp and only
+//!   prune chain entries whose successor stamp is `<=` that minimum
+//!   (clamped to `wv`).
+//!
+//! # Why no needed version is ever pruned (the Dekker handshake)
+//!
+//! Reader: `store slot(rv)` → `fence(SeqCst)` → `load clock`.
+//! Writer: `tick` (clock RMW) → `fence(SeqCst)` → `scan slots`.
+//!
+//! SC fences guarantee at least one side observes the other. If the
+//! writer's scan saw the slot, its minimum is `<= rv` and every version
+//! with `succ > rv` survives. If it did not, the reader's clock load
+//! saw the writer's tick — so the reader's confirmation `clock == rv`
+//! failed for every `rv < wv` and it re-pinned at `rv >= wv`; versions
+//! pruned with `succ <= wv <= rv` are exactly the ones a snapshot at
+//! `rv` cannot need (`rv < succ` is required for visibility).
+//!
+//! Registration is best-effort by design: slot exhaustion or a clock
+//! that outruns the bounded confirmation loop make [`register`] return
+//! `None`, and the caller falls back to the classic validated protocol
+//! — a correctness-neutral performance fallback.
+
+use crossbeam_utils::CachePadded;
+use rubic_sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::clock;
+
+/// Number of registry slots = maximum concurrently pinned snapshots.
+/// Each slot is padded to its own cache line, so the footprint is one
+/// page-ish; well above any sane reader thread count on one host.
+const SLOT_COUNT: usize = 64;
+
+/// Sentinel: the slot is unclaimed.
+const FREE: u64 = u64::MAX;
+
+/// Bounded confirmation retries before giving up on pinning. Each retry
+/// re-publishes the fresher clock sample, so only a writer committing
+/// between every store/confirm pair keeps the loop going.
+const REGISTER_RETRIES: usize = 16;
+
+// A `const` item used purely as an array-init template for the static
+// below (the interior mutability never escapes through the const).
+#[allow(clippy::declare_interior_mutable_const)]
+const FREE_SLOT: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(FREE));
+
+/// The process-global slot array (like the clock: snapshots taken by
+/// different `Stm` instances in one process coordinate through the same
+/// clock, so they share one registry).
+static SLOTS: [CachePadded<AtomicU64>; SLOT_COUNT] = [FREE_SLOT; SLOT_COUNT];
+
+/// A claimed registry slot publishing one pinned snapshot timestamp.
+/// Dropping it frees the slot.
+pub(crate) struct SlotClaim {
+    idx: usize,
+    rv: u64,
+}
+
+impl SlotClaim {
+    /// The pinned snapshot timestamp.
+    pub(crate) fn rv(&self) -> u64 {
+        self.rv
+    }
+
+    /// Re-pins the claim at the current clock (TinySTM-style snapshot
+    /// *extension*): a transaction that has not observed anything yet
+    /// can move its snapshot forward instead of aborting when a bounded
+    /// chain dropped the version it needed. Same store→fence→confirm
+    /// handshake as [`register`]. Returns `false` when writers outrun
+    /// the bounded loop — the caller must abort (the slot already
+    /// publishes the newer timestamp, so the old `rv` is unprotected).
+    pub(crate) fn refresh(&mut self) -> bool {
+        let mut rv = clock::now();
+        // ordering: SeqCst — publish the fresher timestamp; reader half
+        // of the Dekker handshake (module docs).
+        SLOTS[self.idx].store(rv, Ordering::SeqCst);
+        for _ in 0..REGISTER_RETRIES {
+            // ordering: SeqCst fence between the slot store and the
+            // clock re-read (module docs).
+            fence(Ordering::SeqCst);
+            let now = clock::now();
+            if now == rv {
+                self.rv = rv;
+                return true;
+            }
+            rv = now;
+            // ordering: SeqCst — same handshake role as above.
+            SLOTS[self.idx].store(rv, Ordering::SeqCst);
+        }
+        // Keep the newest published sample coherent with the claim so
+        // the abort path frees a slot whose contents it owns.
+        self.rv = rv;
+        false
+    }
+}
+
+impl Drop for SlotClaim {
+    fn drop(&mut self) {
+        // ordering: Release — the slot must not appear free until the
+        // snapshot's chain reads (under the history mutexes) are done.
+        SLOTS[self.idx].store(FREE, Ordering::Release);
+    }
+}
+
+/// Claims a free slot, seeding it with `rv`. `None` when all slots are
+/// taken.
+fn claim_slot(rv: u64) -> Option<usize> {
+    (0..SLOT_COUNT).find(|&idx| {
+        let slot = &*SLOTS[idx];
+        // ordering: Relaxed pre-check — just contention avoidance; the
+        // CAS below is the claiming operation.
+        if slot.load(Ordering::Relaxed) != FREE {
+            return false;
+        }
+        // ordering: SeqCst on success — the claiming store doubles as
+        // the published snapshot timestamp and participates in the
+        // Dekker handshake (module docs); Relaxed on failure — a lost
+        // race carries no data.
+        slot.compare_exchange(FREE, rv, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    })
+}
+
+/// Registers a snapshot: claims a slot, publishes a clock sample in it,
+/// and confirms the sample is still current. Returns `None` (caller
+/// falls back to the classic protocol) on slot exhaustion or when
+/// writers outrun the bounded confirmation loop.
+pub(crate) fn register() -> Option<SlotClaim> {
+    let mut rv = clock::now();
+    let idx = claim_slot(rv)?;
+    for _ in 0..REGISTER_RETRIES {
+        // ordering: SeqCst fence between the slot store and the clock
+        // re-read — the reader half of the Dekker handshake with
+        // `min_active` (module docs).
+        fence(Ordering::SeqCst);
+        let now = clock::now();
+        if now == rv {
+            return Some(SlotClaim { idx, rv });
+        }
+        rv = now;
+        // ordering: SeqCst — re-publish the fresher timestamp; same
+        // handshake role as the claiming store.
+        SLOTS[idx].store(rv, Ordering::SeqCst);
+    }
+    // ordering: Release — hand the slot back (pairs with claim CAS).
+    SLOTS[idx].store(FREE, Ordering::Release);
+    None
+}
+
+/// The version-retention bound for a writing commit that drew write
+/// stamp `wv`: the minimum over every registered snapshot timestamp,
+/// clamped to `wv`. Chain entries with `succ <= min_active(wv)` can
+/// never be read by any current *or future* snapshot (future pins
+/// confirm against a clock that is already `>= wv`). Must be called
+/// after the commit's `clock::tick()` — the tick is the writer's store
+/// in the Dekker handshake (module docs).
+pub(crate) fn min_active(wv: u64) -> u64 {
+    // ordering: SeqCst fence between the clock tick and the slot scan —
+    // the writer half of the Dekker handshake.
+    fence(Ordering::SeqCst);
+    let mut min = wv;
+    for slot in &SLOTS {
+        // ordering: SeqCst — the scan must not be hoisted above the
+        // fence; FREE slots (u64::MAX) never lower the minimum.
+        let rv = slot.load(Ordering::SeqCst);
+        if rv < min {
+            min = rv;
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_pins_a_current_timestamp() {
+        let claim = register().expect("registry has free slots");
+        assert!(claim.rv() <= clock::now());
+        // A writer committing now must retain everything this snapshot
+        // can see.
+        let wv = clock::tick();
+        assert!(min_active(wv) <= claim.rv());
+    }
+
+    #[test]
+    fn drop_frees_the_slot() {
+        let claim = register().expect("registry has free slots");
+        let idx = claim.idx;
+        drop(claim);
+        assert_eq!(SLOTS[idx].load(Ordering::SeqCst), FREE);
+    }
+
+    #[test]
+    fn min_active_clamps_to_wv_without_readers() {
+        // Whatever unrelated tests are doing, a registered rv can only
+        // lower the bound — never raise it above wv.
+        let wv = clock::tick();
+        assert!(min_active(wv) <= wv);
+    }
+
+    #[test]
+    fn reregistration_reuses_slots() {
+        for _ in 0..3 * SLOT_COUNT {
+            let claim = register().expect("slots must be recycled");
+            drop(claim);
+        }
+    }
+}

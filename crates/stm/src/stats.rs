@@ -25,6 +25,13 @@ pub struct StmStats {
     /// One shared cache line: reason counters are bumped on the abort
     /// path only, where a miss is already amortised by the backoff.
     by_reason: [AtomicU64; AbortReason::COUNT],
+    /// Commits by [`crate::Stm::read_only`] transactions (a subset of
+    /// `commits`). Unconditional — a plain counter is cheaper than a
+    /// cfg'd hole in the snapshot type, and the mvcc abort-freedom claim
+    /// (`ro_aborts == 0` under snapshot mode) is benchmarked off it.
+    ro_commits: CachePadded<AtomicU64>,
+    /// Aborted attempts inside `read_only` (a subset of `aborts`).
+    ro_aborts: CachePadded<AtomicU64>,
 }
 
 impl StmStats {
@@ -48,6 +55,18 @@ impl StmStats {
     pub(crate) fn record_abort(&self, reason: AbortReason) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
         self.by_reason[reason.code() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ordering: same counter discipline as `record_commit`.
+    #[inline]
+    pub(crate) fn record_ro_commit(&self) {
+        self.ro_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ordering: same counter discipline as `record_commit`.
+    #[inline]
+    pub(crate) fn record_ro_abort(&self) {
+        self.ro_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total committed transactions.
@@ -93,6 +112,21 @@ impl StmStats {
         self.writes.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
+    /// Commits by [`crate::Stm::read_only`] transactions (a subset of
+    /// [`commits`](Self::commits)).
+    #[must_use]
+    pub fn ro_commits(&self) -> u64 {
+        self.ro_commits.load(Ordering::Relaxed) // ordering: monitoring read of a counter
+    }
+
+    /// Aborted attempts inside [`crate::Stm::read_only`] (a subset of
+    /// [`aborts`](Self::aborts)). Exactly `0` when every read-only
+    /// transaction ran in mvcc snapshot mode.
+    #[must_use]
+    pub fn ro_aborts(&self) -> u64 {
+        self.ro_aborts.load(Ordering::Relaxed) // ordering: monitoring read of a counter
+    }
+
     /// Fraction of attempts that aborted: `aborts / (commits + aborts)`.
     /// `0.0` before any attempt finishes.
     #[must_use]
@@ -116,6 +150,8 @@ impl StmStats {
             reads: self.reads(),
             writes: self.writes(),
             abort_reasons: self.aborts_by_reason(),
+            ro_commits: self.ro_commits(),
+            ro_aborts: self.ro_aborts(),
         }
     }
 }
@@ -133,6 +169,11 @@ pub struct StatsSnapshot {
     pub writes: u64,
     /// Aborts by [`AbortReason`], indexed by reason code.
     pub abort_reasons: [u64; AbortReason::COUNT],
+    /// Commits by read-only transactions (a subset of `commits`).
+    pub ro_commits: u64,
+    /// Aborted attempts inside read-only transactions (a subset of
+    /// `aborts`).
+    pub ro_aborts: u64,
 }
 
 impl StatsSnapshot {
@@ -154,6 +195,8 @@ impl StatsSnapshot {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
             abort_reasons,
+            ro_commits: self.ro_commits.saturating_sub(earlier.ro_commits),
+            ro_aborts: self.ro_aborts.saturating_sub(earlier.ro_aborts),
         }
     }
 }

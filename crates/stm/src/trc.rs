@@ -138,6 +138,27 @@ mod enabled {
             emit(EventKind::ClockExtend, 0, old_rv, new_rv, 0);
         }
     }
+
+    /// Emits a `SnapshotRead` event: an mvcc snapshot read resolved
+    /// through the version chain (no caller in non-mvcc builds).
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn snapshot_read(rv: u64, stamp: u64) {
+        if is_enabled() {
+            emit(EventKind::SnapshotRead, 0, rv, stamp, 0);
+        }
+    }
+
+    /// Emits a `VersionPrune` event: a writing commit drained
+    /// reclaimable entries from a version chain (no caller in non-mvcc
+    /// builds).
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn version_prune(addr: usize, dropped: u64, min_active: u64) {
+        if is_enabled() {
+            emit(EventKind::VersionPrune, 0, addr as u64, dropped, min_active);
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -178,6 +199,14 @@ mod disabled {
 
     #[inline(always)]
     pub(crate) fn clock_extend(_old_rv: u64, _new_rv: u64) {}
+
+    #[inline(always)]
+    #[allow(dead_code)]
+    pub(crate) fn snapshot_read(_rv: u64, _stamp: u64) {}
+
+    #[inline(always)]
+    #[allow(dead_code)]
+    pub(crate) fn version_prune(_addr: usize, _dropped: u64, _min_active: u64) {}
 }
 
 /// Size in bytes of the per-transaction trace state. **0 when the

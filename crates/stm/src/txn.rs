@@ -123,7 +123,11 @@ trait WriteSlot: Send {
     /// cached for spare-list matching.
     fn addr(&self) -> usize;
     /// Publishes the buffered value and releases the lock stamped `wv`.
-    fn publish(&mut self, wv: u64, guard: &Guard);
+    /// In mvcc mode `retain` is `Some(min_active)`: the displaced value
+    /// joins the variable's version chain and entries no registered
+    /// snapshot can need (`succ <= min_active`) are pruned; `None`
+    /// keeps the single-version behaviour (immediate epoch retirement).
+    fn publish(&mut self, wv: u64, guard: &Guard, #[cfg(feature = "mvcc")] retain: Option<u64>);
     /// Releases the lock restoring the pre-lock version.
     fn release_abort(&self);
     /// Drops the buffered value (if any) so a slot parked on the spare
@@ -153,11 +157,22 @@ impl<T: TxValue> WriteSlot for TypedSlot<T> {
         self.core.vlock().addr()
     }
 
-    fn publish(&mut self, wv: u64, guard: &Guard) {
+    fn publish(&mut self, wv: u64, guard: &Guard, #[cfg(feature = "mvcc")] retain: Option<u64>) {
         let value = self
             .pending
             .take()
             .expect("write slot published twice or never filled");
+        #[cfg(feature = "mvcc")]
+        match retain {
+            Some(min_active) => {
+                let dropped = self.core.publish_versioned(value, wv, min_active, guard);
+                if dropped > 0 {
+                    trc::version_prune(self.core.vlock().addr(), dropped as u64, min_active);
+                }
+            }
+            None => self.core.publish(value, guard),
+        }
+        #[cfg(not(feature = "mvcc"))]
         self.core.publish(value, guard);
         self.core.vlock().release_commit(wv);
         #[cfg(feature = "trace")]
@@ -238,6 +253,22 @@ pub struct Transaction {
     /// that aborts without the engine tagging a reason is attributed to
     /// the transaction body itself.
     last_conflict: AbortReason,
+    /// True when this transaction belongs to an mvcc-mode
+    /// [`crate::Stm`]: its writing commit appends displaced values to
+    /// the per-TVar version chains instead of retiring them
+    /// immediately.
+    #[cfg(feature = "mvcc")]
+    mvcc: bool,
+    /// Present for snapshot (multi-version read-only) transactions: the
+    /// claimed registry slot pinning `rv` as the snapshot timestamp.
+    /// Dropping it (commit, abort, or panic unwind) frees the slot.
+    #[cfg(feature = "mvcc")]
+    snap: Option<crate::snap::SlotClaim>,
+    /// Set when user code called `write` inside a snapshot transaction;
+    /// [`crate::Stm::read_only`] demotes the transaction to the classic
+    /// validated protocol and reruns the body.
+    #[cfg(feature = "mvcc")]
+    snap_demoted: bool,
 }
 
 impl Transaction {
@@ -255,7 +286,43 @@ impl Transaction {
             n_reads: 0,
             n_writes: 0,
             last_conflict: AbortReason::Explicit,
+            #[cfg(feature = "mvcc")]
+            mvcc: false,
+            #[cfg(feature = "mvcc")]
+            snap: None,
+            #[cfg(feature = "mvcc")]
+            snap_demoted: false,
         }
+    }
+
+    /// Begins a snapshot (multi-version read-only) transaction: claims
+    /// a registry slot, pins the snapshot timestamp, and never
+    /// validates or aborts at commit. `None` when the registry is
+    /// saturated or the clock outruns the bounded pin loop — the caller
+    /// falls back to the classic validated protocol.
+    #[cfg(feature = "mvcc")]
+    pub(crate) fn begin_snapshot() -> Option<Self> {
+        let claim = crate::snap::register()?;
+        let mut tx = Self::begin();
+        tx.rv = claim.rv();
+        tx.mvcc = true;
+        tx.snap = Some(claim);
+        Some(tx)
+    }
+
+    /// Marks this transaction as belonging to an mvcc-mode `Stm` (its
+    /// writing commit feeds the version chains). Called right after
+    /// `begin` by the retry loop; never flips mid-attempt.
+    #[cfg(feature = "mvcc")]
+    pub(crate) fn set_mvcc(&mut self, on: bool) {
+        self.mvcc = on;
+    }
+
+    /// True when a snapshot transaction attempted a write and must be
+    /// rerun under the classic protocol.
+    #[cfg(feature = "mvcc")]
+    pub(crate) fn snapshot_demoted(&self) -> bool {
+        self.snap_demoted
     }
 
     /// Clears all buffered state and re-samples the clock, reusing the
@@ -277,6 +344,10 @@ impl Transaction {
         self.n_reads = 0;
         self.n_writes = 0;
         self.last_conflict = AbortReason::Explicit;
+        #[cfg(feature = "mvcc")]
+        {
+            self.snap_demoted = false;
+        }
         // Momentarily unpin so the epoch (and hence reclamation) can
         // pass this thread between attempts, then re-sample the clock
         // under the fresh pin.
@@ -408,6 +479,10 @@ impl Transaction {
     /// writer or the snapshot cannot be made consistent.
     pub fn read<T: TxValue>(&mut self, var: &TVar<T>) -> TxResult<T> {
         self.n_reads += 1;
+        #[cfg(feature = "mvcc")]
+        if self.snap.is_some() {
+            return self.snapshot_read_with(var, &mut Clone::clone);
+        }
         let core = var.core();
         let addr = core.vlock().addr();
 
@@ -481,6 +556,10 @@ impl Transaction {
         mut f: impl FnMut(&T) -> R,
     ) -> TxResult<R> {
         self.n_reads += 1;
+        #[cfg(feature = "mvcc")]
+        if self.snap.is_some() {
+            return self.snapshot_read_with(var, &mut f);
+        }
         let core = var.core();
         let addr = core.vlock().addr();
 
@@ -527,6 +606,59 @@ impl Transaction {
         }
     }
 
+    /// The snapshot read protocol: no read-set recording, no lock-busy
+    /// conflicts — just the version visible at the pinned timestamp,
+    /// either the variable's current value (fast path) or a chain entry
+    /// (slow path).
+    ///
+    /// On a [`SnapshotMiss`](crate::tvar::SnapshotMiss) (a bounded
+    /// chain was forced to drop the needed version), a transaction with
+    /// no *prior* reads has observed nothing that a newer snapshot
+    /// could contradict, so it **extends**: re-pins its registry slot
+    /// at the current clock and retries in place (the snapshot-mode
+    /// analogue of TinySTM's timestamp extension, where extension is
+    /// trivially valid on an empty read-set). Single-read transactions
+    /// — e.g. a whole `TMap` lookup — therefore never abort even when
+    /// chains overflow under scheduler preemption. Only a miss *after*
+    /// earlier reads fails, with [`AbortReason::SnapshotStale`]; the
+    /// retry loop re-pins a fresh transaction.
+    #[cfg(feature = "mvcc")]
+    fn snapshot_read_with<T: TxValue, R>(
+        &mut self,
+        var: &TVar<T>,
+        f: &mut impl FnMut(&T) -> R,
+    ) -> TxResult<R> {
+        // Same chaos *perturbation* point as a classic read's lock
+        // sample (keeps seeded decision streams aligned across modes),
+        // but never the kill query: snapshot reads cannot abort.
+        chaos::hit(ChaosPoint::LockSample);
+        // `n_reads` was already bumped for this read by the dispatcher.
+        let extendable = self.n_reads == 1;
+        let mut extends_left: u8 = 3;
+        loop {
+            match var.core().read_at_with(self.rv, &self.guard, f) {
+                Ok((value, via_chain)) => {
+                    if let Some(stamp) = via_chain {
+                        trc::snapshot_read(self.rv, stamp);
+                    }
+                    return Ok(value);
+                }
+                Err(crate::tvar::SnapshotMiss) => {
+                    if extendable && extends_left > 0 {
+                        extends_left -= 1;
+                        if let Some(claim) = self.snap.as_mut() {
+                            if claim.refresh() {
+                                self.rv = claim.rv();
+                                continue;
+                            }
+                        }
+                    }
+                    return Err(self.fail(AbortReason::SnapshotStale));
+                }
+            }
+        }
+    }
+
     /// Pops a recyclable slot for `addr` off the spare list: the exact
     /// slot from a previous attempt if present (its `Arc` is already the
     /// right core), else any slot of the right concrete type (reusing
@@ -563,6 +695,14 @@ impl Transaction {
     /// since been overwritten.
     pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> TxResult<()> {
         self.n_writes += 1;
+        #[cfg(feature = "mvcc")]
+        if self.snap.is_some() {
+            // Snapshot transactions are read-only by contract; a write
+            // demotes the whole transaction and `read_only` reruns the
+            // body under the classic validated protocol.
+            self.snap_demoted = true;
+            return Err(self.fail(AbortReason::Explicit));
+        }
         let core = var.core();
         let addr = core.vlock().addr();
 
@@ -677,12 +817,40 @@ impl Transaction {
     /// Attempts to commit. On success all writes are visible atomically;
     /// on failure the caller must [`abort`](Self::abort).
     pub(crate) fn commit(&mut self) -> TxResult<()> {
+        #[cfg(feature = "mvcc")]
+        if self.snap.is_some() {
+            // Snapshot commit: zero validation, zero aborts. It fires
+            // the same pre-validate chaos *perturbation* as every other
+            // commit so seeded decision streams stay aligned across
+            // modes, but never the kill query — abort-freedom is the
+            // mode's contract.
+            chaos::hit(ChaosPoint::PreValidate);
+            self.snap = None; // drop releases the registry slot
+            return Ok(());
+        }
         if self.writes.is_empty() {
             // Read-only: incremental validation (reads + extensions)
-            // already guarantees a consistent snapshot at `rv`.
+            // already guarantees a consistent snapshot at `rv`. The
+            // commit still consults the chaos hook exactly like a
+            // writing commit's validation pass does: this used to
+            // return without advancing the seeded decision stream,
+            // desynchronising replay for read-heavy and mixed runs.
+            chaos::hit(ChaosPoint::PreValidate);
+            if chaos::abort_requested(ChaosPoint::PreValidate) {
+                return Err(self.fail(AbortReason::Chaos));
+            }
             return Ok(());
         }
         let wv = clock::tick();
+        // In mvcc mode the displaced versions go onto the per-TVar
+        // chains; compute the retention bound once per commit, after the
+        // tick (the writer half of the registry's Dekker handshake).
+        #[cfg(feature = "mvcc")]
+        let retain = if self.mvcc {
+            Some(crate::snap::min_active(wv))
+        } else {
+            None
+        };
         if wv != self.rv + 1 {
             // Someone committed since we started; make sure none of our
             // reads were invalidated (TL2 fast path skips this when the
@@ -693,6 +861,9 @@ impl Transaction {
         }
         for slot in &mut self.writes {
             chaos::hit(ChaosPoint::PrePublish);
+            #[cfg(feature = "mvcc")]
+            slot.publish(wv, &self.guard, retain);
+            #[cfg(not(feature = "mvcc"))]
             slot.publish(wv, &self.guard);
         }
         // Slots are spent; park them (prevents a double publish if the
@@ -746,6 +917,12 @@ impl Transaction {
 
     /// Releases every held lock and parks buffered state for reuse.
     pub(crate) fn abort(&mut self) {
+        #[cfg(feature = "mvcc")]
+        {
+            // Free the registry slot promptly so the snapshot stops
+            // holding version chains back (drop is a no-op when None).
+            self.snap = None;
+        }
         for slot in &self.writes {
             slot.release_abort();
         }

@@ -27,6 +27,8 @@
 /// | `Chaos` | chaos point | action code | spin count | 0 |
 /// | `TaskSteal` | 1 if victim gated | `thief << 32 \| victim` | tasks moved | victim shard length before |
 /// | `WorkerPark` | 0 park / 1 unpark | worker tid | level at transition | 0 |
+/// | `SnapshotRead` | 0 | pinned snapshot timestamp (rv) | visible version stamp | 0 |
+/// | `VersionPrune` | 0 | lock address | versions dropped | min active snapshot timestamp |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -58,11 +60,16 @@ pub enum EventKind {
     TaskSteal = 12,
     /// A worker parked on the gate (code 0) or resumed from it (code 1).
     WorkerPark = 13,
+    /// A multi-version snapshot read resolved through the version chain
+    /// (the current version was newer than the pinned timestamp).
+    SnapshotRead = 14,
+    /// A writing commit pruned reclaimable entries from a version chain.
+    VersionPrune = 15,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode tables).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::TxnBegin,
         EventKind::TxnCommit,
         EventKind::TxnAbort,
@@ -77,6 +84,8 @@ impl EventKind {
         EventKind::Chaos,
         EventKind::TaskSteal,
         EventKind::WorkerPark,
+        EventKind::SnapshotRead,
+        EventKind::VersionPrune,
     ];
 
     /// Decodes a discriminant byte.
@@ -103,6 +112,8 @@ impl EventKind {
             EventKind::Chaos => "chaos",
             EventKind::TaskSteal => "task_steal",
             EventKind::WorkerPark => "worker_park",
+            EventKind::SnapshotRead => "snapshot_read",
+            EventKind::VersionPrune => "version_prune",
         }
     }
 }
@@ -169,8 +180,11 @@ pub mod codes {
     pub const ABORT_CHAOS: u8 = 3;
     /// Abort: the transaction body returned `Err` itself.
     pub const ABORT_EXPLICIT: u8 = 4;
+    /// Abort: a snapshot read missed its version in a bounded chain
+    /// (mvcc mode; transient — the retry re-pins a fresh timestamp).
+    pub const ABORT_SNAPSHOT_STALE: u8 = 5;
     /// Number of distinct abort reasons.
-    pub const ABORT_REASONS: usize = 5;
+    pub const ABORT_REASONS: usize = 6;
 
     /// Names for the abort-reason codes, indexed by code.
     pub const ABORT_NAMES: [&str; ABORT_REASONS] = [
@@ -179,6 +193,7 @@ pub mod codes {
         "cm-kill",
         "chaos",
         "explicit",
+        "snapshot-stale",
     ];
 
     /// Decodes an abort-reason code (out-of-range codes map to a fixed

@@ -197,7 +197,9 @@ impl Workload for RbTreeWorkload {
         let key = state.rng.gen_range(0..self.cfg.key_range);
         let dice = state.rng.gen_range(0..self.cfg.mix.total());
         if dice < self.cfg.mix.lookup {
-            let _ = self.stm.atomically(|tx| self.map.get(tx, &key));
+            // Declared read-only: under mvcc mode the lookup runs as an
+            // abort-free snapshot transaction.
+            let _ = self.stm.read_only(|tx| self.map.get(tx, &key));
         } else if dice < self.cfg.mix.lookup + self.cfg.mix.insert {
             let _ = self.stm.atomically(|tx| self.map.insert(tx, key, key));
         } else {

@@ -306,7 +306,7 @@ impl Manager {
     /// one consistent transaction.
     #[must_use]
     pub fn total_reserved_units(&self, stm: &Stm) -> u64 {
-        stm.atomically(|tx| {
+        stm.read_only(|tx| {
             let mut sum = 0u64;
             for kind in ResourceKind::ALL {
                 let snap = self.table(kind).read_snapshot(tx)?;

@@ -17,12 +17,13 @@
 //! process-global, and chaos decision logs are only reproducible when no
 //! unrelated transaction commits concurrently.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rubic::prelude::*;
-use rubic_stm::chaos::{install, ChaosPoint, Decision, SeededChaos};
+use rubic_stm::chaos::{install, ChaosHook, ChaosPoint, Decision, SeededChaos};
+use rubic_stm::AbortReason;
 use rubic_suite::oracles::{ConservedSumBank, LockLeakDetector, MonotoneCounter, SnapshotChecker};
 
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -76,6 +77,83 @@ fn chaos_different_seeds_diverge() {
         actions(2),
         "hundreds of draws from different seeds should not collide"
     );
+}
+
+/// Runs a fixed single-threaded *read-only* workload under a seeded
+/// chaos hook and returns the full decision log.
+fn readonly_chaos_decisions(seed: u64) -> Vec<Decision> {
+    let stm = Stm::default();
+    let vars: Vec<TVar<i64>> = (0..4).map(TVar::new).collect();
+    let hook = Arc::new(SeededChaos::new(seed));
+    {
+        let _chaos = install(hook.clone());
+        for _ in 0..16 {
+            let sum = stm.atomically(|tx| {
+                let mut s = 0;
+                for v in &vars {
+                    s += tx.read(v)?;
+                }
+                Ok(s)
+            });
+            assert_eq!(sum, 6);
+        }
+        assert_eq!(stm.stats().commits(), 16);
+    }
+    hook.decision_log()
+}
+
+#[test]
+fn chaos_read_only_commits_advance_the_decision_stream() {
+    let _serial = serial();
+    // Regression: the read-only commit fast path (`writes.is_empty()`)
+    // used to return before consulting the chaos hook, so read-heavy
+    // workloads replayed a *different* decision sequence than the one
+    // their seed pinned. Every commit — read-only included — must now
+    // draw exactly one pre-validate decision.
+    let log = readonly_chaos_decisions(0x0C0F_FEE5);
+    let prevalidates = log
+        .iter()
+        .filter(|d| d.point == ChaosPoint::PreValidate)
+        .count();
+    assert_eq!(
+        prevalidates, 16,
+        "each read-only commit must consult the hook exactly once"
+    );
+    assert_eq!(
+        log,
+        readonly_chaos_decisions(0x0C0F_FEE5),
+        "same seed must replay the same read-only decision sequence"
+    );
+}
+
+/// Kills exactly one attempt, and only at the commit-time validation
+/// point — reads pass untouched.
+struct KillOnceAtPreValidate(AtomicBool);
+impl ChaosHook for KillOnceAtPreValidate {
+    fn at(&self, _point: ChaosPoint) {}
+    fn abort_at(&self, point: ChaosPoint) -> bool {
+        point == ChaosPoint::PreValidate && self.0.swap(false, Ordering::Relaxed)
+    }
+}
+
+#[test]
+fn chaos_kill_aborts_read_only_commit_with_chaos_reason() {
+    let _serial = serial();
+    // Regression companion to the decision-stream test: the fast path
+    // must also honour the *kill* query, attributing the abort to
+    // `AbortReason::Chaos` like any other killed attempt.
+    let stm = Stm::default();
+    let v = TVar::new(11);
+    let _chaos = install(Arc::new(KillOnceAtPreValidate(AtomicBool::new(true))));
+    let got = stm.atomically(|tx| tx.read(&v));
+    assert_eq!(got, 11, "the retried attempt must still commit");
+    assert_eq!(stm.stats().commits(), 1);
+    assert_eq!(
+        stm.stats().aborts(),
+        1,
+        "the killed read-only attempt must be recorded"
+    );
+    assert_eq!(stm.stats().aborts_for(AbortReason::Chaos), 1);
 }
 
 #[test]

@@ -437,6 +437,23 @@ impl<T> Shared<'_, T> {
     }
 }
 
+/// Re-wraps a raw pointer (typically obtained from [`Shared::as_raw`])
+/// so it can be passed back into guard-based APIs such as
+/// [`Guard::defer_destroy`]. Mirrors upstream crossbeam's
+/// `Shared: From<*const T>`.
+///
+/// The resulting `Shared` borrows whatever guard lifetime the caller's
+/// context provides; all safety obligations stay with the eventual
+/// unsafe use site (`deref` / `defer_destroy`).
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(raw: *const T) -> Self {
+        Shared {
+            ptr: raw.cast_mut(),
+            _guard: PhantomData,
+        }
+    }
+}
+
 impl<T> std::fmt::Debug for Shared<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Shared({:p})", self.ptr)

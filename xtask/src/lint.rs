@@ -19,8 +19,14 @@
 //!   `SAFETY:` comment on the line or within the five lines above.
 //! * **R4 hot-path timing** — no `Instant::now()` in the STM
 //!   per-access hot path (`txn.rs`, `vlock.rs`, `clock.rs`, `tvar.rs`,
-//!   `index.rs`): timestamp reads belong to the global version clock,
-//!   not the OS.
+//!   `index.rs`, `snap.rs`): timestamp reads belong to the global
+//!   version clock, not the OS.
+//! * **R5 fence justification** — every `fence(` site carries a
+//!   `// ordering:` comment, like R2. Fences order the version-chain /
+//!   snapshot-registry handshake (`snap.rs`) and any ordering weaker
+//!   than the argued one silently breaks the retention proof; R2 only
+//!   catches the `SeqCst` spelling, R5 catches the call itself (e.g. an
+//!   unjustified downgrade to `fence(Ordering::AcqRel)`).
 //!
 //! Escapes (same line): `// lint: allow-std-sync`,
 //! `// lint: allow-ordering`, `// lint: allow-unsafe`,
@@ -40,13 +46,16 @@ const COMMENT_WINDOW: usize = 10;
 /// primitives and match on orderings).
 const FACADE_CRATES: [&str; 2] = ["crates/sync", "crates/check"];
 
-/// STM files on the per-access hot path (R4).
-const HOT_PATH_FILES: [&str; 5] = [
+/// STM files on the per-access hot path (R4). `snap.rs` is the
+/// snapshot-pin/retention path: registration runs at every read-only
+/// transaction begin and the registry scan inside every mvcc commit.
+const HOT_PATH_FILES: [&str; 6] = [
     "crates/stm/src/txn.rs",
     "crates/stm/src/vlock.rs",
     "crates/stm/src/clock.rs",
     "crates/stm/src/tvar.rs",
     "crates/stm/src/index.rs",
+    "crates/stm/src/snap.rs",
 ];
 
 /// A single rule violation.
@@ -272,6 +281,27 @@ fn lint_file(rel: &Path, text: &str, stats: &mut Stats, out: &mut Vec<Violation>
                     .into(),
             });
         }
+
+        // R5: fences must be argued, whatever their ordering. `fence(`
+        // with `SeqCst` is already an R2 site; counting it again here
+        // would double-report, so R5 only fires when R2 did not.
+        if !facade_exempt
+            && code.contains("fence(")
+            && !code.contains("SeqCst")
+            && !code.contains("Relaxed")
+            && !raw.contains("lint: allow-ordering")
+            && !comment_nearby(&lines, i, "ordering:", COMMENT_WINDOW)
+        {
+            stats.ordering_sites += 1;
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "R5",
+                message: "fence without a `// ordering:` justification; fences carry the \
+                          version-chain / snapshot-registry handshake arguments"
+                    .into(),
+            });
+        }
     }
 }
 
@@ -345,8 +375,31 @@ mod tests {
     fn hot_path_instant_flagged_only_on_hot_files() {
         let src = "let t = Instant::now();\n";
         assert_eq!(lint_str("crates/stm/src/vlock.rs", src).len(), 1);
+        assert_eq!(lint_str("crates/stm/src/snap.rs", src).len(), 1);
         assert!(lint_str("crates/stm/src/stats.rs", src).is_empty());
         assert!(lint_str("crates/runtime/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fences_need_justification_at_any_ordering() {
+        // A SeqCst fence is an R2 site; a downgraded fence must not
+        // slip past just because the extreme spelling is gone.
+        let bad = "fence(Ordering::AcqRel);\n";
+        let good = "// ordering: pairs the slot store with the clock re-read\n\
+                    fence(Ordering::AcqRel);\n";
+        let seqcst_unjustified = "fence(Ordering::SeqCst);\n";
+        let v = lint_str("crates/stm/src/snap.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("[R5]"));
+        assert!(lint_str("crates/stm/src/snap.rs", good).is_empty());
+        // SeqCst fence without a comment: exactly one report (R2).
+        let v = lint_str("crates/stm/src/snap.rs", seqcst_unjustified);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("[R2]"));
+        assert!(
+            lint_str("crates/check/src/x.rs", bad).is_empty(),
+            "facade exempt"
+        );
     }
 
     #[test]

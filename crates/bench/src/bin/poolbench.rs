@@ -14,15 +14,18 @@
 use std::path::PathBuf;
 
 use rubic_bench::poolbench::{run_sweep, PoolSweepOptions};
+use rubic_bench::postmortem::{self, BenchTrace, NoisyPoint, PostmortemOptions};
 
 struct Args {
     opts: PoolSweepOptions,
     out: PathBuf,
+    pm: PostmortemOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut opts = PoolSweepOptions::full();
     let mut out = PathBuf::from("BENCH_pool.json");
+    let mut pm = PostmortemOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,14 +56,19 @@ fn parse_args() -> Result<Args, String> {
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: poolbench [--smoke] [--reps N] [--items N] [--workers 1,2,4] [--out PATH]"
+                    "usage: poolbench [--smoke] [--reps N] [--items N] [--workers 1,2,4] \
+                     [--out PATH] [--postmortem DIR] [--stddev-ratio R]"
                         .into(),
                 );
             }
-            other => return Err(format!("unknown argument: {other}")),
+            other => {
+                if !postmortem::parse_arg(other, &mut it, &mut pm)? {
+                    return Err(format!("unknown argument: {other}"));
+                }
+            }
         }
     }
-    Ok(Args { opts, out })
+    Ok(Args { opts, out, pm })
 }
 
 fn main() {
@@ -84,11 +92,29 @@ fn main() {
         args.opts.items_stm,
         if args.opts.smoke { " (smoke)" } else { "" },
     );
+    let bench_trace = BenchTrace::start(&args.pm, "poolbench");
     let report = run_sweep(&args.opts);
     if let Err(msg) = report.validate() {
         eprintln!("poolbench: report failed validation: {msg}");
         std::process::exit(1);
     }
+    let noisy: Vec<NoisyPoint> = report
+        .points
+        .iter()
+        .filter(|p| {
+            postmortem::is_noisy(
+                p.ops_per_sec.mean,
+                p.ops_per_sec.stddev,
+                args.pm.stddev_ratio,
+            )
+        })
+        .map(|p| NoisyPoint {
+            label: format!("{}/{}/{}/w{}", p.queue, p.task, p.controller, p.workers),
+            mean: p.ops_per_sec.mean,
+            stddev: p.ops_per_sec.stddev,
+        })
+        .collect();
+    bench_trace.finish(&args.pm, &noisy, "poolbench");
     let json = report.to_json();
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("poolbench: cannot write {}: {e}", args.out.display());

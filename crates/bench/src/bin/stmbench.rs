@@ -17,16 +17,19 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use rubic_bench::postmortem::{self, BenchTrace, NoisyPoint, PostmortemOptions};
 use rubic_bench::stmbench::{available_modes, run_sweep, SweepOptions};
 
 struct Args {
     opts: SweepOptions,
     out: PathBuf,
+    pm: PostmortemOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut opts = SweepOptions::full();
     let mut out = PathBuf::from("BENCH_stm.json");
+    let mut pm = PostmortemOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -71,14 +74,19 @@ fn parse_args() -> Result<Args, String> {
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: stmbench [--smoke] [--reps N] [--duration-ms N] [--threads 1,2,4] [--mode sv,mvcc] [--out PATH]"
+                    "usage: stmbench [--smoke] [--reps N] [--duration-ms N] [--threads 1,2,4] \
+                     [--mode sv,mvcc] [--out PATH] [--postmortem DIR] [--stddev-ratio R]"
                         .into(),
                 );
             }
-            other => return Err(format!("unknown argument: {other}")),
+            other => {
+                if !postmortem::parse_arg(other, &mut it, &mut pm)? {
+                    return Err(format!("unknown argument: {other}"));
+                }
+            }
         }
     }
-    Ok(Args { opts, out })
+    Ok(Args { opts, out, pm })
 }
 
 fn main() {
@@ -102,11 +110,29 @@ fn main() {
         args.opts.duration.as_millis(),
         if args.opts.smoke { " (smoke)" } else { "" },
     );
+    let bench_trace = BenchTrace::start(&args.pm, "stmbench");
     let report = run_sweep(&args.opts);
     if let Err(msg) = report.validate() {
         eprintln!("stmbench: report failed validation: {msg}");
         std::process::exit(1);
     }
+    let noisy: Vec<NoisyPoint> = report
+        .points
+        .iter()
+        .filter(|p| {
+            postmortem::is_noisy(
+                p.ops_per_sec.mean,
+                p.ops_per_sec.stddev,
+                args.pm.stddev_ratio,
+            )
+        })
+        .map(|p| NoisyPoint {
+            label: format!("{}/{}/{}/t{}", p.workload, p.mix, p.mode, p.threads),
+            mean: p.ops_per_sec.mean,
+            stddev: p.ops_per_sec.stddev,
+        })
+        .collect();
+    bench_trace.finish(&args.pm, &noisy, "stmbench");
     let json = report.to_json();
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("stmbench: cannot write {}: {e}", args.out.display());

@@ -18,6 +18,7 @@ pub mod extensions;
 pub mod figures;
 pub mod invivo;
 pub mod poolbench;
+pub mod postmortem;
 pub mod stmbench;
 
 /// A renderable figure/table: labelled rows of numeric columns.

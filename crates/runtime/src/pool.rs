@@ -570,6 +570,14 @@ fn monitor_loop(
     let mut prev_instant = Instant::now();
     let mut round = 0u64;
     let mut zero_progress_rounds = 0u32;
+    // Level-oscillation watchdog state: the direction of the previous
+    // level change and the count of consecutive direction reversals.
+    let mut last_dir: i8 = 0;
+    let mut level_flips: u32 = 0;
+    /// Consecutive up/down reversals before the oscillation anomaly
+    /// fires: a healthy controller reverses once when it overshoots and
+    /// settles; four straight reversals is sustained thrash.
+    const OSCILLATION_FLIPS: u32 = 4;
 
     while shared.running.load(Ordering::Acquire) {
         rubic_sync::thread::sleep(period);
@@ -618,6 +626,14 @@ fn monitor_loop(
                     round,
                     level,
                 );
+                // Abort storm: freeze the flight recorder while the
+                // evidence (the storm's abort events) is still in it.
+                crate::trc::anomaly(
+                    crate::trc::ANOMALY_ABORT_STORM,
+                    u64::from(zero_progress_rounds),
+                    u64::from(stall_rounds),
+                    round,
+                );
                 zero_progress_rounds = 0;
             }
         } else {
@@ -637,6 +653,25 @@ fn monitor_loop(
 
         if new_level != level {
             crate::trc::level_change(level, new_level, round);
+            // Oscillation: every change whose direction reverses the
+            // previous one bumps the flip streak; a same-direction move
+            // (a deliberate multi-step ramp) resets it.
+            let dir: i8 = if new_level > level { 1 } else { -1 };
+            if dir == -last_dir {
+                level_flips += 1;
+                if level_flips >= OSCILLATION_FLIPS {
+                    crate::trc::anomaly(
+                        crate::trc::ANOMALY_LEVEL_OSCILLATION,
+                        u64::from(level_flips),
+                        u64::from(OSCILLATION_FLIPS),
+                        round,
+                    );
+                    level_flips = 0;
+                }
+            } else {
+                level_flips = 0;
+            }
+            last_dir = dir;
             // ordering: Relaxed is sound because the level never travels
             // with data: ungating workers observe it through the gate's
             // semaphore lock (signal_n below), and the worker hot path

@@ -10,6 +10,11 @@
 mod enabled {
     use rubic_trace::{emit, is_enabled, EventKind};
 
+    /// Anomaly kind codes, re-exported so watchdog call sites need no
+    /// feature gates of their own.
+    pub(crate) const ANOMALY_ABORT_STORM: u8 = rubic_trace::codes::ANOMALY_ABORT_STORM;
+    pub(crate) const ANOMALY_LEVEL_OSCILLATION: u8 = rubic_trace::codes::ANOMALY_LEVEL_OSCILLATION;
+
     /// Whether a trace session is currently recording — lets the monitor
     /// skip the per-worker delta scan entirely when nobody listens.
     #[inline]
@@ -96,6 +101,18 @@ mod enabled {
             );
         }
     }
+
+    /// An anomaly watchdog fired: records the `Anomaly` event
+    /// (`kind` is one of `rubic_trace::codes::ANOMALY_*`) and asks the
+    /// trace collector to freeze the flight recorder into a post-mortem
+    /// bundle.
+    #[inline]
+    pub(crate) fn anomaly(kind: u8, observed: u64, threshold: u64, round: u64) {
+        if is_enabled() {
+            emit(EventKind::Anomaly, kind, observed, threshold, round);
+            rubic_trace::request_postmortem(kind);
+        }
+    }
 }
 
 #[cfg(feature = "trace")]
@@ -103,6 +120,10 @@ pub(crate) use enabled::*;
 
 #[cfg(not(feature = "trace"))]
 mod disabled {
+    /// Mirrors of `rubic_trace::codes::ANOMALY_*` for no-trace builds.
+    pub(crate) const ANOMALY_ABORT_STORM: u8 = 0;
+    pub(crate) const ANOMALY_LEVEL_OSCILLATION: u8 = 1;
+
     #[inline(always)]
     pub(crate) fn active() -> bool {
         false
@@ -129,6 +150,9 @@ mod disabled {
         _gated: bool,
     ) {
     }
+
+    #[inline(always)]
+    pub(crate) fn anomaly(_kind: u8, _observed: u64, _threshold: u64, _round: u64) {}
 }
 
 #[cfg(not(feature = "trace"))]

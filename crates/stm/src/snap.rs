@@ -71,6 +71,12 @@ impl SlotClaim {
         self.rv
     }
 
+    /// The claimed registry slot index (trace payload only).
+    #[allow(dead_code)]
+    pub(crate) fn idx(&self) -> usize {
+        self.idx
+    }
+
     /// Re-pins the claim at the current clock (TinySTM-style snapshot
     /// *extension*): a transaction that has not observed anything yet
     /// can move its snapshot forward instead of aborting when a bounded

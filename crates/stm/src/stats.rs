@@ -32,6 +32,12 @@ pub struct StmStats {
     ro_commits: CachePadded<AtomicU64>,
     /// Aborted attempts inside `read_only` (a subset of `aborts`).
     ro_aborts: CachePadded<AtomicU64>,
+    /// Snapshot transactions demoted to the classic validated protocol
+    /// (registry exhaustion, repeated chain-overflow staleness, or a
+    /// body that wrote). Unconditional for the same reason as
+    /// `ro_commits`: a plain counter beats a cfg'd hole in the
+    /// snapshot type, and it stays 0 in non-mvcc builds.
+    snap_demotions: CachePadded<AtomicU64>,
 }
 
 impl StmStats {
@@ -67,6 +73,14 @@ impl StmStats {
     #[inline]
     pub(crate) fn record_ro_abort(&self) {
         self.ro_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ordering: same counter discipline as `record_commit`. Only called
+    // from the mvcc snapshot fallback path; allowed to be dead elsewhere.
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn record_snap_demotion(&self) {
+        self.snap_demotions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total committed transactions.
@@ -127,6 +141,13 @@ impl StmStats {
         self.ro_aborts.load(Ordering::Relaxed) // ordering: monitoring read of a counter
     }
 
+    /// Snapshot transactions that fell back to the classic validated
+    /// protocol (mvcc mode only; always `0` otherwise).
+    #[must_use]
+    pub fn snap_demotions(&self) -> u64 {
+        self.snap_demotions.load(Ordering::Relaxed) // ordering: monitoring read of a counter
+    }
+
     /// Fraction of attempts that aborted: `aborts / (commits + aborts)`.
     /// `0.0` before any attempt finishes.
     #[must_use]
@@ -152,6 +173,7 @@ impl StmStats {
             abort_reasons: self.aborts_by_reason(),
             ro_commits: self.ro_commits(),
             ro_aborts: self.ro_aborts(),
+            snap_demotions: self.snap_demotions(),
         }
     }
 }
@@ -174,6 +196,8 @@ pub struct StatsSnapshot {
     /// Aborted attempts inside read-only transactions (a subset of
     /// `aborts`).
     pub ro_aborts: u64,
+    /// Snapshot transactions demoted to the classic protocol.
+    pub snap_demotions: u64,
 }
 
 impl StatsSnapshot {
@@ -197,6 +221,7 @@ impl StatsSnapshot {
             abort_reasons,
             ro_commits: self.ro_commits.saturating_sub(earlier.ro_commits),
             ro_aborts: self.ro_aborts.saturating_sub(earlier.ro_aborts),
+            snap_demotions: self.snap_demotions.saturating_sub(earlier.snap_demotions),
         }
     }
 }

@@ -104,7 +104,7 @@ impl Stm {
                     }
                     crate::stats::note_thread_abort();
                     attempt += 1;
-                    trace.on_abort(reason, attempt);
+                    trace.on_abort(reason, attempt, tx.conflict_addr());
                     // Unpinned while backing off: a sleeping loser must
                     // not hold the epoch (and hence reclamation) back.
                     tx.unpinned(|| self.cm.backoff(attempt));
@@ -145,6 +145,7 @@ impl Stm {
         const STALE_LIMIT: u32 = 8;
         let mut trace = crate::trc::TxTrace::begin();
         let mut attempt: u32 = 0;
+        let mut demoted_write = false;
         for _ in 0..STALE_LIMIT {
             let Some(mut tx) = Transaction::begin_snapshot() else {
                 // Registry full (or writers outran pinning): classic
@@ -176,11 +177,12 @@ impl Stm {
                     self.stats.record_abort(reason);
                     crate::stats::note_thread_abort();
                     attempt += 1;
-                    trace.on_abort(reason, attempt);
+                    trace.on_abort(reason, attempt, tx.conflict_addr());
                     if demoted {
                         // The body wrote — not read-only after all. Not
                         // charged as a read-only abort: demotion is a
                         // mode switch, not a data conflict.
+                        demoted_write = true;
                         break;
                     }
                     // Transient `SnapshotStale` (a chain hit its hard
@@ -189,6 +191,14 @@ impl Stm {
                     self.stats.record_ro_abort();
                 }
             }
+        }
+        // Every path out of the loop is a demotion to the classic
+        // protocol; count it. The write case already emitted its
+        // `SnapDemote` (code 1, with the written variable's address) at
+        // the write site, so only the read-only fallbacks emit here.
+        self.stats.record_snap_demotion();
+        if !demoted_write {
+            crate::trc::snap_demote(0, 0, 0);
         }
         self.run(true, f)
     }

@@ -72,7 +72,7 @@ mod enabled {
         }
 
         #[inline]
-        pub(crate) fn on_abort(&mut self, reason: AbortReason, attempt: u32) {
+        pub(crate) fn on_abort(&mut self, reason: AbortReason, attempt: u32, addr: usize) {
             if self.begin_ns == 0 || !is_enabled() {
                 return;
             }
@@ -82,8 +82,13 @@ mod enabled {
                 reason.code(),
                 now.saturating_sub(self.attempt_ns),
                 u64::from(attempt),
-                0,
+                addr as u64,
             );
+            if addr != 0 {
+                // Conflict attribution: feed the per-thread space-saving
+                // sketch with the culprit TVar's lock identity.
+                rubic_trace::note_conflict(addr as u64, reason.code());
+            }
             self.abort_ns = now;
         }
 
@@ -159,6 +164,41 @@ mod enabled {
             emit(EventKind::VersionPrune, 0, addr as u64, dropped, min_active);
         }
     }
+
+    /// Emits a `SnapPin` event: a snapshot transaction pinned `rv` in
+    /// registry slot `slot` (no caller in non-mvcc builds).
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn snap_pin(rv: u64, slot: usize) {
+        if is_enabled() {
+            emit(EventKind::SnapPin, 0, rv, slot as u64, 0);
+        }
+    }
+
+    /// Emits a `SnapExtend` event: a chain overflow forced a snapshot
+    /// to re-pin from `old_rv` to `new_rv`; `addr` identifies the
+    /// variable whose bounded chain dropped the needed version (no
+    /// caller in non-mvcc builds).
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn snap_extend(old_rv: u64, new_rv: u64, addr: usize) {
+        if is_enabled() {
+            emit(EventKind::SnapExtend, 0, old_rv, new_rv, addr as u64);
+        }
+    }
+
+    /// Emits a `SnapDemote` event: a snapshot transaction fell back to
+    /// the classic validated protocol. `code` 0 = read-only fallback
+    /// (registry exhaustion or repeated staleness), 1 = the body wrote;
+    /// `addr` names the written variable in the write case (no caller
+    /// in non-mvcc builds).
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn snap_demote(code: u8, rv: u64, addr: usize) {
+        if is_enabled() {
+            emit(EventKind::SnapDemote, code, rv, 0, addr as u64);
+        }
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -178,7 +218,7 @@ mod disabled {
         pub(crate) fn on_commit(&self, _reads: u64, _writes: u64, _attempts: u32) {}
 
         #[inline(always)]
-        pub(crate) fn on_abort(&mut self, _reason: AbortReason, _attempt: u32) {}
+        pub(crate) fn on_abort(&mut self, _reason: AbortReason, _attempt: u32, _addr: usize) {}
 
         #[inline(always)]
         pub(crate) fn on_restart(&mut self, _attempt: u32) {}
@@ -207,6 +247,18 @@ mod disabled {
     #[inline(always)]
     #[allow(dead_code)]
     pub(crate) fn version_prune(_addr: usize, _dropped: u64, _min_active: u64) {}
+
+    #[inline(always)]
+    #[allow(dead_code)]
+    pub(crate) fn snap_pin(_rv: u64, _slot: usize) {}
+
+    #[inline(always)]
+    #[allow(dead_code)]
+    pub(crate) fn snap_extend(_old_rv: u64, _new_rv: u64, _addr: usize) {}
+
+    #[inline(always)]
+    #[allow(dead_code)]
+    pub(crate) fn snap_demote(_code: u8, _rv: u64, _addr: usize) {}
 }
 
 /// Size in bytes of the per-transaction trace state. **0 when the

@@ -461,6 +461,21 @@ impl<T: TxValue> TVar<T> {
         }
     }
 
+    /// Creates a new transactional variable and registers `label` as the
+    /// human-readable name for its lock identity. With the `trace`
+    /// feature on, contention tables and post-mortem bundles report this
+    /// name next to [`lock_addr`](Self::lock_addr); without it the label
+    /// is dropped and this is exactly [`new`](Self::new).
+    #[must_use]
+    pub fn labelled(value: T, label: &str) -> Self {
+        let var = Self::new(value);
+        #[cfg(feature = "trace")]
+        rubic_trace::set_label(var.lock_addr() as u64, label);
+        #[cfg(not(feature = "trace"))]
+        let _ = label;
+        var
+    }
+
     #[inline]
     pub(crate) fn core(&self) -> &Arc<TVarCore<T>> {
         &self.core

@@ -253,6 +253,12 @@ pub struct Transaction {
     /// that aborts without the engine tagging a reason is attributed to
     /// the transaction body itself.
     last_conflict: AbortReason,
+    /// Lock address of the variable implicated in the last conflict
+    /// (0 when no variable is implicated — e.g. chaos at a commit
+    /// boundary or an explicit body abort). Always-on companion to
+    /// `last_conflict`: one word per transaction, maintained only on
+    /// the abort path, it feeds trace-side conflict attribution.
+    conflict_addr: usize,
     /// True when this transaction belongs to an mvcc-mode
     /// [`crate::Stm`]: its writing commit appends displaced values to
     /// the per-TVar version chains instead of retiring them
@@ -286,6 +292,7 @@ impl Transaction {
             n_reads: 0,
             n_writes: 0,
             last_conflict: AbortReason::Explicit,
+            conflict_addr: 0,
             #[cfg(feature = "mvcc")]
             mvcc: false,
             #[cfg(feature = "mvcc")]
@@ -303,6 +310,7 @@ impl Transaction {
     #[cfg(feature = "mvcc")]
     pub(crate) fn begin_snapshot() -> Option<Self> {
         let claim = crate::snap::register()?;
+        trc::snap_pin(claim.rv(), claim.idx());
         let mut tx = Self::begin();
         tx.rv = claim.rv();
         tx.mvcc = true;
@@ -344,6 +352,7 @@ impl Transaction {
         self.n_reads = 0;
         self.n_writes = 0;
         self.last_conflict = AbortReason::Explicit;
+        self.conflict_addr = 0;
         #[cfg(feature = "mvcc")]
         {
             self.snap_demoted = false;
@@ -375,11 +384,22 @@ impl Transaction {
     }
 
     /// Tags this attempt with `reason` and returns the public error.
-    /// Every engine conflict site funnels through here so the retry loop
-    /// can attribute the abort.
+    /// Every engine conflict site funnels through here (or through
+    /// [`fail_at`](Self::fail_at) when a variable is implicated) so the
+    /// retry loop can attribute the abort.
     #[inline]
     fn fail(&mut self, reason: AbortReason) -> StmError {
         self.last_conflict = reason;
+        self.conflict_addr = 0;
+        StmError::Conflict
+    }
+
+    /// [`fail`](Self::fail) with the culprit variable's lock address
+    /// recorded for conflict attribution.
+    #[inline]
+    fn fail_at(&mut self, reason: AbortReason, addr: usize) -> StmError {
+        self.last_conflict = reason;
+        self.conflict_addr = addr;
         StmError::Conflict
     }
 
@@ -390,6 +410,16 @@ impl Transaction {
     #[must_use]
     pub fn conflict_reason(&self) -> AbortReason {
         self.last_conflict
+    }
+
+    /// Lock address of the variable implicated in the last conflict —
+    /// the same identity as [`crate::TVar::lock_addr`] — or 0 when no
+    /// single variable was (chaos at a commit boundary, explicit body
+    /// abort). Meaningful under the same conditions as
+    /// [`conflict_reason`](Self::conflict_reason).
+    #[must_use]
+    pub fn conflict_addr(&self) -> usize {
+        self.conflict_addr
     }
 
     /// The current read version (diagnostic).
@@ -501,14 +531,14 @@ impl Transaction {
         loop {
             chaos::hit(ChaosPoint::LockSample);
             if chaos::abort_requested(ChaosPoint::LockSample) {
-                return Err(self.fail(AbortReason::Chaos));
+                return Err(self.fail_at(AbortReason::Chaos, addr));
             }
             let w1 = core.vlock().sample();
             if w1.is_locked() {
                 // Invisible reads cannot tell who owns the lock; treat it
                 // as a conflict and let the contention manager space out
                 // the retry (SwissTM would consult the CM here too).
-                return Err(self.fail(AbortReason::LockBusy));
+                return Err(self.fail_at(AbortReason::LockBusy, addr));
             }
             let value = core.load_clone(&self.guard);
             if core.vlock().sample() != w1 {
@@ -529,8 +559,7 @@ impl Transaction {
             match self.read_index.get(addr) {
                 Some(recorded) => {
                     if recorded != w1.version() {
-                        self.last_conflict = AbortReason::ReadValidation;
-                        return Err(StmError::Conflict);
+                        return Err(self.fail_at(AbortReason::ReadValidation, addr));
                     }
                 }
                 None => self.record_read(core, addr, w1.version()),
@@ -577,11 +606,11 @@ impl Transaction {
         loop {
             chaos::hit(ChaosPoint::LockSample);
             if chaos::abort_requested(ChaosPoint::LockSample) {
-                return Err(self.fail(AbortReason::Chaos));
+                return Err(self.fail_at(AbortReason::Chaos, addr));
             }
             let w1 = core.vlock().sample();
             if w1.is_locked() {
-                return Err(self.fail(AbortReason::LockBusy));
+                return Err(self.fail_at(AbortReason::LockBusy, addr));
             }
             let result = core.with_value(&self.guard, &mut f);
             if core.vlock().sample() != w1 {
@@ -596,8 +625,7 @@ impl Transaction {
             match self.read_index.get(addr) {
                 Some(recorded) => {
                     if recorded != w1.version() {
-                        self.last_conflict = AbortReason::ReadValidation;
-                        return Err(StmError::Conflict);
+                        return Err(self.fail_at(AbortReason::ReadValidation, addr));
                     }
                 }
                 None => self.record_read(core, addr, w1.version()),
@@ -632,6 +660,7 @@ impl Transaction {
         // sample (keeps seeded decision streams aligned across modes),
         // but never the kill query: snapshot reads cannot abort.
         chaos::hit(ChaosPoint::LockSample);
+        let addr = var.core().vlock().addr();
         // `n_reads` was already bumped for this read by the dispatcher.
         let extendable = self.n_reads == 1;
         let mut extends_left: u8 = 3;
@@ -647,13 +676,15 @@ impl Transaction {
                     if extendable && extends_left > 0 {
                         extends_left -= 1;
                         if let Some(claim) = self.snap.as_mut() {
+                            let old_rv = self.rv;
                             if claim.refresh() {
                                 self.rv = claim.rv();
+                                trc::snap_extend(old_rv, self.rv, addr);
                                 continue;
                             }
                         }
                     }
-                    return Err(self.fail(AbortReason::SnapshotStale));
+                    return Err(self.fail_at(AbortReason::SnapshotStale, addr));
                 }
             }
         }
@@ -701,6 +732,7 @@ impl Transaction {
             // demotes the whole transaction and `read_only` reruns the
             // body under the classic validated protocol.
             self.snap_demoted = true;
+            trc::snap_demote(1, self.rv, var.core().vlock().addr());
             return Err(self.fail(AbortReason::Explicit));
         }
         let core = var.core();
@@ -717,21 +749,21 @@ impl Transaction {
 
         chaos::hit(ChaosPoint::LockSample);
         if chaos::abort_requested(ChaosPoint::LockSample) {
-            return Err(self.fail(AbortReason::Chaos));
+            return Err(self.fail_at(AbortReason::Chaos, addr));
         }
         let w = core.vlock().sample();
         if w.is_locked() {
-            return Err(self.fail(AbortReason::LockBusy));
+            return Err(self.fail_at(AbortReason::LockBusy, addr));
         }
         // Write-after-read consistency: the version we read must still
         // be current, or our earlier read is stale.
         if let Some(recorded) = self.read_index.get(addr) {
             if w.version() != recorded {
-                return Err(self.fail(AbortReason::ReadValidation));
+                return Err(self.fail_at(AbortReason::ReadValidation, addr));
             }
         }
         if !core.vlock().try_lock(w) {
-            return Err(self.fail(AbortReason::LockBusy));
+            return Err(self.fail_at(AbortReason::LockBusy, addr));
         }
         #[cfg(feature = "trace")]
         let locked_at = trc::stamp();
@@ -777,12 +809,13 @@ impl Transaction {
 
     /// Validates the read set: every recorded variable must be unlocked
     /// (or locked by this transaction) and still carry its recorded
-    /// version. Returns the conflict classification on failure so
-    /// callers can attribute the abort.
-    fn validate(&self) -> Result<(), AbortReason> {
+    /// version. Returns the conflict classification *and the culprit
+    /// variable's lock address* on failure so callers can attribute the
+    /// abort (chaos kills carry address 0 — no variable is at fault).
+    fn validate(&self) -> Result<(), (AbortReason, usize)> {
         chaos::hit(ChaosPoint::PreValidate);
         if chaos::abort_requested(ChaosPoint::PreValidate) {
-            return Err(AbortReason::Chaos);
+            return Err((AbortReason::Chaos, 0));
         }
         // Hoisted once: read-only validation must never probe the write
         // index — a locked entry cannot be ours if we wrote nothing.
@@ -790,12 +823,12 @@ impl Transaction {
         for entry in &self.reads {
             let w = entry.handle.vlock().sample();
             if w.version() != entry.version {
-                return Err(AbortReason::ReadValidation);
+                return Err((AbortReason::ReadValidation, entry.addr));
             }
             // `entry.addr` was cached at record time; no vtable call to
             // re-derive the identity we already sampled.
             if w.is_locked() && !(may_own_locks && self.write_index.contains(entry.addr)) {
-                return Err(AbortReason::LockBusy);
+                return Err((AbortReason::LockBusy, entry.addr));
             }
         }
         Ok(())
@@ -810,7 +843,7 @@ impl Transaction {
                 self.rv = new_rv;
                 Ok(())
             }
-            Err(reason) => Err(self.fail(reason)),
+            Err((reason, addr)) => Err(self.fail_at(reason, addr)),
         }
     }
 
@@ -855,8 +888,8 @@ impl Transaction {
             // Someone committed since we started; make sure none of our
             // reads were invalidated (TL2 fast path skips this when the
             // clock tells us nobody did).
-            if let Err(reason) = self.validate() {
-                return Err(self.fail(reason));
+            if let Err((reason, addr)) = self.validate() {
+                return Err(self.fail_at(reason, addr));
             }
         }
         for slot in &mut self.writes {

@@ -15,7 +15,7 @@
 /// |---|---|---|---|---|
 /// | `TxnBegin` | 0 | 0 | 0 | 0 |
 /// | `TxnCommit` | 0 | latency ns (begin→commit) | `reads << 32 \| writes` | attempts |
-/// | `TxnAbort` | abort reason | ns since attempt start | attempt index | 0 |
+/// | `TxnAbort` | abort reason | ns since attempt start | attempt index | culprit lock address (0 if unknown) |
 /// | `TxnRestart` | 0 | backoff ns (abort→restart) | attempt index | 0 |
 /// | `LockHold` | 0 commit / 1 abort release | hold ns | lock address | 0 |
 /// | `ClockExtend` | 0 | old read version | new read version | 0 |
@@ -29,6 +29,10 @@
 /// | `WorkerPark` | 0 park / 1 unpark | worker tid | level at transition | 0 |
 /// | `SnapshotRead` | 0 | pinned snapshot timestamp (rv) | visible version stamp | 0 |
 /// | `VersionPrune` | 0 | lock address | versions dropped | min active snapshot timestamp |
+/// | `SnapPin` | 0 | pinned snapshot timestamp (rv) | registry slot index | 0 |
+/// | `SnapExtend` | 0 | old snapshot timestamp | new snapshot timestamp | lock address that overflowed |
+/// | `SnapDemote` | 0 read-only / 1 write | snapshot timestamp at demotion | 0 | lock address (write demote) |
+/// | `Anomaly` | anomaly kind | observed value | configured threshold | round (0 if n/a) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -65,11 +69,23 @@ pub enum EventKind {
     SnapshotRead = 14,
     /// A writing commit pruned reclaimable entries from a version chain.
     VersionPrune = 15,
+    /// A read-only transaction pinned a snapshot timestamp in the
+    /// registry (mvcc mode).
+    SnapPin = 16,
+    /// A pinned snapshot's timestamp was refreshed in place after a
+    /// bounded version chain overflowed beneath it (mvcc mode).
+    SnapExtend = 17,
+    /// The snapshot path gave up and fell back to the classic validated
+    /// protocol (registry full, or a write inside snapshot mode).
+    SnapDemote = 18,
+    /// An anomaly watchdog fired (abort storm, level oscillation,
+    /// latency breach); usually accompanied by a post-mortem dump.
+    Anomaly = 19,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode tables).
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::TxnBegin,
         EventKind::TxnCommit,
         EventKind::TxnAbort,
@@ -86,6 +102,10 @@ impl EventKind {
         EventKind::WorkerPark,
         EventKind::SnapshotRead,
         EventKind::VersionPrune,
+        EventKind::SnapPin,
+        EventKind::SnapExtend,
+        EventKind::SnapDemote,
+        EventKind::Anomaly,
     ];
 
     /// Decodes a discriminant byte.
@@ -114,6 +134,10 @@ impl EventKind {
             EventKind::WorkerPark => "worker_park",
             EventKind::SnapshotRead => "snapshot_read",
             EventKind::VersionPrune => "version_prune",
+            EventKind::SnapPin => "snap_pin",
+            EventKind::SnapExtend => "snap_extend",
+            EventKind::SnapDemote => "snap_demote",
+            EventKind::Anomaly => "anomaly",
         }
     }
 }
@@ -255,6 +279,40 @@ pub mod codes {
             .unwrap_or("unknown")
     }
 
+    /// Anomaly: the pool's stall watchdog saw zero progress for its
+    /// configured number of rounds — the abort-storm signature.
+    pub const ANOMALY_ABORT_STORM: u8 = 0;
+    /// Anomaly: the applied parallelism level flapped direction more
+    /// often than the oscillation watchdog's threshold within its window.
+    pub const ANOMALY_LEVEL_OSCILLATION: u8 = 1;
+    /// Anomaly: commit-latency p99 over the last drain window exceeded
+    /// the configured threshold.
+    pub const ANOMALY_P99_BREACH: u8 = 2;
+    /// Anomaly: an operator (or test) requested a dump explicitly.
+    pub const ANOMALY_MANUAL: u8 = 3;
+    /// Anomaly: a benchmark repetition set's stddev/mean ratio exceeded
+    /// the `--stddev-ratio` gate.
+    pub const ANOMALY_BENCH_STDDEV: u8 = 4;
+
+    /// Names for the anomaly kinds, indexed by code. These double as
+    /// post-mortem bundle trigger strings.
+    pub const ANOMALY_NAMES: [&str; 5] = [
+        "abort-storm",
+        "level-oscillation",
+        "p99-breach",
+        "manual",
+        "bench-stddev",
+    ];
+
+    /// Decodes an anomaly code.
+    #[must_use]
+    pub fn anomaly_name(code: u8) -> &'static str {
+        ANOMALY_NAMES
+            .get(code as usize)
+            .copied()
+            .unwrap_or("unknown")
+    }
+
     /// Chaos point names (`LockSample`, `PreValidate`, `PrePublish`),
     /// indexed by the engine's `ChaosPoint` discriminant.
     pub const CHAOS_POINT_NAMES: [&str; 3] = ["lock-sample", "pre-validate", "pre-publish"];
@@ -327,5 +385,23 @@ mod tests {
         assert_eq!(codes::phase_name(codes::PHASE_REDUCE_MULT), "reduce-mult");
         assert_eq!(codes::policy_name(0), "RUBIC");
         assert_eq!(codes::chaos_point_name(1), "pre-validate");
+        assert_eq!(
+            codes::anomaly_name(codes::ANOMALY_ABORT_STORM),
+            "abort-storm"
+        );
+        assert_eq!(codes::anomaly_name(codes::ANOMALY_P99_BREACH), "p99-breach");
+        assert_eq!(codes::anomaly_name(99), "unknown");
+    }
+
+    #[test]
+    fn snapshot_kinds_have_stable_discriminants() {
+        // The mvcc snapshot-protocol and anomaly kinds append after the
+        // PR 6 tail; earlier discriminants are frozen by exported data.
+        assert_eq!(EventKind::SnapPin as u8, 16);
+        assert_eq!(EventKind::SnapExtend as u8, 17);
+        assert_eq!(EventKind::SnapDemote as u8, 18);
+        assert_eq!(EventKind::Anomaly as u8, 19);
+        assert_eq!(EventKind::from_u8(16), Some(EventKind::SnapPin));
+        assert_eq!(EventKind::from_u8(20), None);
     }
 }

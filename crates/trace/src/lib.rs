@@ -17,6 +17,16 @@
 //! 4. [`TraceSession::finish`] returns a [`TraceReport`] exportable as
 //!    JSON-lines or as a `chrome://tracing` document for Perfetto.
 //!
+//! On top of the pipeline sits the diagnosis layer: abort sites call
+//! [`note_conflict`] to feed per-thread space-saving sketches
+//! ([`ConflictSketch`]) that merge into a top-K contention table naming
+//! culprit `TVars` (labelled via [`set_label`] / `TVar::labelled`); the
+//! sink keeps a bounded always-on flight recorder of the last few
+//! seconds of events; anomaly watchdogs (or [`request_postmortem`])
+//! freeze both into a self-contained post-mortem bundle (schema
+//! [`BUNDLE_SCHEMA`]); and [`TraceSession::snapshot`] exports
+//! point-in-time [`MetricsSnapshot`]s as JSONL or Prometheus text.
+//!
 //! The instrumented crates gate their calls behind their own `trace`
 //! cargo feature, compiling to nothing when it is off; this crate itself
 //! is always functional.
@@ -31,14 +41,22 @@
     clippy::module_name_repetitions
 )]
 
+mod bundle;
 mod event;
 mod hist;
+mod labels;
 mod recorder;
 mod report;
 mod ring;
+mod sketch;
 
+pub use bundle::BUNDLE_SCHEMA;
 pub use event::{codes, Event, EventKind};
 pub use hist::LogHistogram;
-pub use recorder::{emit, is_enabled, now_ns, TraceConfig, TraceSession};
-pub use report::{LevelSample, TraceReport};
+pub use labels::{label, set_label};
+pub use recorder::{
+    emit, is_enabled, note_conflict, now_ns, request_postmortem, TraceConfig, TraceSession,
+};
+pub use report::{ContentionEntry, LevelSample, MetricsSnapshot, SnapStats, TraceReport};
 pub use ring::Ring;
+pub use sketch::{ConflictSketch, CulpritEntry};

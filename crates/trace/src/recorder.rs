@@ -2,27 +2,38 @@
 //! path, and the collector-backed [`TraceSession`].
 //!
 //! Instrumented crates call [`emit`] (plus [`now_ns`] for latency
-//! timestamps). When no session is active, `emit` is one relaxed atomic
-//! load and a branch. When a session is active, the calling thread lazily
-//! registers a private [`Ring`] with the session and every subsequent
-//! emit is a handful of atomic stores into that ring — no locks, no
-//! allocation, no syscalls on the hot path.
+//! timestamps) and, at abort sites, [`note_conflict`] to feed the
+//! per-thread conflict sketches. When no session is active both are one
+//! relaxed atomic load and a branch. When a session is active, the
+//! calling thread lazily registers a private [`Ring`] (and a
+//! [`ConflictSketch`]) with the session; every subsequent emit is a
+//! handful of atomic stores into that ring — no locks, no allocation,
+//! no syscalls on the hot path. (`note_conflict` takes the thread's own
+//! uncontended sketch mutex — acceptable because aborts already are the
+//! slow path.)
 //!
 //! A background collector thread drains all rings every few milliseconds
 //! into the session's [`Sink`](crate::report::TraceReport) accumulators,
-//! so rings stay shallow and the drop-oldest policy rarely engages.
+//! so rings stay shallow and the drop-oldest policy rarely engages. The
+//! collector also runs the diagnosis housekeeping: the commit-latency
+//! p99-breach watchdog, the periodic [`MetricsSnapshot`] export, and the
+//! post-mortem requests raised via [`request_postmortem`].
 //! [`TraceSession::finish`] stops the collector, performs a final drain,
-//! and returns the [`TraceReport`].
+//! services any pending post-mortems, and returns the [`TraceReport`].
 
 use std::cell::RefCell;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use rubic_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rubic_sync::{Arc, Mutex, OnceLock};
 
-use crate::event::{Event, EventKind};
-use crate::report::{Sink, TraceReport};
+use crate::bundle::{self, BundleInput};
+use crate::event::{codes, Event, EventKind};
+use crate::report::{MetricsSnapshot, Sink, SinkOptions, TraceReport};
 use crate::ring::Ring;
+use crate::sketch::ConflictSketch;
 
 /// True while a [`TraceSession`] is active. Checked (relaxed) on every
 /// `emit`; instrumented code can also consult it to skip timestamp
@@ -36,6 +47,12 @@ static GENERATION: AtomicU64 = AtomicU64::new(0);
 static SESSION_ACTIVE: AtomicBool = AtomicBool::new(false);
 /// The active session's shared state.
 static STATE: Mutex<Option<Arc<SessionState>>> = Mutex::new(None);
+/// Pending post-mortem dump requests: bit `t` set means trigger code `t`
+/// wants a dump. Drained by the collector (and by `finish`); set from
+/// any thread without blocking.
+// ordering: Relaxed — a request flag, not a publication channel; the
+// dump itself reads everything under the sink lock.
+static POSTMORTEM_REQUESTS: AtomicU64 = AtomicU64::new(0);
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -61,13 +78,21 @@ pub fn is_enabled() -> bool {
 struct SessionState {
     generation: u64,
     ring_capacity: usize,
+    sketch_capacity: usize,
     rings: Mutex<Vec<Arc<Ring>>>,
+    /// Per-thread conflict sketches, registered alongside the rings.
+    sketches: Mutex<Vec<Arc<Mutex<ConflictSketch>>>>,
+    /// Bitmask of trigger codes already auto-dumped this session (one
+    /// bundle per trigger kind per session; manual dumps are unlimited).
+    // ordering: Relaxed — dedup bookkeeping only.
+    dumped: AtomicU64,
 }
 
 struct LocalRing {
     generation: u64,
     tid: u16,
     ring: Arc<Ring>,
+    sketch: Arc<Mutex<ConflictSketch>>,
 }
 
 thread_local! {
@@ -87,6 +112,55 @@ pub fn emit(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
 
 #[cold]
 fn emit_slow(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
+    with_local(|l| {
+        let event = Event {
+            ts_ns: now_ns(),
+            kind,
+            code,
+            tid: l.tid,
+            a,
+            b,
+            c,
+        };
+        l.ring.push(event.encode());
+    });
+}
+
+/// Attributes one conflict to the `TVar` with lock address `addr` and the
+/// given abort-reason code, updating the calling thread's space-saving
+/// sketch. A no-op (one relaxed load) when no session is active. Called
+/// from abort paths only — takes the thread's own uncontended sketch
+/// mutex, never a shared lock.
+#[inline]
+pub fn note_conflict(addr: u64, reason: u8) {
+    if !is_enabled() {
+        return;
+    }
+    note_conflict_slow(addr, reason);
+}
+
+#[cold]
+fn note_conflict_slow(addr: u64, reason: u8) {
+    with_local(|l| l.sketch.lock().update(addr, reason));
+}
+
+/// Requests an automatic post-mortem dump for the given trigger code
+/// (one of `codes::ANOMALY_*`). Non-blocking and allocation-free: sets
+/// a bit the collector thread services on its next pass (or `finish`
+/// services at teardown). At most one bundle is written per trigger
+/// kind per session; requests without a configured `postmortem_dir` are
+/// counted by the Anomaly event but produce no bundle.
+pub fn request_postmortem(trigger: u8) {
+    if !is_enabled() {
+        return;
+    }
+    // ordering: Relaxed — see POSTMORTEM_REQUESTS.
+    POSTMORTEM_REQUESTS.fetch_or(1u64 << u64::from(trigger.min(63)), Ordering::Relaxed);
+}
+
+/// Runs `f` with the calling thread's registered local state,
+/// re-registering if the session generation moved.
+fn with_local(f: impl FnOnce(&LocalRing)) {
     let generation = GENERATION.load(Ordering::Acquire);
     LOCAL.with(|local| {
         let mut local = local.borrow_mut();
@@ -101,16 +175,7 @@ fn emit_slow(kind: EventKind, code: u8, a: u64, b: u64, c: u64) {
             *local = Some(registered);
         }
         if let Some(l) = local.as_ref() {
-            let event = Event {
-                ts_ns: now_ns(),
-                kind,
-                code,
-                tid: l.tid,
-                a,
-                b,
-                c,
-            };
-            l.ring.push(event.encode());
+            f(l);
         }
     });
 }
@@ -121,13 +186,17 @@ fn register_thread(generation: u64) -> Option<LocalRing> {
         return None;
     }
     let ring = Arc::new(Ring::new(state.ring_capacity));
+    let sketch = Arc::new(Mutex::new(ConflictSketch::new(state.sketch_capacity)));
     let mut rings = state.rings.lock();
     let tid = u16::try_from(rings.len()).unwrap_or(u16::MAX);
     rings.push(Arc::clone(&ring));
+    drop(rings);
+    state.sketches.lock().push(Arc::clone(&sketch));
     Some(LocalRing {
         generation,
         tid,
         ring,
+        sketch,
     })
 }
 
@@ -138,11 +207,37 @@ pub struct TraceConfig {
     /// two). The drop-oldest policy engages past this.
     pub ring_capacity: usize,
     /// Retain the full event log (needed for the JSONL and
-    /// `chrome://tracing` exporters). Histograms and the abort breakdown
-    /// are always accumulated regardless.
+    /// `chrome://tracing` exporters). Histograms, the abort breakdown
+    /// and the flight recorder are always accumulated regardless.
     pub keep_events: bool,
     /// How often the collector thread drains the rings.
     pub drain_period: Duration,
+    /// Per-thread conflict-sketch capacity `k` (overcount is bounded by
+    /// `conflicts / k`).
+    pub sketch_capacity: usize,
+    /// Contention-table size in reports, snapshots and bundles.
+    pub top_k: usize,
+    /// Flight-recorder retention window.
+    pub flight_window: Duration,
+    /// Flight-recorder hard event cap (drop-oldest past this).
+    pub flight_capacity: usize,
+    /// Where anomaly-triggered post-mortem bundles are written. `None`
+    /// disables auto-dumps (anomaly events are still recorded).
+    pub postmortem_dir: Option<PathBuf>,
+    /// Commit-latency p99 threshold for the collector's breach watchdog.
+    /// Checked per drain over the window since the last check, once the
+    /// window holds enough commits to make a p99 meaningful.
+    pub p99_threshold_ns: Option<u64>,
+    /// Cadence for automatic [`MetricsSnapshot`] capture. `None`
+    /// disables periodic snapshots ([`TraceSession::snapshot`] still
+    /// works on demand).
+    pub snapshot_period: Option<Duration>,
+    /// File the periodic snapshots are appended to as JSONL. `None`
+    /// captures (advancing interval baselines) without exporting.
+    pub snapshot_path: Option<PathBuf>,
+    /// Extra key/value pairs recorded in every bundle's manifest
+    /// (feature flags, seeds, workload parameters).
+    pub manifest: Vec<(String, String)>,
 }
 
 impl Default for TraceConfig {
@@ -151,9 +246,45 @@ impl Default for TraceConfig {
             ring_capacity: 1 << 14,
             keep_events: true,
             drain_period: Duration::from_millis(5),
+            sketch_capacity: 64,
+            top_k: 16,
+            flight_window: Duration::from_secs(5),
+            flight_capacity: 1 << 16,
+            postmortem_dir: None,
+            p99_threshold_ns: None,
+            snapshot_period: None,
+            snapshot_path: None,
+            manifest: Vec::new(),
         }
     }
 }
+
+impl TraceConfig {
+    fn sink_options(&self) -> SinkOptions {
+        SinkOptions {
+            keep_events: self.keep_events,
+            flight_window_ns: u64::try_from(self.flight_window.as_nanos()).unwrap_or(u64::MAX),
+            flight_capacity: self.flight_capacity,
+            top_k: self.top_k,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ring_capacity={} keep_events={} drain_period={:?} sketch_capacity={} top_k={} flight_window={:?} flight_capacity={}",
+            self.ring_capacity,
+            self.keep_events,
+            self.drain_period,
+            self.sketch_capacity,
+            self.top_k,
+            self.flight_window,
+            self.flight_capacity,
+        )
+    }
+}
+
+/// Minimum commits in a watchdog window before its p99 is trusted.
+const P99_WINDOW_MIN_COMMITS: u64 = 32;
 
 /// An active recording: installs the global recorder on `start`, drains
 /// continuously on a collector thread, and yields a [`TraceReport`] on
@@ -173,6 +304,7 @@ impl Default for TraceConfig {
 pub struct TraceSession {
     state: Arc<SessionState>,
     sink: Arc<Mutex<Sink>>,
+    cfg: TraceConfig,
     stop: Arc<AtomicBool>,
     collector: Option<rubic_sync::thread::JoinHandle<()>>,
 }
@@ -196,26 +328,33 @@ impl TraceSession {
         {
             rubic_sync::thread::sleep(Duration::from_millis(1));
         }
+        // A fresh session never inherits the previous one's requests.
+        POSTMORTEM_REQUESTS.store(0, Ordering::Relaxed);
         let generation = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
         let state = Arc::new(SessionState {
             generation,
             ring_capacity: cfg.ring_capacity,
+            sketch_capacity: cfg.sketch_capacity,
             rings: Mutex::new(Vec::new()),
+            sketches: Mutex::new(Vec::new()),
+            dumped: AtomicU64::new(0),
         });
         *STATE.lock() = Some(Arc::clone(&state));
-        let sink = Arc::new(Mutex::new(Sink::new(cfg.keep_events)));
+        let sink = Arc::new(Mutex::new(Sink::new(cfg.sink_options())));
         let stop = Arc::new(AtomicBool::new(false));
         let collector = {
             let state = Arc::clone(&state);
             let sink = Arc::clone(&sink);
             let stop = Arc::clone(&stop);
-            let period = cfg.drain_period;
+            let cfg = cfg.clone();
             rubic_sync::thread::Builder::new()
                 .name("rubic-trace-collector".into())
                 .spawn(move || {
+                    let mut last_snapshot = Instant::now();
                     while !stop.load(Ordering::Acquire) {
-                        rubic_sync::thread::sleep(period);
+                        rubic_sync::thread::sleep(cfg.drain_period);
                         drain_into(&state, &sink);
+                        housekeep(&state, &sink, &cfg, &mut last_snapshot);
                     }
                 })
                 .expect("failed to spawn trace collector")
@@ -224,21 +363,51 @@ impl TraceSession {
         TraceSession {
             state,
             sink,
+            cfg,
             stop,
             collector: Some(collector),
         }
     }
 
-    /// Stops recording, drains every ring a final time, and builds the
-    /// report.
+    /// Drains the rings and captures a point-in-time [`MetricsSnapshot`]
+    /// (advancing the interval baseline for throughput / abort-rate
+    /// deltas).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        drain_into(&self.state, &self.sink);
+        let merged = merged_sketch(&self.state);
+        let mut sink = self.sink.lock();
+        sink.dropped = total_dropped(&self.state);
+        sink.take_snapshot(&merged, now_ns())
+    }
+
+    /// Drains the rings and writes a post-mortem bundle under `dir` with
+    /// the given trigger tag, returning the bundle directory. Manual
+    /// dumps bypass the once-per-trigger dedup applied to automatic
+    /// ones.
+    ///
+    /// # Errors
+    /// Any filesystem error creating or writing the bundle.
+    pub fn dump_postmortem(&self, dir: &Path, trigger: &str) -> io::Result<PathBuf> {
+        drain_into(&self.state, &self.sink);
+        write_dump(&self.state, &self.sink, &self.cfg, dir, trigger)
+    }
+
+    /// Stops recording, drains every ring a final time, services pending
+    /// post-mortem requests, and builds the report.
     #[must_use]
     pub fn finish(mut self) -> TraceReport {
         self.teardown();
-        let mut sink = std::mem::replace(&mut *self.sink.lock(), Sink::new(false));
-        let rings = self.state.rings.lock();
-        sink.dropped = rings.iter().map(|r| r.dropped()).sum();
-        drop(rings);
-        sink.into_report()
+        let merged = merged_sketch(&self.state);
+        let mut sink = std::mem::replace(
+            &mut *self.sink.lock(),
+            Sink::new(SinkOptions {
+                keep_events: false,
+                ..SinkOptions::default()
+            }),
+        );
+        sink.dropped = total_dropped(&self.state);
+        sink.into_report(&merged)
     }
 
     fn teardown(&mut self) {
@@ -249,8 +418,11 @@ impl TraceSession {
             let _ = c.join();
         }
         // Final drain after every producer either finished its push or
-        // will bail on the ENABLED fast path.
+        // will bail on the ENABLED fast path; then service any requests
+        // the collector never got to see.
         drain_into(&self.state, &self.sink);
+        let mut last_snapshot = Instant::now();
+        housekeep(&self.state, &self.sink, &self.cfg, &mut last_snapshot);
         *STATE.lock() = None;
         SESSION_ACTIVE.store(false, Ordering::Release);
     }
@@ -278,6 +450,137 @@ fn drain_into(state: &SessionState, sink: &Mutex<Sink>) {
     }
 }
 
+/// Merges every registered per-thread sketch into one session sketch.
+fn merged_sketch(state: &SessionState) -> ConflictSketch {
+    let sketches: Vec<Arc<Mutex<ConflictSketch>>> = state.sketches.lock().clone();
+    let mut merged = ConflictSketch::new(state.sketch_capacity);
+    for s in sketches {
+        let s = s.lock();
+        if !s.is_empty() {
+            merged.merge(&s);
+        }
+    }
+    merged
+}
+
+fn total_dropped(state: &SessionState) -> u64 {
+    state.rings.lock().iter().map(|r| r.dropped()).sum()
+}
+
+/// Collector housekeeping after each drain: p99-breach watchdog,
+/// periodic snapshot export, pending post-mortem requests.
+fn housekeep(
+    state: &SessionState,
+    sink: &Mutex<Sink>,
+    cfg: &TraceConfig,
+    last_snapshot: &mut Instant,
+) {
+    if let Some(threshold) = cfg.p99_threshold_ns {
+        let mut s = sink.lock();
+        let window = s.take_commit_window();
+        if window.count() >= P99_WINDOW_MIN_COMMITS && window.p99() > threshold {
+            s.add(Event {
+                ts_ns: now_ns(),
+                kind: EventKind::Anomaly,
+                code: codes::ANOMALY_P99_BREACH,
+                tid: u16::MAX,
+                a: window.p99(),
+                b: threshold,
+                c: window.count(),
+            });
+            drop(s);
+            // ordering: Relaxed — see POSTMORTEM_REQUESTS.
+            POSTMORTEM_REQUESTS.fetch_or(
+                1u64 << u64::from(codes::ANOMALY_P99_BREACH),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    if let Some(period) = cfg.snapshot_period {
+        if last_snapshot.elapsed() >= period {
+            *last_snapshot = Instant::now();
+            let merged = merged_sketch(state);
+            let mut s = sink.lock();
+            s.dropped = total_dropped(state);
+            let snap = s.take_snapshot(&merged, now_ns());
+            drop(s);
+            if let Some(path) = &cfg.snapshot_path {
+                let mut line = snap.to_json_line();
+                line.push('\n');
+                if let Err(e) = append_to(path, &line) {
+                    eprintln!(
+                        "rubic-trace: snapshot export to {} failed: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    // ordering: Relaxed — see POSTMORTEM_REQUESTS.
+    let mask = POSTMORTEM_REQUESTS.swap(0, Ordering::Relaxed);
+    if mask == 0 {
+        return;
+    }
+    let Some(dir) = &cfg.postmortem_dir else {
+        return;
+    };
+    // ordering: Relaxed — dedup bookkeeping only.
+    let fresh = mask & !state.dumped.fetch_or(mask, Ordering::Relaxed);
+    for code in 0..64u8 {
+        if fresh & (1u64 << code) == 0 {
+            continue;
+        }
+        let trigger = codes::anomaly_name(code);
+        match write_dump(state, sink, cfg, dir, trigger) {
+            Ok(path) => eprintln!(
+                "rubic-trace: anomaly '{trigger}' dumped post-mortem to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("rubic-trace: post-mortem dump for '{trigger}' failed: {e}"),
+        }
+    }
+}
+
+fn append_to(path: &Path, data: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(data.as_bytes())
+}
+
+/// Freezes the session's current view and writes one bundle.
+fn write_dump(
+    state: &SessionState,
+    sink: &Mutex<Sink>,
+    cfg: &TraceConfig,
+    dir: &Path,
+    trigger: &str,
+) -> io::Result<PathBuf> {
+    let merged = merged_sketch(state);
+    let mut s = sink.lock();
+    s.dropped = total_dropped(state);
+    let snapshot = s.take_snapshot(&merged, now_ns());
+    let events = s.flight_events();
+    let contention = s.contention_table(&merged);
+    let input = BundleInput {
+        trigger,
+        events: &events,
+        commit_latency: s.commit_latency(),
+        abort_restart_latency: s.abort_restart_latency(),
+        lock_hold: s.lock_hold(),
+        contention: &contention,
+        snapshot: &snapshot,
+        manifest: &cfg.manifest,
+        config: cfg.describe(),
+        dropped: snapshot.dropped,
+    };
+    bundle::write_bundle(dir, &input)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +590,8 @@ mod tests {
     fn disabled_emit_is_a_no_op() {
         // No session: must not panic, must not register anything.
         emit(EventKind::TxnBegin, 0, 0, 0, 0);
+        note_conflict(0xAB, 0);
+        request_postmortem(codes::ANOMALY_MANUAL);
         assert!(!is_enabled());
     }
 
@@ -358,5 +663,126 @@ mod tests {
         let report = session.finish();
         assert!(report.events.is_empty());
         assert_eq!(report.commit_latency.count(), 1);
+    }
+
+    #[test]
+    fn conflicts_flow_from_threads_to_contention_table() {
+        let session = TraceSession::start(TraceConfig::default());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..50 {
+                        note_conflict(0xF00D, codes::ABORT_LOCK_BUSY);
+                    }
+                    note_conflict(0xFEED, codes::ABORT_READ_VALIDATION);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = session.finish();
+        assert!(!report.contention.is_empty());
+        let top = &report.contention[0];
+        assert_eq!(top.addr, 0xF00D);
+        assert!(top.count >= 150, "merge lost counts: {}", top.count);
+        assert_eq!(top.by_reason[codes::ABORT_LOCK_BUSY as usize], 150);
+    }
+
+    #[test]
+    fn snapshot_on_demand_sees_current_counts() {
+        let session = TraceSession::start(TraceConfig::default());
+        emit(EventKind::TxnCommit, 0, 1_000, 0, 1);
+        emit(EventKind::TxnAbort, codes::ABORT_LOCK_BUSY, 100, 0, 0xAB);
+        note_conflict(0xAB, codes::ABORT_LOCK_BUSY);
+        let snap = session.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.total_aborts(), 1);
+        assert_eq!(snap.top_conflicts.len(), 1);
+        assert_eq!(snap.top_conflicts[0].addr, 0xAB);
+        let _ = session.finish();
+    }
+
+    #[test]
+    fn requested_postmortem_dumps_once_per_trigger() {
+        let dir = std::env::temp_dir().join(format!("rubic-rec-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = TraceSession::start(TraceConfig {
+            postmortem_dir: Some(dir.clone()),
+            ..TraceConfig::default()
+        });
+        emit(EventKind::TxnAbort, codes::ABORT_LOCK_BUSY, 100, 0, 0xAB);
+        note_conflict(0xAB, codes::ABORT_LOCK_BUSY);
+        request_postmortem(codes::ANOMALY_ABORT_STORM);
+        request_postmortem(codes::ANOMALY_ABORT_STORM); // deduped
+        let report = session.finish();
+        let bundles: Vec<_> = std::fs::read_dir(&dir)
+            .expect("postmortem dir created")
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(bundles.len(), 1, "{bundles:?}");
+        let name = bundles[0]
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        assert!(name.contains("abort-storm"), "{name}");
+        let manifest = std::fs::read_to_string(bundles[0].join("manifest.json")).unwrap();
+        assert!(manifest.contains(bundle::BUNDLE_SCHEMA));
+        let contention = std::fs::read_to_string(bundles[0].join("contention.json")).unwrap();
+        assert!(contention.contains("\"addr\":171"), "{contention}");
+        assert_eq!(report.total_aborts(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_dump_and_periodic_snapshot_export() {
+        let base = std::env::temp_dir().join(format!("rubic-rec-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let snap_path = base.join("snapshots.jsonl");
+        let session = TraceSession::start(TraceConfig {
+            snapshot_period: Some(Duration::from_millis(10)),
+            snapshot_path: Some(snap_path.clone()),
+            ..TraceConfig::default()
+        });
+        emit(EventKind::TxnCommit, 0, 1_000, 0, 1);
+        rubic_sync::thread::sleep(Duration::from_millis(60));
+        let bundle_dir = session
+            .dump_postmortem(&base, "manual")
+            .expect("manual dump");
+        assert!(bundle_dir.join("snapshot.json").exists());
+        let _ = session.finish();
+        let snaps = std::fs::read_to_string(&snap_path).expect("snapshot file written");
+        assert!(snaps.lines().count() >= 1, "{snaps}");
+        assert!(snaps
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn p99_breach_watchdog_fires_anomaly() {
+        let dir = std::env::temp_dir().join(format!("rubic-rec-p99-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = TraceSession::start(TraceConfig {
+            p99_threshold_ns: Some(1_000),
+            postmortem_dir: Some(dir.clone()),
+            drain_period: Duration::from_millis(2),
+            ..TraceConfig::default()
+        });
+        for _ in 0..P99_WINDOW_MIN_COMMITS + 8 {
+            emit(EventKind::TxnCommit, 0, 50_000, 0, 1);
+        }
+        rubic_sync::thread::sleep(Duration::from_millis(40));
+        let report = session.finish();
+        assert!(
+            report.anomalies[codes::ANOMALY_P99_BREACH as usize] >= 1,
+            "watchdog never fired: {:?}",
+            report.anomalies
+        );
+        let bundles = std::fs::read_dir(&dir).map_or(0, std::iter::Iterator::count);
+        assert_eq!(bundles, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

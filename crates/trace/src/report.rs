@@ -1,15 +1,22 @@
-//! Aggregation of drained events and the two export formats.
+//! Aggregation of drained events and the export formats.
 //!
 //! The collector thread feeds decoded [`Event`]s into a [`Sink`], which
-//! accumulates the three latency histograms, the abort-reason breakdown
-//! and the parallelism-level timeline as events arrive (so
-//! histograms-only sessions never buffer the raw log). At session end
-//! the sink freezes into a [`TraceReport`], which can render itself as
-//! JSON-lines ([`TraceReport::to_jsonl`]) or as a `chrome://tracing`
-//! document ([`TraceReport::to_chrome_trace`]) loadable in Perfetto.
+//! accumulates the three latency histograms, the abort-reason breakdown,
+//! the parallelism-level timeline, per-TVar lock-hold aggregates and the
+//! bounded flight-recorder buffer as events arrive (so histograms-only
+//! sessions never buffer the full raw log). At session end the sink
+//! freezes into a [`TraceReport`], which can render itself as JSON-lines
+//! ([`TraceReport::to_jsonl`]) or as a `chrome://tracing` document
+//! ([`TraceReport::to_chrome_trace`]) loadable in Perfetto. Mid-session,
+//! the sink can also produce a point-in-time [`MetricsSnapshot`]
+//! (JSONL + Prometheus text exposition) without disturbing accumulation.
+
+use std::collections::{HashMap, VecDeque};
 
 use crate::event::{codes, Event, EventKind};
 use crate::hist::LogHistogram;
+use crate::labels;
+use crate::sketch::ConflictSketch;
 
 /// One applied parallelism-level change, taken from `LevelChange` events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,58 +31,349 @@ pub struct LevelSample {
     pub round: u64,
 }
 
+/// A 64-bucket power-of-two histogram: ~512 bytes per tracked address
+/// instead of a full [`LogHistogram`], at factor-of-two quantile
+/// accuracy — plenty for ranking contended variables.
+#[derive(Debug, Clone)]
+struct MiniHist {
+    counts: [u64; 64],
+    count: u64,
+    max: u64,
+}
+
+impl MiniHist {
+    fn new() -> MiniHist {
+        MiniHist {
+            counts: [0; 64],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        let bucket = if v == 0 { 0 } else { v.ilog2() as usize };
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// The lower bound of the bucket holding the `ceil(q·count)`-th
+    /// smallest recording (0 when empty).
+    fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if idx == 0 { 0 } else { 1u64 << idx };
+            }
+        }
+        self.max
+    }
+}
+
+/// Per-lock-address aggregates fed by `LockHold`, `SnapExtend` and
+/// `VersionPrune` events.
+#[derive(Debug, Clone)]
+struct AddrAggregate {
+    hold: MiniHist,
+    holds_commit: u64,
+    holds_abort: u64,
+    snap_extends: u64,
+    version_prunes: u64,
+}
+
+impl AddrAggregate {
+    fn new() -> AddrAggregate {
+        AddrAggregate {
+            hold: MiniHist::new(),
+            holds_commit: 0,
+            holds_abort: 0,
+            snap_extends: 0,
+            version_prunes: 0,
+        }
+    }
+}
+
+/// Caps the per-address aggregate map; addresses past the cap fold into
+/// [`Sink::addr_overflow`] instead of growing without bound.
+const MAX_TRACKED_ADDRS: usize = 1024;
+
+/// Sink construction knobs (a subset of `TraceConfig`).
+#[derive(Debug, Clone)]
+pub(crate) struct SinkOptions {
+    /// Retain the full event log for the exporters.
+    pub(crate) keep_events: bool,
+    /// Flight-recorder retention window in nanoseconds.
+    pub(crate) flight_window_ns: u64,
+    /// Flight-recorder hard event cap (drop-oldest past this).
+    pub(crate) flight_capacity: usize,
+    /// Contention-table size in reports and snapshots.
+    pub(crate) top_k: usize,
+}
+
+impl Default for SinkOptions {
+    fn default() -> Self {
+        SinkOptions {
+            keep_events: true,
+            flight_window_ns: 5_000_000_000,
+            flight_capacity: 1 << 16,
+            top_k: 16,
+        }
+    }
+}
+
+/// Interval baseline for snapshot throughput/abort-rate deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct SnapshotBaseline {
+    ts_ns: u64,
+    commits: u64,
+    aborts: u64,
+}
+
 /// Streaming accumulator the collector drains into.
 pub(crate) struct Sink {
-    keep_events: bool,
+    opts: SinkOptions,
     events: Vec<Event>,
+    /// Flight recorder: the last `flight_window_ns` of events (all
+    /// kinds), bounded by `flight_capacity`, kept even when
+    /// `keep_events` is off.
+    recent: VecDeque<Event>,
     commit_latency: LogHistogram,
+    /// Commit latencies since the last watchdog check (the p99-breach
+    /// detector's sliding window); reset by `take_commit_window`.
+    window_commit: LogHistogram,
     abort_restart_latency: LogHistogram,
     lock_hold: LogHistogram,
     abort_breakdown: [u64; codes::ABORT_REASONS],
     level_timeline: Vec<LevelSample>,
+    addr_stats: HashMap<u64, AddrAggregate>,
+    addr_overflow: u64,
+    snap_pins: u64,
+    snap_extends: u64,
+    snap_demotes: u64,
+    anomalies: [u64; codes::ANOMALY_NAMES.len()],
+    last_level: u32,
+    baseline: SnapshotBaseline,
     pub(crate) dropped: u64,
 }
 
 impl Sink {
-    pub(crate) fn new(keep_events: bool) -> Sink {
+    pub(crate) fn new(opts: SinkOptions) -> Sink {
         Sink {
-            keep_events,
+            opts,
             events: Vec::new(),
+            recent: VecDeque::new(),
             commit_latency: LogHistogram::new(),
+            window_commit: LogHistogram::new(),
             abort_restart_latency: LogHistogram::new(),
             lock_hold: LogHistogram::new(),
             abort_breakdown: [0; codes::ABORT_REASONS],
             level_timeline: Vec::new(),
+            addr_stats: HashMap::new(),
+            addr_overflow: 0,
+            snap_pins: 0,
+            snap_extends: 0,
+            snap_demotes: 0,
+            anomalies: [0; codes::ANOMALY_NAMES.len()],
+            last_level: 0,
+            baseline: SnapshotBaseline::default(),
             dropped: 0,
         }
     }
 
+    fn addr_entry(&mut self, addr: u64) -> Option<&mut AddrAggregate> {
+        if addr == 0 {
+            return None;
+        }
+        if self.addr_stats.len() >= MAX_TRACKED_ADDRS && !self.addr_stats.contains_key(&addr) {
+            self.addr_overflow += 1;
+            return None;
+        }
+        Some(
+            self.addr_stats
+                .entry(addr)
+                .or_insert_with(AddrAggregate::new),
+        )
+    }
+
     pub(crate) fn add(&mut self, event: Event) {
         match event.kind {
-            EventKind::TxnCommit => self.commit_latency.record(event.a),
+            EventKind::TxnCommit => {
+                self.commit_latency.record(event.a);
+                self.window_commit.record(event.a);
+            }
             EventKind::TxnRestart => self.abort_restart_latency.record(event.a),
-            EventKind::LockHold => self.lock_hold.record(event.a),
+            EventKind::LockHold => {
+                self.lock_hold.record(event.a);
+                let aborted = event.code == 1;
+                let (hold_ns, addr) = (event.a, event.b);
+                if let Some(agg) = self.addr_entry(addr) {
+                    agg.hold.record(hold_ns);
+                    if aborted {
+                        agg.holds_abort += 1;
+                    } else {
+                        agg.holds_commit += 1;
+                    }
+                }
+            }
             EventKind::TxnAbort => {
                 let idx = (event.code as usize).min(codes::ABORT_REASONS - 1);
                 self.abort_breakdown[idx] += 1;
             }
-            EventKind::LevelChange => self.level_timeline.push(LevelSample {
-                ts_ns: event.ts_ns,
-                old_level: event.a as u32,
-                new_level: event.b as u32,
-                round: event.c,
-            }),
+            EventKind::LevelChange => {
+                self.last_level = event.b as u32;
+                self.level_timeline.push(LevelSample {
+                    ts_ns: event.ts_ns,
+                    old_level: event.a as u32,
+                    new_level: event.b as u32,
+                    round: event.c,
+                });
+            }
+            EventKind::MonitorRound => self.last_level = (event.b >> 32) as u32,
+            EventKind::SnapPin => self.snap_pins += 1,
+            EventKind::SnapExtend => {
+                self.snap_extends += 1;
+                if let Some(agg) = self.addr_entry(event.c) {
+                    agg.snap_extends += 1;
+                }
+            }
+            EventKind::SnapDemote => self.snap_demotes += 1,
+            EventKind::VersionPrune => {
+                if let Some(agg) = self.addr_entry(event.a) {
+                    agg.version_prunes += 1;
+                }
+            }
+            EventKind::Anomaly => {
+                let idx = (event.code as usize).min(codes::ANOMALY_NAMES.len() - 1);
+                self.anomalies[idx] += 1;
+            }
             _ => {}
         }
-        if self.keep_events {
+        self.recent.push_back(event);
+        let horizon = event.ts_ns.saturating_sub(self.opts.flight_window_ns);
+        while self.recent.len() > self.opts.flight_capacity
+            || self.recent.front().is_some_and(|e| e.ts_ns < horizon)
+        {
+            self.recent.pop_front();
+        }
+        if self.opts.keep_events {
             self.events.push(event);
         }
     }
 
-    pub(crate) fn into_report(mut self) -> TraceReport {
+    /// The flight-recorder window, sorted by timestamp (rings drain per
+    /// thread, so raw arrival order interleaves).
+    pub(crate) fn flight_events(&self) -> Vec<Event> {
+        let mut evs: Vec<Event> = self.recent.iter().copied().collect();
+        evs.sort_by_key(|e| e.ts_ns);
+        evs
+    }
+
+    /// Swaps out the commit-latency window histogram for the p99-breach
+    /// watchdog (each check starts a fresh window).
+    pub(crate) fn take_commit_window(&mut self) -> LogHistogram {
+        std::mem::take(&mut self.window_commit)
+    }
+
+    /// Cumulative commit latency (bundle writer access).
+    pub(crate) fn commit_latency(&self) -> &LogHistogram {
+        &self.commit_latency
+    }
+
+    /// Cumulative abort→restart latency (bundle writer access).
+    pub(crate) fn abort_restart_latency(&self) -> &LogHistogram {
+        &self.abort_restart_latency
+    }
+
+    /// Cumulative lock-hold time (bundle writer access).
+    pub(crate) fn lock_hold(&self) -> &LogHistogram {
+        &self.lock_hold
+    }
+
+    /// Builds the top-K contention table by joining the merged conflict
+    /// sketch with the per-address lock-hold/snapshot aggregates and the
+    /// label registry.
+    pub(crate) fn contention_table(&self, merged: &ConflictSketch) -> Vec<ContentionEntry> {
+        merged
+            .top(self.opts.top_k)
+            .into_iter()
+            .map(|c| {
+                let agg = self.addr_stats.get(&c.addr);
+                ContentionEntry {
+                    addr: c.addr,
+                    label: labels::label(c.addr),
+                    count: c.count,
+                    err: c.err,
+                    by_reason: c.by_reason,
+                    lock_holds: agg.map_or(0, |a| a.holds_commit + a.holds_abort),
+                    hold_p50_ns: agg.map_or(0, |a| a.hold.value_at_quantile(0.50)),
+                    hold_p99_ns: agg.map_or(0, |a| a.hold.value_at_quantile(0.99)),
+                    snap_extends: agg.map_or(0, |a| a.snap_extends),
+                    version_prunes: agg.map_or(0, |a| a.version_prunes),
+                }
+            })
+            .collect()
+    }
+
+    /// Produces a point-in-time metrics snapshot and advances the
+    /// interval baseline (throughput/abort-rate are per-interval).
+    pub(crate) fn take_snapshot(
+        &mut self,
+        merged: &ConflictSketch,
+        now_ns: u64,
+    ) -> MetricsSnapshot {
+        let commits = self.commit_latency.count();
+        let aborts: u64 = self.abort_breakdown.iter().sum();
+        let interval_ns = now_ns.saturating_sub(self.baseline.ts_ns);
+        let interval_commits = commits - self.baseline.commits;
+        let interval_aborts = aborts - self.baseline.aborts;
+        let throughput = if interval_ns == 0 {
+            0.0
+        } else {
+            interval_commits as f64 * 1e9 / interval_ns as f64
+        };
+        let attempts = interval_commits + interval_aborts;
+        let abort_rate = if attempts == 0 {
+            0.0
+        } else {
+            interval_aborts as f64 / attempts as f64
+        };
+        self.baseline = SnapshotBaseline {
+            ts_ns: now_ns,
+            commits,
+            aborts,
+        };
+        MetricsSnapshot {
+            ts_ns: now_ns,
+            interval_ns,
+            commits,
+            interval_commits,
+            throughput,
+            aborts_by_reason: self.abort_breakdown,
+            interval_aborts,
+            abort_rate,
+            commit_p50_ns: self.commit_latency.p50(),
+            commit_p99_ns: self.commit_latency.p99(),
+            level: self.last_level,
+            snap: SnapStats {
+                pins: self.snap_pins,
+                extends: self.snap_extends,
+                demotes: self.snap_demotes,
+            },
+            top_conflicts: self.contention_table(merged),
+            dropped: self.dropped,
+        }
+    }
+
+    pub(crate) fn into_report(mut self, merged: &ConflictSketch) -> TraceReport {
         // Rings drain per thread, so interleave by timestamp for export.
         self.events.sort_by_key(|e| e.ts_ns);
         self.level_timeline.sort_by_key(|s| s.ts_ns);
+        let contention = self.contention_table(merged);
         TraceReport {
             events: self.events,
             commit_latency: self.commit_latency,
@@ -83,9 +381,68 @@ impl Sink {
             lock_hold: self.lock_hold,
             abort_breakdown: self.abort_breakdown,
             level_timeline: self.level_timeline,
+            contention,
+            snap: SnapStats {
+                pins: self.snap_pins,
+                extends: self.snap_extends,
+                demotes: self.snap_demotes,
+            },
+            anomalies: self.anomalies,
             dropped: self.dropped,
         }
     }
+}
+
+/// One row of the top-K contention table: a culprit `TVar` with its
+/// estimated conflict count, per-reason breakdown, and lock-hold /
+/// mvcc-pressure aggregates.
+#[derive(Debug, Clone)]
+pub struct ContentionEntry {
+    /// The `TVar`'s `lock_addr()` identity (matches `LockHold.b` and the
+    /// `LockLeakDetector` oracle's identity).
+    pub addr: u64,
+    /// User label registered via `TVar::labelled`, if any.
+    pub label: Option<String>,
+    /// Estimated conflicts attributed to this `TVar` (never undercounts;
+    /// overshoots by at most `err`).
+    pub count: u64,
+    /// Space-saving overestimate bound for `count`.
+    pub err: u64,
+    /// Conflicts by abort-reason code (index = `codes::ABORT_*`); sums
+    /// to `count - err`.
+    pub by_reason: [u64; codes::ABORT_REASONS],
+    /// Write-lock holds observed on this `TVar` (commit + abort releases).
+    pub lock_holds: u64,
+    /// Median write-lock hold time, nanoseconds (factor-2 buckets).
+    pub hold_p50_ns: u64,
+    /// 99th-percentile write-lock hold time, nanoseconds.
+    pub hold_p99_ns: u64,
+    /// Snapshot extensions forced by this `TVar`'s chain overflowing
+    /// (mvcc chain-overflow pressure).
+    pub snap_extends: u64,
+    /// Version-chain prune operations on this `TVar` (mvcc).
+    pub version_prunes: u64,
+}
+
+impl ContentionEntry {
+    /// `label` if registered, else the hex address.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{:#x}", self.addr))
+    }
+}
+
+/// Cumulative mvcc snapshot-protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapStats {
+    /// Snapshot timestamps pinned in the registry (`SnapPin`).
+    pub pins: u64,
+    /// In-place snapshot refreshes after chain overflow (`SnapExtend`).
+    pub extends: u64,
+    /// Falls back to the classic validated protocol (`SnapDemote`).
+    pub demotes: u64,
 }
 
 /// Everything a finished [`TraceSession`](crate::TraceSession) observed.
@@ -104,6 +461,13 @@ pub struct TraceReport {
     pub abort_breakdown: [u64; codes::ABORT_REASONS],
     /// Applied parallelism-level changes in timestamp order.
     pub level_timeline: Vec<LevelSample>,
+    /// Top-K contention table from the merged per-thread conflict
+    /// sketches, descending by estimated conflict count.
+    pub contention: Vec<ContentionEntry>,
+    /// Cumulative mvcc snapshot-protocol counters.
+    pub snap: SnapStats,
+    /// Anomaly-watchdog firings by kind (index = `codes::ANOMALY_*`).
+    pub anomalies: [u64; codes::ANOMALY_NAMES.len()],
     /// Events discarded by ring overflow (drop-oldest) across all
     /// threads. Histogram counts and the breakdown exclude these.
     pub dropped: u64,
@@ -139,28 +503,7 @@ impl TraceReport {
     /// decoded `label`.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::with_capacity(self.events.len() * 96);
-        for e in &self.events {
-            let _ = write!(
-                out,
-                "{{\"ts_ns\":{},\"kind\":\"{}\",\"code\":{},\"tid\":{},\"a\":{},\"b\":{},\"c\":{}",
-                e.ts_ns,
-                e.kind.name(),
-                e.code,
-                e.tid,
-                e.a,
-                e.b,
-                e.c
-            );
-            if let Some(label) = code_label(e) {
-                out.push_str(",\"label\":\"");
-                out.push_str(&escape_json(label));
-                out.push('"');
-            }
-            out.push_str("}\n");
-        }
-        out
+        events_to_jsonl(&self.events)
     }
 
     /// Renders a `chrome://tracing` JSON document (object form, µs
@@ -284,11 +627,252 @@ impl TraceReport {
                 );
             }
         }
+        if !self.contention.is_empty() {
+            let _ = writeln!(s, "contention (top {} culprits):", self.contention.len());
+            for c in &self.contention {
+                let _ = writeln!(
+                    s,
+                    "  {:<24} conflicts~{:<8} (±{}) holds={} p50={}ns p99={}ns",
+                    c.display_name(),
+                    c.count,
+                    c.err,
+                    c.lock_holds,
+                    c.hold_p50_ns,
+                    c.hold_p99_ns
+                );
+            }
+        }
+        if self.snap != SnapStats::default() {
+            let _ = writeln!(
+                s,
+                "mvcc snapshots: pins={} extends={} demotes={}",
+                self.snap.pins, self.snap.extends, self.snap.demotes
+            );
+        }
+        let fired: u64 = self.anomalies.iter().sum();
+        if fired > 0 {
+            let _ = writeln!(s, "anomalies fired: {fired}");
+            for (i, &n) in self.anomalies.iter().enumerate() {
+                if n > 0 {
+                    let _ = writeln!(s, "  {:<18} {n}", codes::ANOMALY_NAMES[i]);
+                }
+            }
+        }
         if self.dropped > 0 {
             let _ = writeln!(s, "dropped events (ring overflow): {}", self.dropped);
         }
         s
     }
+}
+
+/// A serializable point-in-time view of the session's metrics — the
+/// feed for dashboards and the future `rubic-serve` SLO loop. Produced
+/// by `TraceSession::snapshot()` on demand, or on the configured
+/// `snapshot_period` cadence by the collector.
+///
+/// Cumulative fields cover the whole session; `interval_*`,
+/// `throughput` and `abort_rate` cover the window since the previous
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Nanoseconds since the trace epoch at capture time.
+    pub ts_ns: u64,
+    /// Nanoseconds since the previous snapshot (or session start).
+    pub interval_ns: u64,
+    /// Cumulative committed transactions.
+    pub commits: u64,
+    /// Commits within this interval.
+    pub interval_commits: u64,
+    /// Interval commit throughput, transactions per second.
+    pub throughput: f64,
+    /// Cumulative abort counts by reason code.
+    pub aborts_by_reason: [u64; codes::ABORT_REASONS],
+    /// Aborts within this interval.
+    pub interval_aborts: u64,
+    /// Interval `aborts / (commits + aborts)`.
+    pub abort_rate: f64,
+    /// Cumulative commit-latency median, nanoseconds.
+    pub commit_p50_ns: u64,
+    /// Cumulative commit-latency 99th percentile, nanoseconds.
+    pub commit_p99_ns: u64,
+    /// Last applied parallelism level observed.
+    pub level: u32,
+    /// Cumulative mvcc snapshot counters.
+    pub snap: SnapStats,
+    /// Current top-K contention table.
+    pub top_conflicts: Vec<ContentionEntry>,
+    /// Cumulative ring-overflow drops.
+    pub dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total aborts across all reasons (cumulative).
+    #[must_use]
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_by_reason.iter().sum()
+    }
+
+    /// One JSON object on a single line (JSONL record).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"ts_ns\":{},\"interval_ns\":{},\"commits\":{},\"interval_commits\":{},\"throughput\":{},\"interval_aborts\":{},\"abort_rate\":{},\"commit_p50_ns\":{},\"commit_p99_ns\":{},\"level\":{},\"dropped\":{}",
+            self.ts_ns,
+            self.interval_ns,
+            self.commits,
+            self.interval_commits,
+            json_f64(self.throughput),
+            self.interval_aborts,
+            json_f64(self.abort_rate),
+            self.commit_p50_ns,
+            self.commit_p99_ns,
+            self.level,
+            self.dropped,
+        );
+        s.push_str(",\"aborts\":{");
+        let mut first = true;
+        for (i, &n) in self.aborts_by_reason.iter().enumerate() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{}\":{}", codes::ABORT_NAMES[i], n);
+        }
+        s.push('}');
+        let _ = write!(
+            s,
+            ",\"snap\":{{\"pins\":{},\"extends\":{},\"demotes\":{}}}",
+            self.snap.pins, self.snap.extends, self.snap.demotes
+        );
+        s.push_str(",\"top_conflicts\":[");
+        for (i, c) in self.top_conflicts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&contention_entry_json(c));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Prometheus-style text exposition (`# TYPE` lines + samples), the
+    /// scrape format the future `rubic-serve` SLO loop consumes.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        let _ = writeln!(s, "# TYPE rubic_commits_total counter");
+        let _ = writeln!(s, "rubic_commits_total {}", self.commits);
+        let _ = writeln!(s, "# TYPE rubic_aborts_total counter");
+        for (i, &n) in self.aborts_by_reason.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "rubic_aborts_total{{reason=\"{}\"}} {}",
+                codes::ABORT_NAMES[i],
+                n
+            );
+        }
+        let _ = writeln!(s, "# TYPE rubic_throughput_ops gauge");
+        let _ = writeln!(s, "rubic_throughput_ops {}", json_f64(self.throughput));
+        let _ = writeln!(s, "# TYPE rubic_abort_rate gauge");
+        let _ = writeln!(s, "rubic_abort_rate {}", json_f64(self.abort_rate));
+        let _ = writeln!(s, "# TYPE rubic_commit_latency_ns summary");
+        let _ = writeln!(
+            s,
+            "rubic_commit_latency_ns{{quantile=\"0.5\"}} {}",
+            self.commit_p50_ns
+        );
+        let _ = writeln!(
+            s,
+            "rubic_commit_latency_ns{{quantile=\"0.99\"}} {}",
+            self.commit_p99_ns
+        );
+        let _ = writeln!(s, "# TYPE rubic_level gauge");
+        let _ = writeln!(s, "rubic_level {}", self.level);
+        let _ = writeln!(s, "# TYPE rubic_snapshot_pins_total counter");
+        let _ = writeln!(s, "rubic_snapshot_pins_total {}", self.snap.pins);
+        let _ = writeln!(s, "# TYPE rubic_snapshot_extends_total counter");
+        let _ = writeln!(s, "rubic_snapshot_extends_total {}", self.snap.extends);
+        let _ = writeln!(s, "# TYPE rubic_snapshot_demotes_total counter");
+        let _ = writeln!(s, "rubic_snapshot_demotes_total {}", self.snap.demotes);
+        let _ = writeln!(s, "# TYPE rubic_conflicts_total counter");
+        for c in &self.top_conflicts {
+            let _ = writeln!(
+                s,
+                "rubic_conflicts_total{{tvar=\"{}\"}} {}",
+                escape_json(&c.display_name()),
+                c.count
+            );
+        }
+        let _ = writeln!(s, "# TYPE rubic_dropped_events_total counter");
+        let _ = writeln!(s, "rubic_dropped_events_total {}", self.dropped);
+        s
+    }
+}
+
+/// Renders one contention-table row as a JSON object (shared by the
+/// snapshot JSONL export and the post-mortem bundle).
+#[must_use]
+pub(crate) fn contention_entry_json(c: &ContentionEntry) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(256);
+    let _ = write!(s, "{{\"addr\":{},", c.addr);
+    match &c.label {
+        Some(l) => {
+            let _ = write!(s, "\"label\":\"{}\",", escape_json(l));
+        }
+        None => s.push_str("\"label\":null,"),
+    }
+    let _ = write!(
+        s,
+        "\"count\":{},\"err\":{},\"by_reason\":{{",
+        c.count, c.err
+    );
+    let mut first = true;
+    for (i, &n) in c.by_reason.iter().enumerate() {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\"{}\":{}", codes::ABORT_NAMES[i], n);
+    }
+    let _ = write!(
+        s,
+        "}},\"lock_holds\":{},\"hold_p50_ns\":{},\"hold_p99_ns\":{},\"snap_extends\":{},\"version_prunes\":{}}}",
+        c.lock_holds, c.hold_p50_ns, c.hold_p99_ns, c.snap_extends, c.version_prunes
+    );
+    s
+}
+
+/// Renders a slice of events as JSON-lines (shared by the report's full
+/// log export and the post-mortem bundle's flight-window export).
+#[must_use]
+pub(crate) fn events_to_jsonl(events: &[Event]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"ts_ns\":{},\"kind\":\"{}\",\"code\":{},\"tid\":{},\"a\":{},\"b\":{},\"c\":{}",
+            e.ts_ns,
+            e.kind.name(),
+            e.code,
+            e.tid,
+            e.a,
+            e.b,
+            e.c
+        );
+        if let Some(label) = code_label(e) {
+            out.push_str(",\"label\":\"");
+            out.push_str(&escape_json(label));
+            out.push('"');
+        }
+        out.push_str("}\n");
+    }
+    out
 }
 
 /// Human label for the code byte, where the kind gives it one.
@@ -297,18 +881,19 @@ fn code_label(e: &Event) -> Option<&'static str> {
         EventKind::TxnAbort => Some(codes::abort_name(e.code)),
         EventKind::Decision | EventKind::RubicState => Some(codes::phase_name(e.code)),
         EventKind::Chaos => Some(codes::chaos_point_name(e.code)),
+        EventKind::Anomaly => Some(codes::anomaly_name(e.code)),
         _ => None,
     }
 }
 
 /// Nanoseconds → microseconds with 3 decimals (chrome trace unit).
-fn us(ns: u64) -> String {
+pub(crate) fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
 /// A JSON-safe rendering of an `f64` (NaN/inf become 0, which JSON
 /// cannot represent).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -317,7 +902,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -353,7 +938,7 @@ mod tests {
     }
 
     fn sample_report() -> TraceReport {
-        let mut sink = Sink::new(true);
+        let mut sink = Sink::new(SinkOptions::default());
         sink.add(ev(EventKind::TxnBegin, 0, 10, 0, 0, 0));
         sink.add(ev(EventKind::TxnCommit, 0, 1_010, 1_000, (4 << 32) | 2, 1));
         sink.add(ev(
@@ -392,7 +977,10 @@ mod tests {
             0,
         ));
         sink.add(ev(EventKind::Chaos, 2, 5_000, 0, 0, 0));
-        sink.into_report()
+        let mut sketch = ConflictSketch::new(8);
+        sketch.update(0xBEEF, codes::ABORT_LOCK_BUSY);
+        sketch.update(0xBEEF, codes::ABORT_READ_VALIDATION);
+        sink.into_report(&sketch)
     }
 
     #[test]
@@ -476,5 +1064,137 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn contention_table_joins_sketch_and_lock_holds() {
+        let r = sample_report();
+        assert_eq!(r.contention.len(), 1);
+        let c = &r.contention[0];
+        assert_eq!(c.addr, 0xBEEF);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.by_reason[codes::ABORT_LOCK_BUSY as usize], 1);
+        // The LockHold event in the sample carried addr 0xBEEF.
+        assert_eq!(c.lock_holds, 1);
+        assert!(c.hold_p50_ns > 0);
+    }
+
+    #[test]
+    fn snapshot_counters_accumulate() {
+        let mut sink = Sink::new(SinkOptions::default());
+        sink.add(ev(EventKind::SnapPin, 0, 10, 7, 3, 0));
+        sink.add(ev(EventKind::SnapExtend, 0, 20, 7, 9, 0xCAFE));
+        sink.add(ev(EventKind::SnapDemote, 0, 30, 9, 0, 0));
+        sink.add(ev(EventKind::SnapDemote, 1, 40, 9, 0, 0xCAFE));
+        let r = sink.into_report(&ConflictSketch::new(4));
+        assert_eq!(
+            r.snap,
+            SnapStats {
+                pins: 1,
+                extends: 1,
+                demotes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn flight_recorder_evicts_outside_window_and_capacity() {
+        let mut sink = Sink::new(SinkOptions {
+            keep_events: false,
+            flight_window_ns: 1_000,
+            flight_capacity: 4,
+            top_k: 4,
+        });
+        for ts in [0u64, 100, 200, 5_000] {
+            sink.add(ev(EventKind::TxnBegin, 0, ts, 0, 0, 0));
+        }
+        // ts 5_000 pushed the 0/100/200 events past the 1 µs window.
+        let evs = sink.flight_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].ts_ns, 5_000);
+        for ts in [5_001u64, 5_002, 5_003, 5_004, 5_005] {
+            sink.add(ev(EventKind::TxnBegin, 0, ts, 0, 0, 0));
+        }
+        // Capacity 4 caps the buffer even inside the window.
+        assert_eq!(sink.flight_events().len(), 4);
+    }
+
+    #[test]
+    fn metrics_snapshot_intervals_and_exports() {
+        let mut sink = Sink::new(SinkOptions::default());
+        for i in 0..10u64 {
+            sink.add(ev(EventKind::TxnCommit, 0, 100 * i, 1_000, 0, 1));
+        }
+        sink.add(ev(
+            EventKind::TxnAbort,
+            codes::ABORT_LOCK_BUSY,
+            950,
+            10,
+            0,
+            0,
+        ));
+        sink.add(ev(EventKind::LevelChange, 0, 960, 2, 4, 1));
+        let mut sketch = ConflictSketch::new(4);
+        sketch.update(0xAB, codes::ABORT_LOCK_BUSY);
+        let snap = sink.take_snapshot(&sketch, 1_000_000_000);
+        assert_eq!(snap.commits, 10);
+        assert_eq!(snap.interval_commits, 10);
+        assert!((snap.throughput - 10.0).abs() < 1e-9, "{}", snap.throughput);
+        assert_eq!(snap.total_aborts(), 1);
+        assert_eq!(snap.level, 4);
+        assert_eq!(snap.top_conflicts.len(), 1);
+
+        // Second snapshot: interval counters reset, cumulative persist.
+        sink.add(ev(EventKind::TxnCommit, 0, 2_000, 500, 0, 1));
+        let snap2 = sink.take_snapshot(&sketch, 2_000_000_000);
+        assert_eq!(snap2.commits, 11);
+        assert_eq!(snap2.interval_commits, 1);
+        assert!((snap2.throughput - 1.0).abs() < 1e-9);
+
+        let line = snap.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains("\"lock-busy\":1"));
+        assert!(line.contains("\"top_conflicts\":[{\"addr\":171,"));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("rubic_commits_total 10"));
+        assert!(prom.contains("rubic_aborts_total{reason=\"lock-busy\"} 1"));
+        assert!(prom.contains("rubic_level 4"));
+        assert!(prom.contains("rubic_conflicts_total{tvar=\"0xab\"} 1"));
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# TYPE rubic_") || line.starts_with("rubic_"),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_window_resets_on_take() {
+        let mut sink = Sink::new(SinkOptions::default());
+        sink.add(ev(EventKind::TxnCommit, 0, 10, 5_000, 0, 1));
+        let w = sink.take_commit_window();
+        assert_eq!(w.count(), 1);
+        assert_eq!(sink.take_commit_window().count(), 0);
+        // Cumulative histogram unaffected.
+        assert_eq!(sink.commit_latency.count(), 1);
+    }
+
+    #[test]
+    fn anomaly_events_counted() {
+        let mut sink = Sink::new(SinkOptions::default());
+        sink.add(ev(
+            EventKind::Anomaly,
+            codes::ANOMALY_ABORT_STORM,
+            10,
+            5,
+            100,
+            1,
+        ));
+        let r = sink.into_report(&ConflictSketch::new(4));
+        assert_eq!(r.anomalies[codes::ANOMALY_ABORT_STORM as usize], 1);
+        assert!(r.summary().contains("abort-storm"));
     }
 }

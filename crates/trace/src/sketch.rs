@@ -1,0 +1,302 @@
+//! Fixed-size space-saving (heavy-hitter) sketches for conflict
+//! attribution.
+//!
+//! Every abort carries a culprit `TVar` identity (its lock address). The
+//! recorder keeps one [`ConflictSketch`] per producer thread and updates
+//! it at abort time — a linear scan over at most `capacity` entries, no
+//! allocation, no hashing — then the collector merges the per-thread
+//! sketches into the session's top-K contention table.
+//!
+//! The sketch is the classic *space-saving* summary (Metwally et al.):
+//! at most `capacity` `(key, count, err)` entries; an update to a
+//! missing key when full evicts the minimum-count entry and inherits its
+//! count as the new entry's overestimate `err`. Guarantees, with `N` =
+//! total updates and `k` = capacity:
+//!
+//! - **No undercount:** for a tracked key, `count >= true`.
+//! - **Bounded overcount:** `count - true <= err <= N / k`.
+//! - **Heavy hitters tracked:** any key with true count `> N / k` is in
+//!   the sketch.
+//! - **Merge keeps heavy hitters:** after [`merge`](ConflictSketch::merge)
+//!   (which compensates keys absent from one side by the other side's
+//!   minimum count, then keeps the top `k`), any key whose true combined
+//!   count exceeds `2 N / k` is still present, and the overcount bound
+//!   `err <= N / k` still holds. Both bounds are pinned by property
+//!   tests against an exact oracle.
+//!
+//! Each entry also carries per-[`AbortReason`] sub-counts for the hits
+//! observed *while the entry was resident* (`by_reason` sums to
+//! `count - err`), which is what the contention table reports as the
+//! per-reason breakdown.
+//!
+//! [`AbortReason`]: crate::codes::ABORT_NAMES
+
+use crate::event::codes;
+
+/// One tracked culprit: a `TVar` lock address with its estimated conflict
+/// count, overestimate bound, and per-abort-reason breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CulpritEntry {
+    /// The culprit `TVar`'s `lock_addr()` identity (the same identity
+    /// `LockHold` events carry in their `b` word).
+    pub addr: u64,
+    /// Estimated conflict count (never an undercount).
+    pub count: u64,
+    /// Overestimate bound: `count - err <= true count <= count`.
+    pub err: u64,
+    /// Conflicts by abort-reason code observed while this entry was
+    /// resident; sums to `count - err`.
+    pub by_reason: [u64; codes::ABORT_REASONS],
+}
+
+impl CulpritEntry {
+    fn new(addr: u64, reason: u8, inherited: u64) -> CulpritEntry {
+        let mut by_reason = [0u64; codes::ABORT_REASONS];
+        by_reason[(reason as usize).min(codes::ABORT_REASONS - 1)] = 1;
+        CulpritEntry {
+            addr,
+            count: inherited + 1,
+            err: inherited,
+            by_reason,
+        }
+    }
+}
+
+/// A fixed-capacity space-saving sketch over `TVar` lock addresses.
+#[derive(Debug, Clone)]
+pub struct ConflictSketch {
+    /// At most `capacity` entries; order is insertion-driven, not sorted.
+    entries: Vec<CulpritEntry>,
+    capacity: usize,
+    total: u64,
+}
+
+impl ConflictSketch {
+    /// An empty sketch tracking at most `capacity` culprits (clamped to
+    /// at least 1). All entry storage is allocated up front so updates
+    /// never allocate.
+    #[must_use]
+    pub fn new(capacity: usize) -> ConflictSketch {
+        let capacity = capacity.max(1);
+        ConflictSketch {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Total updates this sketch has absorbed (including merged ones).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Configured capacity `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one conflict attributed to `addr` with the given
+    /// abort-reason code. Allocation-free; O(capacity) linear scan.
+    pub fn update(&mut self, addr: u64, reason: u8) {
+        self.total += 1;
+        let reason_idx = (reason as usize).min(codes::ABORT_REASONS - 1);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            e.count += 1;
+            e.by_reason[reason_idx] += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(CulpritEntry::new(addr, reason, 0));
+            return;
+        }
+        // Full and missing: evict the minimum-count entry, inheriting
+        // its count as the newcomer's overestimate (space-saving step).
+        // `capacity >= 1` (clamped in `new`), so the scan always finds
+        // a minimum.
+        if let Some((min_idx, inherited)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(i, e)| (i, e.count))
+        {
+            self.entries[min_idx] = CulpritEntry::new(addr, reason, inherited);
+        }
+    }
+
+    /// The estimated count for `addr` (0 when untracked — only possible
+    /// for keys whose true count is at most `total / capacity`).
+    #[must_use]
+    pub fn estimate(&self, addr: u64) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr)
+            .map_or(0, |e| e.count)
+    }
+
+    /// The minimum tracked count when full, else 0 — the upper bound on
+    /// any untracked key's true count.
+    fn min_count(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            self.entries.iter().map(|e| e.count).min().unwrap_or(0)
+        }
+    }
+
+    /// Folds `other` into this sketch (collector-side; may allocate).
+    ///
+    /// Keys present in both sides sum their counts, errors, and reason
+    /// breakdowns. A key present on only one side gets the other side's
+    /// [`min_count`](Self::min_count) added to both its count and its
+    /// error (the tightest upper bound on what the other side may have
+    /// seen of it). If the union exceeds capacity, only the top
+    /// `capacity` entries by count survive.
+    pub fn merge(&mut self, other: &ConflictSketch) {
+        let min_self = self.min_count();
+        let min_other = other.min_count();
+        // Compensate survivors on this side for what `other` may have
+        // silently absorbed of them.
+        for e in &mut self.entries {
+            if !other.entries.iter().any(|o| o.addr == e.addr) {
+                e.count += min_other;
+                e.err += min_other;
+            }
+        }
+        for o in &other.entries {
+            if let Some(e) = self.entries.iter_mut().find(|e| e.addr == o.addr) {
+                e.count += o.count;
+                e.err += o.err;
+                for (a, b) in e.by_reason.iter_mut().zip(o.by_reason.iter()) {
+                    *a += b;
+                }
+            } else {
+                let mut e = o.clone();
+                e.count += min_self;
+                e.err += min_self;
+                self.entries.push(e);
+            }
+        }
+        self.total += other.total;
+        if self.entries.len() > self.capacity {
+            self.entries.sort_by_key(|e| std::cmp::Reverse(e.count));
+            self.entries.truncate(self.capacity);
+        }
+    }
+
+    /// The top `k` entries by estimated count, descending (ties broken
+    /// by address for determinism).
+    #[must_use]
+    pub fn top(&self, k: usize) -> Vec<CulpritEntry> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| b.count.cmp(&a.count).then(a.addr.cmp(&b.addr)));
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// True when no update has ever been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = ConflictSketch::new(8);
+        for _ in 0..5 {
+            s.update(0xA, 1);
+        }
+        for _ in 0..3 {
+            s.update(0xB, 0);
+        }
+        assert_eq!(s.estimate(0xA), 5);
+        assert_eq!(s.estimate(0xB), 3);
+        assert_eq!(s.total(), 8);
+        let top = s.top(2);
+        assert_eq!(top[0].addr, 0xA);
+        assert_eq!(top[0].err, 0);
+        assert_eq!(top[0].by_reason[1], 5);
+        assert_eq!(top[1].by_reason[0], 3);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut s = ConflictSketch::new(2);
+        s.update(1, 0);
+        s.update(1, 0);
+        s.update(2, 0); // full: {1: 2, 2: 1}
+        s.update(3, 0); // evicts 2 (min=1): {1: 2, 3: 2 (err 1)}
+        assert_eq!(s.estimate(2), 0);
+        assert_eq!(s.estimate(3), 2);
+        let three = s.top(2).into_iter().find(|e| e.addr == 3).unwrap();
+        assert_eq!(three.err, 1);
+        // by_reason sums to count - err.
+        assert_eq!(three.by_reason.iter().sum::<u64>(), three.count - three.err);
+    }
+
+    #[test]
+    fn heavy_hitter_never_untracked() {
+        // One key gets half of 1000 updates into a 10-slot sketch amid
+        // 100 rotating decoys: true(hot) = 500 > N/k = 100 ⇒ tracked,
+        // with overshoot at most N/k.
+        let mut s = ConflictSketch::new(10);
+        let mut n = 0u64;
+        for i in 0..1000u64 {
+            if i % 2 == 0 {
+                s.update(0xB00F, 1);
+            } else {
+                s.update(100 + (i % 100), 0);
+            }
+            n += 1;
+        }
+        let est = s.estimate(0xB00F);
+        assert!(est >= 500, "undercount: {est}");
+        assert!(est <= 500 + n / 10, "overshoot past N/k: {est}");
+    }
+
+    #[test]
+    fn merge_sums_common_keys_and_totals() {
+        let mut a = ConflictSketch::new(4);
+        let mut b = ConflictSketch::new(4);
+        for _ in 0..6 {
+            a.update(1, 0);
+        }
+        for _ in 0..4 {
+            b.update(1, 2);
+        }
+        b.update(2, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 11);
+        assert_eq!(a.estimate(1), 10);
+        assert_eq!(a.estimate(2), 1);
+        let one = a.top(1).remove(0);
+        assert_eq!(one.by_reason[0], 6);
+        assert_eq!(one.by_reason[2], 4);
+    }
+
+    #[test]
+    fn merge_compensates_one_sided_keys() {
+        // Both sketches full: a key present only in `a` must absorb
+        // `b`'s min count as extra err (b may have seen and evicted it).
+        let mut a = ConflictSketch::new(2);
+        let mut b = ConflictSketch::new(2);
+        a.update(1, 0);
+        a.update(2, 0);
+        for _ in 0..3 {
+            b.update(3, 0);
+        }
+        b.update(4, 0); // b full, min_count = 1
+        a.merge(&b);
+        let est1 = a.estimate(1);
+        // Key 1 kept or evicted by the top-k cut; if kept its estimate
+        // grew by b's min count.
+        assert!(est1 == 0 || est1 == 2, "estimate(1) = {est1}");
+    }
+}

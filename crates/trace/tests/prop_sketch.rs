@@ -1,0 +1,125 @@
+//! Property tests pinning the space-saving sketch's guarantees against
+//! an exact-count oracle: per-key estimate bounds, heavy-hitter
+//! retention, the per-reason breakdown invariant, and the merge bounds
+//! the module documentation promises (`crates/trace/src/sketch.rs`).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rubic_trace::ConflictSketch;
+
+/// Exact per-key counts for an update stream.
+fn exact(stream: &[(u64, u8)]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &(addr, _) in stream {
+        *m.entry(addr).or_insert(0u64) += 1;
+    }
+    m
+}
+
+fn stream(keys: u64, len: usize) -> impl Strategy<Value = Vec<(u64, u8)>> {
+    proptest::collection::vec((0..keys, 0u8..6), 0..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Space-saving bounds vs the exact oracle: tracked keys never
+    /// undercount and overshoot by at most `N/k`; a key missing from
+    /// the sketch has true count at most `N/k`; every entry's
+    /// per-reason breakdown sums to `count - err` with `err <= N/k`.
+    #[test]
+    fn estimates_bound_true_counts(
+        updates in stream(24, 400),
+        cap in 1usize..12,
+    ) {
+        let mut s = ConflictSketch::new(cap);
+        for &(addr, reason) in &updates {
+            s.update(addr, reason);
+        }
+        let truth = exact(&updates);
+        let n = updates.len() as u64;
+        prop_assert_eq!(s.total(), n);
+        let bound = n / cap as u64;
+        for (&addr, &t) in &truth {
+            let est = s.estimate(addr);
+            if est > 0 {
+                prop_assert!(est >= t, "undercount: {} < {} for {:#x}", est, t, addr);
+                prop_assert!(est - t <= bound, "overshoot {} > N/k = {}", est - t, bound);
+            } else {
+                prop_assert!(t <= bound, "heavy hitter {:#x} (true {}) untracked", addr, t);
+            }
+        }
+        for e in s.top(cap) {
+            prop_assert_eq!(e.by_reason.iter().sum::<u64>(), e.count - e.err);
+            prop_assert!(e.err <= bound);
+        }
+    }
+
+    /// Merging two per-thread sketches keeps every key whose true
+    /// combined count exceeds `2N/k`, without undercounting it, and
+    /// totals add up.
+    #[test]
+    fn merge_never_drops_a_true_heavy_hitter(
+        left in stream(16, 300),
+        right in stream(16, 300),
+        cap in 2usize..10,
+    ) {
+        let mut a = ConflictSketch::new(cap);
+        for &(addr, reason) in &left {
+            a.update(addr, reason);
+        }
+        let mut b = ConflictSketch::new(cap);
+        for &(addr, reason) in &right {
+            b.update(addr, reason);
+        }
+        a.merge(&b);
+
+        let n = (left.len() + right.len()) as u64;
+        prop_assert_eq!(a.total(), n);
+        let mut truth = exact(&left);
+        for (addr, t) in exact(&right) {
+            *truth.entry(addr).or_insert(0) += t;
+        }
+        let threshold = 2 * n / cap as u64;
+        for (&addr, &t) in &truth {
+            if t > threshold {
+                let est = a.estimate(addr);
+                prop_assert!(
+                    est >= t,
+                    "combined heavy hitter {:#x} (true {}) dropped or undercounted to {}",
+                    addr, t, est
+                );
+            }
+        }
+        // The no-undercount property survives the merge for every key
+        // still tracked.
+        for e in a.top(cap) {
+            let t = truth.get(&e.addr).copied().unwrap_or(0);
+            prop_assert!(e.count >= t);
+            prop_assert_eq!(e.by_reason.iter().sum::<u64>(), e.count - e.err);
+        }
+    }
+
+    /// Merging an empty sketch is the identity, both ways.
+    #[test]
+    fn merge_with_empty_is_identity(
+        updates in stream(12, 200),
+        cap in 1usize..8,
+    ) {
+        let mut s = ConflictSketch::new(cap);
+        for &(addr, reason) in &updates {
+            s.update(addr, reason);
+        }
+        let before = s.top(cap);
+
+        let mut merged = s.clone();
+        merged.merge(&ConflictSketch::new(cap));
+        prop_assert_eq!(&merged.top(cap), &before);
+
+        let mut empty = ConflictSketch::new(cap);
+        empty.merge(&s);
+        prop_assert_eq!(&empty.top(cap), &before);
+        prop_assert_eq!(empty.total(), s.total());
+    }
+}

@@ -8,7 +8,10 @@
 //!
 //! Run with `cargo run --release --features trace --example trace_report`.
 //! Pass `--smoke` (or set `TRACE_REPORT_SMOKE=1`) for a ~1 s run, as CI
-//! does.
+//! does. Pass `--storm [DIR]` (needs `--features trace,chaos`) to
+//! instead inject an abort storm and validate the anomaly-triggered
+//! post-mortem bundle end-to-end; the process exits non-zero if the
+//! bundle is missing, unparsable, or fails to name the culprit TVar.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,7 +21,16 @@ use rubic::stm::AbortReason;
 use rubic::trace::{TraceConfig, TraceSession};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--storm") {
+        let dir = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or_else(|| "trace_storm_out".to_string(), Clone::clone);
+        storm_postmortem(std::path::Path::new(&dir));
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke")
         || std::env::var("TRACE_REPORT_SMOKE").is_ok_and(|v| v != "0");
     let run_for = if smoke {
         Duration::from_millis(1_000)
@@ -128,4 +140,156 @@ fn main() {
         chrome.len()
     );
     println!("open trace_report.chrome.json at https://ui.perfetto.dev or chrome://tracing");
+}
+
+/// `--storm DIR`: inject an abort storm on one labelled `TVar`, raise
+/// the abort-storm anomaly (the same request the runtime's stall
+/// watchdog issues), and validate the auto-dumped post-mortem bundle —
+/// every file present, JSON structurally sound, and the contention
+/// table naming the deliberately contended variable as top culprit.
+/// Any failed check panics, so CI can gate on the exit status.
+#[cfg(feature = "chaos")]
+fn storm_postmortem(dir: &std::path::Path) {
+    use rubic::stm::chaos::{install, SeededChaos};
+    use rubic::trace::codes;
+
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create storm output dir");
+
+    let stm = Stm::default();
+    let hot = TVar::labelled(0u64, "storm-cell");
+    let before = stm.stats().snapshot();
+
+    let session = TraceSession::start(TraceConfig {
+        postmortem_dir: Some(dir.to_path_buf()),
+        drain_period: Duration::from_millis(2),
+        manifest: vec![("mode".into(), "storm-smoke".into())],
+        ..TraceConfig::default()
+    });
+
+    // Injected one-in-3 kills guarantee a storm even on a single-CPU
+    // runner that serialises the threads; the four threads add real
+    // lock-busy and validation conflicts on top.
+    println!("injecting abort storm on \"storm-cell\" (4 threads x 300 increments) ...");
+    let hook = Arc::new(SeededChaos::with_abort_one_in(0x57_0431, 3));
+    {
+        let _chaos = install(hook);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..300u32 {
+                        stm.atomically(|tx| tx.modify(&hot, |x| x + 1));
+                    }
+                });
+            }
+        });
+    }
+    rubic::trace::request_postmortem(codes::ANOMALY_ABORT_STORM);
+    std::thread::sleep(Duration::from_millis(50));
+    let report = session.finish();
+    let delta = stm.stats().snapshot().delta_since(&before);
+
+    assert_eq!(hot.snapshot(), 4 * 300, "every increment must commit");
+    assert!(delta.aborts > 0, "one-in-3 kills must abort some attempts");
+
+    // Exactly one bundle, named after the trigger.
+    let mut bundles: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("read storm output dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("postmortem-"))
+        })
+        .collect();
+    bundles.sort();
+    assert_eq!(
+        bundles.len(),
+        1,
+        "exactly one auto-dumped bundle: {bundles:?}"
+    );
+    let bundle = &bundles[0];
+    assert!(
+        bundle
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains("abort-storm")),
+        "trigger name in {}",
+        bundle.display()
+    );
+
+    // Every file of the schema present and structurally valid JSON.
+    let read = |name: &str| {
+        let path = bundle.join(name);
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+    let balanced = |text: &str, name: &str| {
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in {name}"
+        );
+        assert_eq!(
+            text.matches('[').count(),
+            text.matches(']').count(),
+            "unbalanced brackets in {name}"
+        );
+    };
+    let manifest = read("manifest.json");
+    assert!(
+        manifest.contains(rubic::trace::BUNDLE_SCHEMA),
+        "schema tag missing"
+    );
+    assert!(
+        manifest.contains("abort-storm"),
+        "trigger missing from manifest"
+    );
+    assert!(
+        manifest.contains("storm-smoke"),
+        "config manifest extras missing"
+    );
+    balanced(&manifest, "manifest.json");
+    for name in ["histograms.json", "contention.json", "snapshot.json"] {
+        balanced(&read(name), name);
+    }
+    for name in ["events.jsonl", "decisions.jsonl"] {
+        for line in read(name).lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "malformed {name} line: {line}"
+            );
+        }
+    }
+
+    // The culprit: top of the contention table, by identity and label,
+    // in both the in-memory report and the dumped bundle.
+    let top = report
+        .contention
+        .first()
+        .expect("aborts happened, so the contention table cannot be empty");
+    assert_eq!(top.addr, hot.lock_addr() as u64, "top culprit identity");
+    assert_eq!(
+        top.label.as_deref(),
+        Some("storm-cell"),
+        "top culprit label"
+    );
+    assert!(
+        read("contention.json").contains("storm-cell"),
+        "culprit not in bundle"
+    );
+
+    println!(
+        "storm post-mortem OK: {} names culprit \"storm-cell\" ({} of {} aborts attributed)",
+        bundle.display(),
+        top.count,
+        delta.aborts
+    );
+}
+
+#[cfg(not(feature = "chaos"))]
+fn storm_postmortem(_dir: &std::path::Path) {
+    eprintln!("--storm needs fault injection: rebuild with --features trace,chaos");
+    std::process::exit(2);
 }

@@ -118,6 +118,115 @@ fn abort_reason_codes_match_the_trace_tables() {
     }
 }
 
+/// The `LockLeakDetector` oracle and the contention table must agree on
+/// TVar identity: the oracle's probe address, `TVar::lock_addr`, and
+/// the top-K table's `addr` are all the same word, so a leak found at
+/// quiescence can be joined against the conflict attribution of the
+/// same session.
+#[test]
+fn lock_leak_and_contention_table_share_tvar_identity() {
+    let _serial = serial();
+    let stm = Stm::default();
+    let hot = TVar::labelled(0u64, "hot-cell");
+    let mut det = rubic_suite::oracles::LockLeakDetector::new();
+    det.watch("hot", &hot);
+
+    // Capture the oracle's identity for the variable by leaking its
+    // lock for a moment with an unmanaged transaction.
+    let mut blocker = rubic_stm::Transaction::begin_unmanaged();
+    blocker.write(&hot, 1).unwrap();
+    let leaked = det.leaked();
+    blocker.abort_unmanaged();
+    assert_eq!(leaked.len(), 1);
+    let oracle_addr = leaked[0].lock_addr;
+    assert_eq!(oracle_addr, hot.lock_addr());
+
+    // Storm the one cell from several threads so real conflicts get
+    // attributed to it.
+    let before = stm.stats().snapshot();
+    let session = TraceSession::start(TraceConfig::default());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..300 {
+                    stm.atomically(|tx| tx.modify(&hot, |x| x + 1));
+                }
+            });
+        }
+    });
+    let report = session.finish();
+    let delta = stm.stats().snapshot().delta_since(&before);
+    // The blocker's buffered write was aborted, never published.
+    assert_eq!(hot.snapshot(), 4 * 300, "all increments committed");
+    det.check().unwrap();
+    if delta.aborts == 0 {
+        // No conflict materialised (e.g. a single-CPU runner serialised
+        // the threads) — nothing to attribute, nothing to cross-check.
+        return;
+    }
+
+    let entry = report
+        .contention
+        .iter()
+        .find(|e| e.addr == oracle_addr as u64)
+        .expect("the contended TVar must appear in the contention table");
+    assert_eq!(entry.label.as_deref(), Some("hot-cell"));
+    assert!(entry.count > 0);
+    // Attributed per-reason counts can never exceed the STM's own
+    // always-on totals for the whole run.
+    for (code, &attributed) in entry.by_reason.iter().enumerate() {
+        assert!(
+            attributed <= delta.abort_reasons[code],
+            "{}: attributed {attributed} > stm total {}",
+            codes::abort_name(code as u8),
+            delta.abort_reasons[code],
+        );
+    }
+}
+
+#[cfg(feature = "mvcc")]
+mod mvcc_snapshot {
+    use super::*;
+
+    /// An mvcc read-only run must emit the snapshot-path events: a
+    /// `SnapPin` per pinned snapshot and a `SnapDemote` when the body
+    /// turns out to write, with the always-on demotion counter agreeing.
+    #[test]
+    fn snapshot_path_emits_pin_and_demote_events() {
+        let _serial = serial();
+        let stm = Stm::builder().mvcc(true).build();
+        let v = TVar::new(1u64);
+        let demotions_before = stm.stats().snap_demotions();
+        let session = TraceSession::start(TraceConfig::default());
+        for _ in 0..16 {
+            let _ = stm.read_only(|tx| tx.read(&v));
+        }
+        // A read-only body that writes demotes itself to the classic
+        // protocol (SnapDemote code 1, naming the written variable).
+        stm.read_only(|tx| tx.modify(&v, |x| x + 1));
+        let report = session.finish();
+
+        assert!(
+            report.events.iter().any(|e| e.kind == EventKind::SnapPin),
+            "no SnapPin events from the snapshot path"
+        );
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::SnapDemote),
+            "no SnapDemote event from the demoted write"
+        );
+        assert!(report.snap.pins >= 17, "pins: {}", report.snap.pins);
+        assert!(report.snap.demotes >= 1, "demotes: {}", report.snap.demotes);
+        assert!(
+            stm.stats().snap_demotions() > demotions_before,
+            "StmStats must count the demotion unconditionally"
+        );
+        assert_eq!(v.snapshot(), 2);
+    }
+}
+
 #[cfg(feature = "chaos")]
 mod chaos_interleaving {
     use super::*;

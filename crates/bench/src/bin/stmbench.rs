@@ -7,18 +7,20 @@
 //! cargo run --release -p rubic-bench --features mvcc --bin stmbench -- --mode sv,mvcc
 //! ```
 //!
-//! Writes the `rubic-stmbench/v2` JSON report (see the README's
+//! Writes the `rubic-stmbench/v3` JSON report (see the README's
 //! "Benchmarking" section for the schema) after validating it; a run
 //! that produces an out-of-range or structurally broken report exits
 //! non-zero without touching the output file. `--mode` restricts the
 //! protocol modes swept (`sv` always available; `mvcc` only in builds
 //! with `--features mvcc` — by default every available mode runs).
+//! `--structure` restricts the map backends swept for the map-backed
+//! workloads (`snapshot`, `btree`; counter always runs as `snapshot`).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use rubic_bench::postmortem::{self, BenchTrace, NoisyPoint, PostmortemOptions};
-use rubic_bench::stmbench::{available_modes, run_sweep, SweepOptions};
+use rubic_bench::stmbench::{available_modes, run_sweep, SweepOptions, STRUCTURES};
 
 struct Args {
     opts: SweepOptions,
@@ -71,11 +73,30 @@ fn parse_args() -> Result<Args, String> {
                 }
                 opts.modes = modes;
             }
+            "--structure" => {
+                let v = it
+                    .next()
+                    .ok_or("--structure needs a comma-separated list")?;
+                let mut structures = Vec::new();
+                for s in v.split(',') {
+                    let Some(&known) = STRUCTURES.iter().find(|&&a| a == s) else {
+                        return Err(format!(
+                            "--structure {s} unknown (have: {})",
+                            STRUCTURES.join(",")
+                        ));
+                    };
+                    if !structures.contains(&known) {
+                        structures.push(known);
+                    }
+                }
+                opts.structures = structures;
+            }
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: stmbench [--smoke] [--reps N] [--duration-ms N] [--threads 1,2,4] \
-                     [--mode sv,mvcc] [--out PATH] [--postmortem DIR] [--stddev-ratio R]"
+                     [--mode sv,mvcc] [--structure snapshot,btree] [--out PATH] \
+                     [--postmortem DIR] [--stddev-ratio R]"
                         .into(),
                 );
             }
@@ -98,7 +119,7 @@ fn main() {
         }
     };
     eprintln!(
-        "stmbench: {} threads sweep, modes {}, {} reps x {} ms{}",
+        "stmbench: {} threads sweep, modes {}, structures {}, {} reps x {} ms{}",
         args.opts
             .threads
             .iter()
@@ -106,6 +127,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(","),
         args.opts.modes.join(","),
+        args.opts.structures.join(","),
         args.opts.reps,
         args.opts.duration.as_millis(),
         if args.opts.smoke { " (smoke)" } else { "" },
@@ -127,7 +149,10 @@ fn main() {
             )
         })
         .map(|p| NoisyPoint {
-            label: format!("{}/{}/{}/t{}", p.workload, p.mix, p.mode, p.threads),
+            label: format!(
+                "{}/{}/{}/{}/t{}",
+                p.workload, p.mix, p.structure, p.mode, p.threads
+            ),
             mean: p.ops_per_sec.mean,
             stddev: p.ops_per_sec.stddev,
         })

@@ -2,18 +2,18 @@
 //!
 //! Sweeps the three canonical workloads of the paper's evaluation
 //! ({counter, rbtree, vacation}) across thread counts and an operation
-//! mix axis ({read-heavy, write-heavy}), measuring committed operations
-//! per second and the abort rate for each configuration, repeated
-//! `reps` times so every number carries a mean ± sample stddev.
+//! mix axis, measuring committed operations per second and the abort
+//! rate for each configuration, repeated `reps` times so every number
+//! carries a mean ± sample stddev.
 //!
 //! The `stmbench` binary writes the result as `BENCH_stm.json` at the
 //! repository root — the seed of the perf trajectory later PRs are
-//! judged against. The schema (`rubic-stmbench/v2`) is documented in
+//! judged against. The schema (`rubic-stmbench/v3`) is documented in
 //! the README's "Benchmarking" section and validated by
 //! [`BenchReport::validate`], which the binary runs before writing so
 //! a malformed report can never be committed silently.
 //!
-//! Since v2 every point also carries a protocol **mode**: `sv` is the
+//! Since v2 every point carries a protocol **mode**: `sv` is the
 //! classic single-version validated protocol; `mvcc` (swept only when
 //! built with `--features mvcc`) runs the same workload on an
 //! `Stm::builder().mvcc(true)` runtime, where declared read-only
@@ -21,25 +21,37 @@
 //! `ro_commits`/`ro_aborts` totals make the abort-freedom claim
 //! measurable: an mvcc rbtree read-mix row must show `ro_aborts: 0`.
 //!
+//! Since v3 every point also carries a **structure**: the ordered-map
+//! backend behind the workload. `snapshot` is the single-cell
+//! persistent tree (`TMap`: every update conflicts with every update);
+//! `btree` is the per-node transactional B-tree (`TBTreeMap`: a
+//! transaction conflicts only on the O(log n) path it touched). The
+//! axis is swept for the two map-backed workloads (rbtree, vacation);
+//! counter has no map and is pinned to `snapshot`. The committed A/B
+//! is the gate for the per-node design: it must beat the snapshot cell
+//! on the write-heavy mix at t ≥ 4 and stay within noise on the
+//! read-dominated mixes.
+//!
 //! Mix mapping per workload (the axis is "how much write conflict"):
 //!
-//! | workload | read-heavy | write-heavy |
-//! |---|---|---|
-//! | counter | striped over 1024 stripes (~conflict-free) | one shared counter (maximal conflict) |
-//! | rbtree | paper mix, 98 % look-ups | 50/25/25 lookup/insert/delete |
-//! | vacation | STAMP `vacation-low` | STAMP `vacation-high` |
+//! | workload | read-only | read-heavy | write-heavy |
+//! |---|---|---|---|
+//! | counter | — | striped over 1024 stripes (~conflict-free) | one shared counter (maximal conflict) |
+//! | rbtree | 100 % look-ups (§4.6) | paper mix, 98 % look-ups | 50/25/25 lookup/insert/delete |
+//! | vacation | — | STAMP `vacation-low` | STAMP `vacation-high` |
 
 use std::time::Duration;
 
 use rubic::controllers::Fixed;
 use rubic::runtime::{MalleablePool, PoolConfig, Workload};
 use rubic::stm::Stm;
-use rubic::workloads::rbtree::{OpMix, RbTreeConfig, RbTreeWorkload};
-use rubic::workloads::vacation::{VacationConfig, VacationWorkload};
+use rubic::workloads::mapapi::{BTreeFamily, SnapshotFamily};
+use rubic::workloads::rbtree::{OpMix, RbTreeConfig, RbTreeWorkloadOn};
+use rubic::workloads::vacation::{VacationConfig, VacationWorkloadOn};
 use rubic::workloads::{ConflictCounter, StripedCounter};
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "rubic-stmbench/v2";
+pub const SCHEMA: &str = "rubic-stmbench/v3";
 
 /// Protocol modes this build can sweep: the single-version validated
 /// protocol always, plus mvcc snapshot mode when compiled with
@@ -93,8 +105,12 @@ impl Stat {
 pub struct BenchPoint {
     /// Workload family: `counter`, `rbtree`, or `vacation`.
     pub workload: &'static str,
-    /// Operation mix: `read-heavy` or `write-heavy`.
+    /// Operation mix: `read-only`, `read-heavy` or `write-heavy`.
     pub mix: &'static str,
+    /// Ordered-map backend: `snapshot` (single-cell persistent tree)
+    /// or `btree` (per-node B-tree). Always `snapshot` for workloads
+    /// without a map axis (counter).
+    pub structure: &'static str,
     /// Protocol mode: `sv` (single-version) or `mvcc` (snapshot mode).
     pub mode: &'static str,
     /// Worker threads (fixed parallelism level for the whole run).
@@ -122,7 +138,8 @@ pub struct BenchReport {
     pub smoke: bool,
     /// `std::thread::available_parallelism` on the measuring host.
     pub hw_threads: u32,
-    /// One entry per (workload, mix, threads) configuration.
+    /// One entry per (workload, mix, structure, mode, threads)
+    /// configuration.
     pub points: Vec<BenchPoint>,
 }
 
@@ -137,13 +154,16 @@ pub struct SweepOptions {
     pub threads: Vec<u32>,
     /// Protocol modes to sweep (subset of [`available_modes`]).
     pub modes: Vec<&'static str>,
+    /// Map structures to sweep (subset of [`STRUCTURES`]); workloads
+    /// without a map axis always run once as `snapshot`.
+    pub structures: Vec<&'static str>,
     /// Reduced grid for CI schema validation.
     pub smoke: bool,
 }
 
 impl SweepOptions {
     /// The full sweep: {1,2,4,8,16} threads, 3 reps, 300 ms each,
-    /// every protocol mode the build supports.
+    /// every protocol mode the build supports, both map structures.
     #[must_use]
     pub fn full() -> Self {
         SweepOptions {
@@ -151,6 +171,7 @@ impl SweepOptions {
             duration: Duration::from_millis(300),
             threads: vec![1, 2, 4, 8, 16],
             modes: available_modes(),
+            structures: STRUCTURES.to_vec(),
             smoke: false,
         }
     }
@@ -164,6 +185,7 @@ impl SweepOptions {
             duration: Duration::from_millis(25),
             threads: vec![1, 2],
             modes: available_modes(),
+            structures: STRUCTURES.to_vec(),
             smoke: true,
         }
     }
@@ -171,8 +193,29 @@ impl SweepOptions {
 
 /// The benchmarked grid axes.
 const WORKLOADS: [&str; 3] = ["counter", "rbtree", "vacation"];
-const MIXES: [&str; 2] = ["read-heavy", "write-heavy"];
+const MIXES: [&str; 3] = ["read-only", "read-heavy", "write-heavy"];
 const MODES: [&str; 2] = ["sv", "mvcc"];
+/// The map-structure axis (v3): `snapshot` is the single-cell `TMap`,
+/// `btree` the per-node `TBTreeMap`.
+pub const STRUCTURES: [&str; 2] = ["snapshot", "btree"];
+
+/// The mixes a workload is swept over. Only rbtree has a meaningful
+/// 100 %-read configuration (the paper's §4.6 convergence workload).
+fn mixes_for(workload: &str) -> &'static [&'static str] {
+    match workload {
+        "rbtree" => &["read-only", "read-heavy", "write-heavy"],
+        _ => &["read-heavy", "write-heavy"],
+    }
+}
+
+/// The structures a workload is swept over: both map backends for the
+/// map-backed workloads, pinned `snapshot` for counter (no map).
+fn structures_for(workload: &str) -> &'static [&'static str] {
+    match workload {
+        "rbtree" | "vacation" => &["snapshot", "btree"],
+        _ => &["snapshot"],
+    }
+}
 
 /// Builds the runtime for one protocol mode. `mode` can only be
 /// `"mvcc"` when the feature is compiled in (the CLI and
@@ -194,10 +237,11 @@ struct RunSample {
     ro_aborts: u64,
 }
 
-/// Runs one (workload, mix, mode, threads) repetition.
+/// Runs one (workload, mix, structure, mode, threads) repetition.
 fn run_once(
     workload: &'static str,
     mix: &'static str,
+    structure: &'static str,
     mode: &'static str,
     threads: u32,
     opts: &SweepOptions,
@@ -215,10 +259,10 @@ fn run_once(
         }
         ("counter", "write-heavy") => drive(ConflictCounter::new(stm.clone()), &stm, threads, opts),
         ("rbtree", m) => {
-            let mix = if m == "read-heavy" {
-                OpMix::paper()
-            } else {
-                OpMix::write_heavy()
+            let mix = match m {
+                "read-only" => OpMix::read_only(),
+                "read-heavy" => OpMix::paper(),
+                _ => OpMix::write_heavy(),
             };
             let cfg = if opts.smoke {
                 RbTreeConfig::small().with_mix(mix)
@@ -230,7 +274,21 @@ fn run_once(
                     seed: 0x5EED_BEAC,
                 }
             };
-            drive(RbTreeWorkload::new(cfg, stm.clone()), &stm, threads, opts)
+            if structure == "btree" {
+                drive(
+                    RbTreeWorkloadOn::<BTreeFamily>::new(cfg, stm.clone()),
+                    &stm,
+                    threads,
+                    opts,
+                )
+            } else {
+                drive(
+                    RbTreeWorkloadOn::<SnapshotFamily>::new(cfg, stm.clone()),
+                    &stm,
+                    threads,
+                    opts,
+                )
+            }
         }
         ("vacation", m) => {
             let relations = if opts.smoke { 64 } else { 256 };
@@ -239,7 +297,21 @@ fn run_once(
             } else {
                 VacationConfig::high_contention(relations)
             };
-            drive(VacationWorkload::new(cfg, stm.clone()), &stm, threads, opts)
+            if structure == "btree" {
+                drive(
+                    VacationWorkloadOn::<BTreeFamily>::new(cfg, stm.clone()),
+                    &stm,
+                    threads,
+                    opts,
+                )
+            } else {
+                drive(
+                    VacationWorkloadOn::<SnapshotFamily>::new(cfg, stm.clone()),
+                    &stm,
+                    threads,
+                    opts,
+                )
+            }
         }
         other => unreachable!("unknown configuration {other:?}"),
     }
@@ -275,39 +347,45 @@ fn drive<W: Workload>(workload: W, stm: &Stm, threads: u32, opts: &SweepOptions)
 pub fn run_sweep(opts: &SweepOptions) -> BenchReport {
     let mut points = Vec::new();
     for workload in WORKLOADS {
-        for mix in MIXES {
-            for &mode in &opts.modes {
-                for &threads in &opts.threads {
-                    let mut ops = Vec::with_capacity(opts.reps as usize);
-                    let mut aborts = Vec::with_capacity(opts.reps as usize);
-                    let mut ro_commits = 0u64;
-                    let mut ro_aborts = 0u64;
-                    for _ in 0..opts.reps {
-                        let s = run_once(workload, mix, mode, threads, opts);
-                        ops.push(s.ops_per_sec);
-                        aborts.push(s.abort_rate);
-                        ro_commits += s.ro_commits;
-                        ro_aborts += s.ro_aborts;
+        for &mix in mixes_for(workload) {
+            for &structure in structures_for(workload) {
+                if !opts.structures.contains(&structure) && structures_for(workload).len() > 1 {
+                    continue;
+                }
+                for &mode in &opts.modes {
+                    for &threads in &opts.threads {
+                        let mut ops = Vec::with_capacity(opts.reps as usize);
+                        let mut aborts = Vec::with_capacity(opts.reps as usize);
+                        let mut ro_commits = 0u64;
+                        let mut ro_aborts = 0u64;
+                        for _ in 0..opts.reps {
+                            let s = run_once(workload, mix, structure, mode, threads, opts);
+                            ops.push(s.ops_per_sec);
+                            aborts.push(s.abort_rate);
+                            ro_commits += s.ro_commits;
+                            ro_aborts += s.ro_aborts;
+                        }
+                        let point = BenchPoint {
+                            workload,
+                            mix,
+                            structure,
+                            mode,
+                            threads,
+                            ops_per_sec: Stat::from_samples(ops),
+                            abort_rate: Stat::from_samples(aborts),
+                            ro_commits,
+                            ro_aborts,
+                        };
+                        eprintln!(
+                            "  {workload:>8} {mix:<11} {structure:<8} {mode:<4} t={threads:<2} {:>12.0} ops/s ± {:>6.0}  abort {:.1}%  ro {}/{}",
+                            point.ops_per_sec.mean,
+                            point.ops_per_sec.stddev,
+                            point.abort_rate.mean * 100.0,
+                            point.ro_commits,
+                            point.ro_aborts,
+                        );
+                        points.push(point);
                     }
-                    let point = BenchPoint {
-                        workload,
-                        mix,
-                        mode,
-                        threads,
-                        ops_per_sec: Stat::from_samples(ops),
-                        abort_rate: Stat::from_samples(aborts),
-                        ro_commits,
-                        ro_aborts,
-                    };
-                    eprintln!(
-                        "  {workload:>8} {mix:<11} {mode:<4} t={threads:<2} {:>12.0} ops/s ± {:>6.0}  abort {:.1}%  ro {}/{}",
-                        point.ops_per_sec.mean,
-                        point.ops_per_sec.stddev,
-                        point.abort_rate.mean * 100.0,
-                        point.ro_commits,
-                        point.ro_aborts,
-                    );
-                    points.push(point);
                 }
             }
         }
@@ -342,7 +420,7 @@ fn json_stat(s: &Stat, indent: &str) -> String {
 }
 
 impl BenchReport {
-    /// Serialises the report as the documented `rubic-stmbench/v2`
+    /// Serialises the report as the documented `rubic-stmbench/v3`
     /// JSON schema.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -358,9 +436,10 @@ impl BenchReport {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\n      \"workload\": \"{}\",\n      \"mix\": \"{}\",\n      \"mode\": \"{}\",\n      \"threads\": {},\n      \"ops_per_sec\": {},\n      \"abort_rate\": {},\n      \"ro_commits\": {},\n      \"ro_aborts\": {}\n    }}",
+                    "    {{\n      \"workload\": \"{}\",\n      \"mix\": \"{}\",\n      \"structure\": \"{}\",\n      \"mode\": \"{}\",\n      \"threads\": {},\n      \"ops_per_sec\": {},\n      \"abort_rate\": {},\n      \"ro_commits\": {},\n      \"ro_aborts\": {}\n    }}",
                     p.workload,
                     p.mix,
+                    p.structure,
                     p.mode,
                     p.threads,
                     json_stat(&p.ops_per_sec, "      "),
@@ -377,7 +456,9 @@ impl BenchReport {
 
     /// Structural sanity checks: non-empty grid, all means finite and
     /// non-negative, abort rates within [0, 1], sample counts matching
-    /// `reps`. The binary refuses to write a report that fails these.
+    /// `reps`, axes drawn from the documented sets (including the
+    /// per-workload mix/structure restrictions). The binary refuses to
+    /// write a report that fails these.
     ///
     /// # Errors
     /// A human-readable description of the first violated invariant.
@@ -386,12 +467,24 @@ impl BenchReport {
             return Err("empty sweep: no configurations measured".into());
         }
         for p in &self.points {
-            let tag = format!("{}/{}/t{}", p.workload, p.mix, p.threads);
+            let tag = format!("{}/{}/{}/t{}", p.workload, p.mix, p.structure, p.threads);
             if !WORKLOADS.contains(&p.workload) {
                 return Err(format!("{tag}: unknown workload"));
             }
             if !MIXES.contains(&p.mix) {
                 return Err(format!("{tag}: unknown mix"));
+            }
+            if !mixes_for(p.workload).contains(&p.mix) {
+                return Err(format!("{tag}: mix {} not swept for {}", p.mix, p.workload));
+            }
+            if !STRUCTURES.contains(&p.structure) {
+                return Err(format!("{tag}: unknown structure {}", p.structure));
+            }
+            if !structures_for(p.workload).contains(&p.structure) {
+                return Err(format!(
+                    "{tag}: structure {} not swept for {}",
+                    p.structure, p.workload
+                ));
             }
             if !MODES.contains(&p.mode) {
                 return Err(format!("{tag}: unknown mode {}", p.mode));
@@ -447,14 +540,17 @@ mod tests {
         let report = run_sweep(&opts);
         report.validate().expect("smoke report must validate");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rubic-stmbench/v2\""));
+        assert!(json.contains("\"schema\": \"rubic-stmbench/v3\""));
         assert!(json.contains("\"workload\": \"rbtree\""));
         assert!(json.contains("\"mode\": \"sv\""));
-        let expected = 6 * available_modes().len();
+        assert!(json.contains("\"structure\": \"snapshot\""));
+        assert!(json.contains("\"structure\": \"btree\""));
+        // counter 2 mixes × 1 structure + rbtree 3 × 2 + vacation 2 × 2.
+        let expected = 12 * available_modes().len();
         assert_eq!(
             report.points.len(),
             expected,
-            "3 workloads x 2 mixes x modes x 1 level"
+            "per-workload mix × structure grid at 1 level"
         );
         // Balanced braces/brackets — cheap structural check without a
         // JSON parser in the dependency tree.
@@ -462,6 +558,23 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn structure_filter_restricts_map_workloads_only() {
+        let mut opts = SweepOptions::smoke();
+        opts.threads = vec![1];
+        opts.duration = Duration::from_millis(5);
+        opts.structures = vec!["btree"];
+        opts.modes = vec!["sv"];
+        let report = run_sweep(&opts);
+        report.validate().expect("filtered report must validate");
+        // counter still runs (pinned snapshot); rbtree/vacation only btree.
+        assert!(report
+            .points
+            .iter()
+            .all(|p| p.structure == "btree" || p.workload == "counter"));
+        assert!(report.points.iter().any(|p| p.workload == "counter"));
     }
 
     #[test]
@@ -483,6 +596,7 @@ mod tests {
             points: vec![BenchPoint {
                 workload: "counter",
                 mix: "read-heavy",
+                structure: "snapshot",
                 mode: "sv",
                 threads: 1,
                 ops_per_sec: Stat::from_samples(vec![100.0]),
@@ -501,6 +615,7 @@ mod tests {
             points: vec![BenchPoint {
                 workload: "counter",
                 mix: "read-heavy",
+                structure: "snapshot",
                 mode: "hybrid",
                 threads: 1,
                 ops_per_sec: Stat::from_samples(vec![100.0]),
@@ -510,19 +625,73 @@ mod tests {
             }],
         };
         assert!(unknown_mode.validate().unwrap_err().contains("mode"));
+
+        // Structure restrictions: counter must not claim a btree row,
+        // and only rbtree sweeps the read-only mix.
+        let counter_btree = BenchReport {
+            reps: 1,
+            duration_ms: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: vec![BenchPoint {
+                workload: "counter",
+                mix: "read-heavy",
+                structure: "btree",
+                mode: "sv",
+                threads: 1,
+                ops_per_sec: Stat::from_samples(vec![100.0]),
+                abort_rate: Stat::from_samples(vec![0.0]),
+                ro_commits: 0,
+                ro_aborts: 0,
+            }],
+        };
+        assert!(counter_btree
+            .validate()
+            .unwrap_err()
+            .contains("not swept for counter"));
+
+        let vacation_ro = BenchReport {
+            reps: 1,
+            duration_ms: 1,
+            smoke: true,
+            hw_threads: 1,
+            points: vec![BenchPoint {
+                workload: "vacation",
+                mix: "read-only",
+                structure: "snapshot",
+                mode: "sv",
+                threads: 1,
+                ops_per_sec: Stat::from_samples(vec![100.0]),
+                abort_rate: Stat::from_samples(vec![0.0]),
+                ro_commits: 0,
+                ro_aborts: 0,
+            }],
+        };
+        assert!(vacation_ro
+            .validate()
+            .unwrap_err()
+            .contains("not swept for vacation"));
     }
 
     #[cfg(feature = "mvcc")]
     #[test]
     fn mvcc_smoke_rows_are_abort_free_for_read_only() {
-        // One tiny rbtree read-heavy mvcc rep: the declared read-only
-        // lookups must commit through the snapshot path with zero
-        // read-only aborts.
+        // One tiny rbtree read-heavy mvcc rep per structure: the
+        // declared read-only lookups must commit through the snapshot
+        // path with zero read-only aborts on both map backends.
         let mut opts = SweepOptions::smoke();
         opts.threads = vec![2];
         opts.duration = Duration::from_millis(10);
-        let s = run_once("rbtree", "read-heavy", "mvcc", 2, &opts);
-        assert!(s.ro_commits > 0, "read-only lookups should have run");
-        assert_eq!(s.ro_aborts, 0, "mvcc snapshots must not abort");
+        for structure in STRUCTURES {
+            let s = run_once("rbtree", "read-heavy", structure, "mvcc", 2, &opts);
+            assert!(
+                s.ro_commits > 0,
+                "read-only lookups should have run ({structure})"
+            );
+            assert_eq!(
+                s.ro_aborts, 0,
+                "mvcc snapshots must not abort ({structure})"
+            );
+        }
     }
 }

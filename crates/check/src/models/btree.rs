@@ -1,0 +1,196 @@
+//! Model of the per-node B-tree's split/merge protocol.
+//!
+//! `rubic-workloads`' `TBTreeMap` gives every node its own `TVar`, so a
+//! structural change (leaf split, merge) rewrites *several* versioned
+//! slots — the parent's routing state and both children — and its
+//! correctness rests on all of them being published by one commit: a
+//! reader that descends parent → child with TL2-style validation must
+//! never observe routing from before a split combined with a child from
+//! after it (or vice versa), because then a key that was merely *moved*
+//! would appear deleted.
+//!
+//! The model is three versioned slots (`version << 1 | locked`, as in
+//! `crates/stm/src/vlock.rs`): a parent `P` holding the separator
+//! (0 = "single child, everything lives in L") and two children `L`/`R`
+//! holding key *bitsets*. A writer splits the initial leaf
+//! `L = {1,2,3,4}` into `L = {1,2}, R = {3,4}, P = 3` and then merges
+//! it back; a reader repeatedly looks up key 3 by reading `P`, routing
+//! by separator, reading the chosen child — each read
+//! sample/load/re-sample validated against its snapshot timestamp —
+//! and asserts the key is found. Key 3 is present in every committed
+//! state, so any miss is an atomicity violation, the exact bug class
+//! the one-commit-per-structural-change discipline exists to prevent.
+//!
+//! The mutation knob [`BTreeModel::non_atomic_split`] performs the
+//! split as two separate commits (first shrink `L`, then publish the
+//! separator and `R`): between them key 3 is unreachable through the
+//! routing even though every individual slot read validates, and the
+//! checker must catch the reader's failed lookup within a bounded
+//! budget.
+
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::thread;
+
+/// Protocol knobs; the default is the production discipline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BTreeModel {
+    /// Publish the split as two commits instead of one. This is the
+    /// canonical structural-atomicity mutation: each commit is itself
+    /// perfectly version-disciplined, yet a reader between them misses
+    /// a key that was never deleted.
+    pub non_atomic_split: bool,
+}
+
+/// One node slot: versioned lock word plus published payload.
+struct Slot {
+    /// `version << 1 | locked`, exactly the `vlock.rs` encoding.
+    lock: AtomicU64,
+    /// Payload: the separator for `P`, a key bitset for `L`/`R`.
+    /// Relaxed accesses are ordered by the lock protocol, as in
+    /// `tvar.rs` (acquire sample before, validating re-sample after).
+    val: AtomicU64,
+}
+
+impl Slot {
+    fn new(val: u64) -> Self {
+        Slot {
+            lock: AtomicU64::new(0),
+            val: AtomicU64::new(val),
+        }
+    }
+}
+
+/// Bitset of the keys the initial leaf holds.
+const FULL_LEAF: u64 = 0b1_1110; // {1, 2, 3, 4}
+/// The key the reader looks up; present in every committed state.
+const PROBE_KEY: u64 = 3;
+
+const READER_ATTEMPTS: u32 = 8;
+
+/// Locks `slots` (uncontended — the reader never locks), ticks the
+/// clock, runs `publish`, and releases every slot at the new version.
+fn commit(clock: &AtomicU64, slots: &[&Slot], publish: impl FnOnce()) {
+    for slot in slots {
+        let cur = slot.lock.load(Ordering::Acquire);
+        assert_eq!(cur & 1, 0, "writer is the only locker");
+        slot.lock
+            // ordering: success Acquire pairs with the previous
+            // commit's release store, as in `VLock::try_lock`.
+            .compare_exchange(cur, cur | 1, Ordering::Acquire, Ordering::Relaxed)
+            .expect("uncontended lock");
+    }
+    // ordering: AcqRel tick, as `GlobalClock::tick`.
+    let wv = clock.fetch_add(1, Ordering::AcqRel) + 1;
+    publish();
+    for slot in slots {
+        // ordering: Release with the new version, as
+        // `VLock::release_commit`.
+        slot.lock.store(wv << 1, Ordering::Release);
+    }
+}
+
+/// One validated read: sample, load, re-sample. `None` means the slot
+/// was locked, too new for `rv`, or changed underfoot — the real
+/// protocol aborts there (`AbortReason::ReadValidation`), the model
+/// retries the whole lookup.
+fn tl2_read(slot: &Slot, rv: u64) -> Option<u64> {
+    let v1 = slot.lock.load(Ordering::Acquire);
+    if v1 & 1 == 1 || (v1 >> 1) > rv {
+        return None;
+    }
+    // ordering: Relaxed payload read ordered by the sample/validate
+    // pair (see `Slot::val`).
+    let val = slot.val.load(Ordering::Relaxed);
+    if slot.lock.load(Ordering::Acquire) != v1 {
+        return None;
+    }
+    Some(val)
+}
+
+/// Builds the model closure: one writer splitting then merging a leaf,
+/// one reader looking up a key that every committed state contains.
+pub fn model(cfg: BTreeModel) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let clock = Arc::new(AtomicU64::new(0));
+        // P = 0: no separator, all keys in L. The tree starts as the
+        // pre-split single leaf.
+        let p = Arc::new(Slot::new(0));
+        let l = Arc::new(Slot::new(FULL_LEAF));
+        let r = Arc::new(Slot::new(0));
+
+        let writer = {
+            let (clock, p, l, r) = (
+                Arc::clone(&clock),
+                Arc::clone(&p),
+                Arc::clone(&l),
+                Arc::clone(&r),
+            );
+            thread::spawn(move || {
+                if cfg.non_atomic_split {
+                    // MUTATION: shrink the leaf in one commit, publish
+                    // the sibling + separator in a second. Keys 3 and 4
+                    // are unreachable in between.
+                    commit(&clock, &[&l], || {
+                        l.val.store(0b0_0110, Ordering::Relaxed); // {1, 2}
+                    });
+                    commit(&clock, &[&p, &r], || {
+                        r.val.store(0b1_1000, Ordering::Relaxed); // {3, 4}
+                        p.val.store(3, Ordering::Relaxed);
+                    });
+                } else {
+                    // Split: one commit rewrites parent routing and
+                    // both children, as `TBTreeMap::split_up` does
+                    // inside a single transaction.
+                    commit(&clock, &[&p, &l, &r], || {
+                        l.val.store(0b0_0110, Ordering::Relaxed); // {1, 2}
+                        r.val.store(0b1_1000, Ordering::Relaxed); // {3, 4}
+                        p.val.store(3, Ordering::Relaxed);
+                    });
+                }
+                // Merge back: also one commit (`TBTreeMap::rebalance`).
+                commit(&clock, &[&p, &l, &r], || {
+                    l.val.store(FULL_LEAF, Ordering::Relaxed);
+                    r.val.store(0, Ordering::Relaxed);
+                    p.val.store(0, Ordering::Relaxed);
+                });
+            })
+        };
+
+        let reader = {
+            let (clock, p, l, r) = (
+                Arc::clone(&clock),
+                Arc::clone(&p),
+                Arc::clone(&l),
+                Arc::clone(&r),
+            );
+            thread::spawn(move || {
+                'attempt: for _ in 0..READER_ATTEMPTS {
+                    // Transaction begin: snapshot the global clock.
+                    let rv = clock.load(Ordering::Acquire);
+                    let Some(sep) = tl2_read(&p, rv) else {
+                        continue 'attempt;
+                    };
+                    // Route by separator: `seps.partition_point(|s| s
+                    // <= key)` sends key >= sep right.
+                    let child = if sep != 0 && PROBE_KEY >= sep { &r } else { &l };
+                    let Some(mask) = tl2_read(child, rv) else {
+                        continue 'attempt;
+                    };
+                    // Key 3 is in every committed state; a validated
+                    // descent that misses it saw a torn structure.
+                    assert!(
+                        mask & (1 << PROBE_KEY) != 0,
+                        "validated descent lost key {PROBE_KEY}: sep={sep} mask={mask:#b} rv={rv}"
+                    );
+                }
+                // Attempts are bounded (aborted lookups are not retried
+                // to success) so every schedule is finite.
+            })
+        };
+
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+    }
+}

@@ -19,12 +19,19 @@
 //!   snapshot-timestamp registry's SC-fence handshake, and prefix-drain
 //!   pruning, with the retention rule configurable so the mutation
 //!   self-test can prune early and assert the checker catches it.
+//! * [`btree`] — the per-node B-tree's split/merge discipline from
+//!   `rubic-workloads` (`btree/mod.rs`): a structural change rewrites
+//!   parent routing and both children in *one* commit, and a TL2-style
+//!   validated descent must never lose a key that was only moved. The
+//!   mutation splits across two commits and the checker must catch the
+//!   torn lookup.
 //!
 //! The other two protocols (`rubic-runtime`'s semaphore admission and
 //! sharded-queue accounting) are exercised directly on the production
 //! types — they need no knobs — from `crates/check/tests/models.rs`
 //! under `--cfg rubic_check`.
 
+pub mod btree;
 pub mod epoch;
 pub mod mvcc;
 pub mod vlock;

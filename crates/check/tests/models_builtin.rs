@@ -3,7 +3,7 @@
 //! protocols and must catch deliberately weakened variants within a
 //! bounded, seeded budget — deterministically enough to replay.
 
-use rubic_check::models::{epoch, mvcc, vlock};
+use rubic_check::models::{btree, epoch, mvcc, vlock};
 use rubic_check::sync::atomic::Ordering;
 use rubic_check::{check, Config, FailureKind};
 
@@ -125,6 +125,56 @@ fn mvcc_early_prune_is_caught_and_replays() {
         rf.trace, failure.trace,
         "trace replay reproduces the schedule"
     );
+}
+
+/// The B-tree's one-commit-per-structural-change discipline passes:
+/// under every explored schedule a validated parent → child descent
+/// finds the probe key through split and merge, and the opacity oracle
+/// (validated reads form a consistent cut) holds.
+#[test]
+fn btree_atomic_split_merge_passes() {
+    let report = check(
+        Config::pct(0xB7EE, rubic_check::env_iters(128)),
+        btree::model(btree::BTreeModel::default()),
+    );
+    report.assert_ok();
+}
+
+/// Mutation self-test: publishing a split as two commits leaves a
+/// window where the moved keys are unreachable through the routing even
+/// though every per-slot read validates. The checker must catch the
+/// torn lookup within a bounded budget, and the failure must replay
+/// from both its decision trace and its `(seed, iteration)` pair.
+#[test]
+fn btree_non_atomic_split_is_caught_and_replays() {
+    let mutated = btree::BTreeModel {
+        non_atomic_split: true,
+    };
+    let report = check(Config::pct(0xB7EE, 256), btree::model(mutated));
+    let failure = report.expect_failure().clone();
+    assert!(
+        matches!(failure.kind, FailureKind::Panic | FailureKind::Race),
+        "torn split must surface as a lost-key panic, got {:?}",
+        failure.kind
+    );
+
+    // Replay 1: exact decision trace.
+    let replayed = check(Config::replay_trace(&failure.trace), btree::model(mutated));
+    let rf = replayed.expect_failure();
+    assert_eq!(rf.kind, failure.kind, "trace replay reproduces the kind");
+    assert_eq!(
+        rf.trace, failure.trace,
+        "trace replay reproduces the schedule"
+    );
+
+    // Replay 2: (seed, iteration, est_len), the chaos-style contract.
+    let again = check(
+        Config::pct_at_len(failure.seed, failure.iteration, failure.est_len),
+        btree::model(mutated),
+    );
+    let af = again.expect_failure();
+    assert_eq!(af.kind, failure.kind);
+    assert_eq!(af.trace, failure.trace);
 }
 
 /// Correct three-epoch reclamation passes: nobody dereferences a freed

@@ -32,6 +32,14 @@ use fxhash::FxHashMap;
 /// the spill backfill) lose ~15 % to long absence-scans when the
 /// threshold is 8–16. Four keeps the full small-set win and caps both
 /// the scan length and the one-time backfill at spill.
+///
+/// The per-node B-tree (`rubic-workloads::btree`, branch fanout 16,
+/// leaf capacity 32) was sized with this threshold in mind: a
+/// root-to-leaf descent at the
+/// stmbench instance size (4 K entries) reads 3–4 node `TVar`s and a
+/// non-structural update writes one, so both access sets stay inline.
+/// Only split/merge transactions (a few percent of write-heavy ops)
+/// spill, and those already pay for node reconstruction.
 pub(crate) const SPILL_THRESHOLD: usize = 4;
 
 /// An insert-only map from lock address to a `Copy` payload, optimised

@@ -76,6 +76,20 @@ fn hist_json(name: &str, h: &LogHistogram) -> String {
     )
 }
 
+/// Sanitises a trigger string for use in a path component.
+fn path_tag(trigger: &str) -> String {
+    trigger
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Writes one bundle under `dir`, returning the created bundle
 /// directory path.
 ///
@@ -86,19 +100,7 @@ pub(crate) fn write_bundle(dir: &Path, input: &BundleInput<'_>) -> io::Result<Pa
 
     // ordering: Relaxed — ID allocation only.
     let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
-    // Sanitise the trigger for use in a path component.
-    let tag: String = input
-        .trigger
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '-' {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
-    let bundle = dir.join(format!("postmortem-{seq}-{tag}"));
+    let bundle = dir.join(format!("postmortem-{seq}-{}", path_tag(input.trigger)));
     std::fs::create_dir_all(&bundle)?;
 
     // manifest.json

@@ -26,7 +26,13 @@
 //!   delete) with full invariant checking;
 //! * [`pqueue`] — a persistent FIFO queue;
 //! * [`tmap`] — the transactional ordered map wrapping [`pers::PMap`]
-//!   in a `TVar`.
+//!   in a single snapshot-cell `TVar`;
+//! * [`btree`] — the transactional B-tree with one `TVar` per node
+//!   (per-path conflict footprint);
+//! * [`mapapi`] — the [`mapapi::TOrdMap`] contract both maps implement
+//!   and the [`mapapi::MapFamily`] backend selector the rbtree and
+//!   Vacation workloads are generic over (the stmbench `structure`
+//!   axis).
 //!
 //! Every workload implements [`rubic_runtime::Workload`], so any of
 //! them can be driven by the malleable pool under any controller:
@@ -52,22 +58,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod btree;
 pub mod counter;
 pub mod genome;
 pub mod intruder;
 pub mod kmeans;
 pub mod labyrinth;
+pub mod mapapi;
 pub mod pers;
 pub mod pqueue;
 pub mod rbtree;
 pub mod tmap;
 pub mod vacation;
 
+pub use btree::TBTreeMap;
 pub use counter::{ConflictCounter, StripedCounter};
 pub use genome::{GenomeConfig, GenomeWorkload};
 pub use intruder::{IntruderConfig, IntruderWorkload};
 pub use kmeans::{KMeansConfig, KMeansWorkload};
 pub use labyrinth::{LabyrinthConfig, LabyrinthWorkload, Maze};
-pub use rbtree::{OpMix, RbTreeConfig, RbTreeWorkload};
+pub use mapapi::{BTreeFamily, MapFamily, SnapshotFamily, TOrdMap};
+pub use rbtree::{OpMix, RbTreeConfig, RbTreeWorkload, RbTreeWorkloadOn};
 pub use tmap::TMap;
-pub use vacation::{Manager, VacationConfig, VacationWorkload};
+pub use vacation::{Manager, ManagerOn, VacationConfig, VacationWorkload, VacationWorkloadOn};

@@ -1,6 +1,6 @@
-//! The red-black-tree microbenchmark (paper §4.4).
+//! The ordered-map microbenchmark (paper §4.4).
 //!
-//! The paper's micro-workload: a shared red-black tree of **64 K
+//! The paper's micro-workload: a shared search tree of **64 K
 //! elements** with **98 % look-up operations** (1 % insert, 1 % delete),
 //! representing the highly scalable end of the spectrum; plus the
 //! **conflict-free variant (100 % read-only)** used for the convergence
@@ -11,13 +11,20 @@
 //! drawn uniformly from twice the initial element range (so inserts and
 //! deletes hit present/absent keys roughly evenly and the tree size
 //! stays stationary around its initial value).
+//!
+//! The workload is generic over the map backend
+//! ([`crate::mapapi::MapFamily`]): [`RbTreeWorkload`] is the historical
+//! snapshot-cell red-black tree ([`crate::tmap::TMap`], every update
+//! conflicts with every update), while
+//! `RbTreeWorkloadOn<BTreeFamily>` runs the same mix on the per-node
+//! [`crate::btree::TBTreeMap`] — the stmbench `structure` axis.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rubic_runtime::Workload;
 use rubic_stm::Stm;
 
-use crate::tmap::TMap;
+use crate::mapapi::{MapFamily, SnapshotFamily, TOrdMap};
 
 /// Operation mix for [`RbTreeWorkload`], in parts per thousand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +74,7 @@ impl OpMix {
     }
 }
 
-/// Configuration for the red-black-tree micro-benchmark.
+/// Configuration for the ordered-map micro-benchmark.
 #[derive(Debug, Clone)]
 pub struct RbTreeConfig {
     /// Initial number of elements (paper: 65 536).
@@ -112,7 +119,7 @@ impl RbTreeConfig {
     }
 }
 
-/// The shared red-black-tree workload.
+/// The shared ordered-map workload, generic over the map backend.
 ///
 /// ```
 /// use rubic_stm::Stm;
@@ -126,17 +133,20 @@ impl RbTreeConfig {
 /// }
 /// assert!(w.stm().stats().commits() >= 100);
 /// ```
-pub struct RbTreeWorkload {
-    map: TMap<u64, u64>,
+pub struct RbTreeWorkloadOn<F: MapFamily> {
+    map: F::Map<u64, u64>,
     cfg: RbTreeConfig,
     stm: Stm,
 }
 
-impl RbTreeWorkload {
+/// The historical default: the snapshot-cell red-black tree backend.
+pub type RbTreeWorkload = RbTreeWorkloadOn<SnapshotFamily>;
+
+impl<F: MapFamily> RbTreeWorkloadOn<F> {
     /// Builds the tree and fills it with `initial_size` random keys.
     #[must_use]
     pub fn new(cfg: RbTreeConfig, stm: Stm) -> Self {
-        let map = TMap::new();
+        let map = F::new_labelled("rbtree.map");
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         // Fill outside the measured phase, one key per transaction (the
         // values don't matter to the benchmark; key*2+1 is arbitrary).
@@ -155,7 +165,7 @@ impl RbTreeWorkload {
                 inserted += 1;
             }
         }
-        RbTreeWorkload { map, cfg, stm }
+        RbTreeWorkloadOn { map, cfg, stm }
     }
 
     /// The underlying STM runtime (for commit-rate reporting).
@@ -166,7 +176,7 @@ impl RbTreeWorkload {
 
     /// The shared map (for inspection in tests).
     #[must_use]
-    pub fn map(&self) -> &TMap<u64, u64> {
+    pub fn map(&self) -> &F::Map<u64, u64> {
         &self.map
     }
 
@@ -182,7 +192,7 @@ pub struct RbWorkerState {
     rng: SmallRng,
 }
 
-impl Workload for RbTreeWorkload {
+impl<F: MapFamily> Workload for RbTreeWorkloadOn<F> {
     type WorkerState = RbWorkerState;
 
     fn init_worker(&self, tid: usize) -> RbWorkerState {
@@ -215,15 +225,18 @@ impl Workload for RbTreeWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mapapi::BTreeFamily;
 
     #[test]
     fn initial_fill_reaches_target_size() {
         let w = RbTreeWorkload::new(RbTreeConfig::small(), Stm::default());
-        assert_eq!(w.map().snapshot().len() as u64, 512);
-        w.map()
-            .snapshot()
-            .check_invariants()
-            .expect("rb invariants");
+        assert_eq!(w.map().check_invariants(), Ok(512));
+    }
+
+    #[test]
+    fn btree_backend_fill_reaches_target_size() {
+        let w = RbTreeWorkloadOn::<BTreeFamily>::new(RbTreeConfig::small(), Stm::default());
+        assert_eq!(w.map().check_invariants(), Ok(512));
     }
 
     #[test]
@@ -256,7 +269,7 @@ mod tests {
             w.run_task(&mut st);
         }
         assert_eq!(w.stm().stats().writes(), writes_before);
-        assert_eq!(w.map().snapshot().len(), 512);
+        assert_eq!(w.map().snapshot_entries().len(), 512);
     }
 
     #[test]
@@ -266,17 +279,46 @@ mod tests {
         for _ in 0..2000 {
             w.run_task(&mut st);
         }
-        let len = w.map().snapshot().len() as f64;
+        let len = w.map().check_invariants().expect("map invariants") as f64;
         // Inserts and deletes are symmetric over a half-full key range;
         // the size drifts but stays in the same ballpark.
         assert!(
             (300.0..=724.0).contains(&len),
             "tree size drifted wildly: {len}"
         );
-        w.map()
-            .snapshot()
-            .check_invariants()
-            .expect("rb invariants");
+    }
+
+    #[test]
+    fn btree_backend_runs_the_same_mix() {
+        let w = RbTreeWorkloadOn::<BTreeFamily>::new(
+            RbTreeConfig::small().with_mix(OpMix::write_heavy()),
+            Stm::default(),
+        );
+        let mut st = w.init_worker(1);
+        for _ in 0..2000 {
+            w.run_task(&mut st);
+        }
+        let len = w.map().check_invariants().expect("btree invariants") as f64;
+        assert!(
+            (300.0..=724.0).contains(&len),
+            "tree size drifted wildly: {len}"
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_the_same_op_stream() {
+        // Identical config + seeds ⇒ identical single-threaded op
+        // streams ⇒ identical final contents on both backends.
+        let cfg = RbTreeConfig::small().with_mix(OpMix::write_heavy());
+        let a = RbTreeWorkload::new(cfg.clone(), Stm::default());
+        let b = RbTreeWorkloadOn::<BTreeFamily>::new(cfg, Stm::default());
+        let mut sa = a.init_worker(0);
+        let mut sb = b.init_worker(0);
+        for _ in 0..1500 {
+            a.run_task(&mut sa);
+            b.run_task(&mut sb);
+        }
+        assert_eq!(a.map().snapshot_entries(), b.map().snapshot_entries());
     }
 
     #[test]

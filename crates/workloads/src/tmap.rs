@@ -6,17 +6,25 @@
 //! write the new snapshot back. Structural sharing keeps updates at
 //! O(log n) allocation.
 //!
-//! Concurrency profile (documented in DESIGN.md): *lookups never
-//! conflict with anything* (read-only snapshot transactions), while
-//! updates to the same map serialise on the map's root `TVar` — the
+//! Concurrency profile (documented in DESIGN.md §16): in the default
+//! single-version protocol, lookups *validate* against the root `TVar`
+//! and can therefore abort when any update to the same map commits
+//! concurrently — they are write-free, not conflict-free. Only under
+//! the `mvcc` feature's declared read-only mode ([`rubic_stm::Stm::
+//! read_only`]) do lookups pin a snapshot and become abort-free.
+//! Updates always serialise on the map's single root `TVar` — the
 //! snapshot-map discipline standard for immutable-value STMs (Haskell/
-//! Clojure lineage). STAMP's C trees instead take per-node locks;
-//! the difference only shifts *where* update-update conflicts appear,
-//! and the evaluation's scalability curves come from the simulator's
-//! fitted curves either way.
+//! Clojure lineage) — which makes every update conflict with every
+//! other update on the same map, regardless of key. For the opposite
+//! trade-off see [`crate::btree::TBTreeMap`]: one `TVar` per node, so a
+//! transaction's footprint is only the O(log n) path it touched and
+//! updates on disjoint subtrees commute. Both implement
+//! [`crate::mapapi::TOrdMap`], so workloads generic over
+//! [`crate::mapapi::MapFamily`] can swap them freely.
 
 use rubic_stm::{TVar, Transaction, TxResult, TxValue};
 
+use crate::mapapi::TOrdMap;
 use crate::pers::PMap;
 
 /// Key bound for transactional maps.
@@ -45,6 +53,16 @@ impl<K: TKey, V: TxValue> TMap<K, V> {
     pub fn new() -> Self {
         TMap {
             cell: TVar::new(PMap::new()),
+        }
+    }
+
+    /// Creates an empty map whose snapshot cell carries a trace label,
+    /// so contention tables and post-mortems name it (no-op without the
+    /// `trace` feature).
+    #[must_use]
+    pub fn labelled(label: &str) -> Self {
+        TMap {
+            cell: TVar::labelled(PMap::new(), label),
         }
     }
 
@@ -144,6 +162,68 @@ impl<K: TKey, V: TxValue> TMap<K, V> {
     /// Propagates transactional conflicts.
     pub fn read_snapshot(&self, tx: &mut Transaction) -> TxResult<PMap<K, V>> {
         tx.read(&self.cell)
+    }
+}
+
+impl<K: TKey, V: TxValue> TOrdMap<K, V> for TMap<K, V> {
+    fn empty() -> Self {
+        TMap::new()
+    }
+
+    fn empty_labelled(label: &str) -> Self {
+        TMap::labelled(label)
+    }
+
+    fn get(&self, tx: &mut Transaction, key: &K) -> TxResult<Option<V>> {
+        TMap::get(self, tx, key)
+    }
+
+    fn contains(&self, tx: &mut Transaction, key: &K) -> TxResult<bool> {
+        TMap::contains(self, tx, key)
+    }
+
+    fn insert(&self, tx: &mut Transaction, key: K, value: V) -> TxResult<Option<V>> {
+        TMap::insert(self, tx, key, value)
+    }
+
+    fn remove(&self, tx: &mut Transaction, key: &K) -> TxResult<Option<V>> {
+        TMap::remove(self, tx, key)
+    }
+
+    fn update_or(
+        &self,
+        tx: &mut Transaction,
+        key: K,
+        default: V,
+        f: impl FnOnce(&V) -> V,
+    ) -> TxResult<V> {
+        // The inherent version reads the snapshot once instead of the
+        // trait default's get-then-insert double read.
+        TMap::update_or(self, tx, key, default, f)
+    }
+
+    fn len(&self, tx: &mut Transaction) -> TxResult<usize> {
+        TMap::len(self, tx)
+    }
+
+    fn is_empty(&self, tx: &mut Transaction) -> TxResult<bool> {
+        TMap::is_empty(self, tx)
+    }
+
+    fn entries(&self, tx: &mut Transaction) -> TxResult<Vec<(K, V)>> {
+        Ok(self.read_snapshot(tx)?.entries())
+    }
+
+    fn snapshot_entries(&self) -> Vec<(K, V)> {
+        self.snapshot().entries()
+    }
+
+    fn check_invariants(&self) -> Result<usize, String> {
+        // `PMap::check_invariants` returns the black height; the trait
+        // contract wants the entry count.
+        let snap = self.snapshot();
+        snap.check_invariants()?;
+        Ok(snap.len())
     }
 }
 

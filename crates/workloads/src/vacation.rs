@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 use rubic_runtime::Workload;
 use rubic_stm::{Stm, Transaction, TxResult};
 
-use crate::tmap::TMap;
+use crate::mapapi::{MapFamily, SnapshotFamily, TOrdMap};
 
 /// One of the three reservable resource types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,27 +125,34 @@ impl VacationConfig {
     }
 }
 
-/// The reservation-system state: STAMP's `manager_t`.
-pub struct Manager {
-    cars: TMap<u64, Resource>,
-    flights: TMap<u64, Resource>,
-    rooms: TMap<u64, Resource>,
-    customers: TMap<u64, Customer>,
+/// The reservation-system state: STAMP's `manager_t`, generic over the
+/// table structure ([`MapFamily`]). All four tables carry trace labels
+/// (`vacation.cars` … `vacation.customers`), so with the per-node
+/// B-tree backend a hot interior node shows up in contention tables as
+/// e.g. `vacation.flights/node@d2`.
+pub struct ManagerOn<F: MapFamily> {
+    cars: F::Map<u64, Resource>,
+    flights: F::Map<u64, Resource>,
+    rooms: F::Map<u64, Resource>,
+    customers: F::Map<u64, Customer>,
 }
 
-impl Manager {
+/// The historical default: snapshot-cell tables.
+pub type Manager = ManagerOn<SnapshotFamily>;
+
+impl<F: MapFamily> ManagerOn<F> {
     /// Creates empty tables.
     #[must_use]
     pub fn new() -> Self {
-        Manager {
-            cars: TMap::new(),
-            flights: TMap::new(),
-            rooms: TMap::new(),
-            customers: TMap::new(),
+        ManagerOn {
+            cars: F::new_labelled("vacation.cars"),
+            flights: F::new_labelled("vacation.flights"),
+            rooms: F::new_labelled("vacation.rooms"),
+            customers: F::new_labelled("vacation.customers"),
         }
     }
 
-    fn table(&self, kind: ResourceKind) -> &TMap<u64, Resource> {
+    fn table(&self, kind: ResourceKind) -> &F::Map<u64, Resource> {
         match kind {
             ResourceKind::Car => &self.cars,
             ResourceKind::Flight => &self.flights,
@@ -309,8 +316,7 @@ impl Manager {
         stm.read_only(|tx| {
             let mut sum = 0u64;
             for kind in ResourceKind::ALL {
-                let snap = self.table(kind).read_snapshot(tx)?;
-                for (_, r) in snap.entries() {
+                for (_, r) in self.table(kind).entries(tx)? {
                     sum += u64::from(r.used);
                 }
             }
@@ -322,35 +328,37 @@ impl Manager {
     #[must_use]
     pub fn total_customer_bookings(&self) -> u64 {
         self.customers
-            .snapshot()
-            .entries()
+            .snapshot_entries()
             .iter()
             .map(|(_, c)| c.bookings.len() as u64)
             .sum()
     }
 }
 
-impl Default for Manager {
+impl<F: MapFamily> Default for ManagerOn<F> {
     fn default() -> Self {
-        Manager::new()
+        ManagerOn::new()
     }
 }
 
 /// The Vacation workload: a populated [`Manager`] plus the client-session
-/// task generator.
-pub struct VacationWorkload {
-    manager: Manager,
+/// task generator, generic over the table structure.
+pub struct VacationWorkloadOn<F: MapFamily> {
+    manager: ManagerOn<F>,
     cfg: VacationConfig,
     stm: Stm,
 }
 
-impl VacationWorkload {
+/// The historical default: snapshot-cell tables.
+pub type VacationWorkload = VacationWorkloadOn<SnapshotFamily>;
+
+impl<F: MapFamily> VacationWorkloadOn<F> {
     /// Populates the four tables: every relation row gets 100–500 units
     /// at a random price (STAMP's initialisation), customers start
     /// empty.
     #[must_use]
     pub fn new(cfg: VacationConfig, stm: Stm) -> Self {
-        let manager = Manager::new();
+        let manager = ManagerOn::new();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         for id in 0..cfg.relations {
             for kind in ResourceKind::ALL {
@@ -359,12 +367,12 @@ impl VacationWorkload {
                 stm.atomically(|tx| manager.add_resource(tx, kind, id, units, price));
             }
         }
-        VacationWorkload { manager, cfg, stm }
+        VacationWorkloadOn { manager, cfg, stm }
     }
 
     /// The reservation manager (inspection).
     #[must_use]
-    pub fn manager(&self) -> &Manager {
+    pub fn manager(&self) -> &ManagerOn<F> {
         &self.manager
     }
 
@@ -448,7 +456,7 @@ pub struct VacationWorkerState {
     rng: SmallRng,
 }
 
-impl Workload for VacationWorkload {
+impl<F: MapFamily> Workload for VacationWorkloadOn<F> {
     type WorkerState = VacationWorkerState;
 
     fn init_worker(&self, tid: usize) -> VacationWorkerState {
@@ -490,9 +498,28 @@ mod tests {
     fn population_fills_tables() {
         let w = VacationWorkload::new(small(), Stm::default());
         for kind in ResourceKind::ALL {
-            assert_eq!(w.manager().table(kind).snapshot().len(), 64);
+            assert_eq!(w.manager().table(kind).snapshot_entries().len(), 64);
         }
-        assert_eq!(w.manager().customers.snapshot().len(), 0);
+        assert_eq!(w.manager().customers.snapshot_entries().len(), 0);
+    }
+
+    #[test]
+    fn btree_tables_run_the_same_sessions() {
+        use crate::mapapi::BTreeFamily;
+        let w = VacationWorkloadOn::<BTreeFamily>::new(small(), Stm::default());
+        let mut state = w.init_worker(0);
+        for _ in 0..500 {
+            w.run_task(&mut state);
+        }
+        let used = w.manager().total_reserved_units(w.stm());
+        let held = w.manager().total_customer_bookings();
+        assert_eq!(used, held, "reservation ledger out of balance");
+        for kind in ResourceKind::ALL {
+            w.manager()
+                .table(kind)
+                .check_invariants()
+                .expect("btree table invariants");
+        }
     }
 
     #[test]

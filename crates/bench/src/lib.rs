@@ -20,6 +20,7 @@ pub mod invivo;
 pub mod poolbench;
 pub mod postmortem;
 pub mod stmbench;
+pub mod topobench;
 
 /// A renderable figure/table: labelled rows of numeric columns.
 #[derive(Debug, Clone)]

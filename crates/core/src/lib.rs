@@ -111,7 +111,7 @@ pub mod prelude {
     };
     pub use rubic_runtime::{
         ChannelWorkload, MalleablePool, PoolConfig, PoolView, RunReport, ShardSender,
-        ShardedHandle, ShardedWorkload, Workload,
+        ShardedHandle, ShardedWorkload, WorkerPlacement, Workload,
     };
     pub use rubic_sim::{curves, Experiment, Machine, ProcessSpec, SimConfig, WorkloadSpec};
     pub use rubic_stm::{Stm, StmError, TVar, Transaction, TxResult};

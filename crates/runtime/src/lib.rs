@@ -57,12 +57,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod placement;
 pub mod pool;
 pub mod queue;
 pub mod semaphore;
 pub mod sharded;
 mod trc;
 
+pub use placement::WorkerPlacement;
 pub use pool::{MalleablePool, PoolConfig, PoolView, RunReport, Workload};
 pub use queue::{ChannelWorkload, QueueHandle, TaskSender};
 pub use semaphore::Semaphore;

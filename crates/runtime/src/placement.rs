@@ -1,0 +1,163 @@
+//! Worker-to-socket placement for the malleable pool.
+//!
+//! The pool activates workers in `tid` order (a worker is active while
+//! `tid < level`), so the *assignment* of tids to sockets fully
+//! determines the activation geometry: a compact assignment fills
+//! socket 0 before any thread lands on socket 1 (fill-before-spill as
+//! the controller raises the level), a scattered assignment spreads
+//! each level increase round-robin across sockets.
+//!
+//! [`WorkerPlacement`] is that assignment. The pool publishes it
+//! through [`PoolView`](crate::PoolView) so queue-backed workloads can
+//! steal locality-aware: a dry worker exhausts victims on its own
+//! socket before crossing the interconnect (see
+//! [`ShardedWorkload`](crate::ShardedWorkload)).
+
+use rubic_controllers::MappingPolicy;
+
+/// A fixed worker-index → socket assignment for a pool of `size`
+/// workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPlacement {
+    socket_of: Vec<u32>,
+    sockets: u32,
+}
+
+impl WorkerPlacement {
+    /// Every worker on socket 0 — the placement-blind default, and the
+    /// exact pre-topology behaviour (all steals count as local).
+    #[must_use]
+    pub fn flat(size: u32) -> Self {
+        WorkerPlacement {
+            socket_of: vec![0; size as usize],
+            sockets: 1,
+        }
+    }
+
+    /// Consecutive tids share a socket: `ceil(size / sockets)` workers
+    /// per socket, socket 0 first. With tid-order activation this fills
+    /// each socket before spilling to the next.
+    #[must_use]
+    pub fn compact(size: u32, sockets: u32) -> Self {
+        let sockets = sockets.clamp(1, size.max(1));
+        let per = size.div_ceil(sockets);
+        WorkerPlacement {
+            socket_of: (0..size).map(|tid| tid / per).collect(),
+            sockets,
+        }
+    }
+
+    /// Round-robin tids across sockets: every level increase lands on
+    /// the next socket over.
+    #[must_use]
+    pub fn scatter(size: u32, sockets: u32) -> Self {
+        let sockets = sockets.clamp(1, size.max(1));
+        WorkerPlacement {
+            socket_of: (0..size).map(|tid| tid % sockets).collect(),
+            sockets,
+        }
+    }
+
+    /// The placement a [`MappingPolicy`] implies for a pool of `size`
+    /// workers on `sockets` sockets. `Blind` (and `AdaptiveAbort`,
+    /// whose per-round decisions the fixed pool assignment cannot
+    /// follow) maps to [`flat`](WorkerPlacement::flat): no affinity
+    /// information, every steal counts as local.
+    #[must_use]
+    pub fn from_mapping(mapping: MappingPolicy, size: u32, sockets: u32) -> Self {
+        match mapping {
+            MappingPolicy::Compact => WorkerPlacement::compact(size, sockets),
+            MappingPolicy::Scatter => WorkerPlacement::scatter(size, sockets),
+            MappingPolicy::Blind | MappingPolicy::AdaptiveAbort => WorkerPlacement::flat(size),
+        }
+    }
+
+    /// The socket worker `tid` is assigned to (out-of-range tids fold
+    /// onto socket 0, matching `flat`'s behaviour).
+    #[must_use]
+    pub fn socket_of(&self, tid: usize) -> u32 {
+        self.socket_of.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Number of sockets in the assignment.
+    #[must_use]
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Number of workers covered.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.socket_of.len()
+    }
+
+    /// True when `a` and `b` share a socket.
+    #[must_use]
+    pub fn same_socket(&self, a: usize, b: usize) -> bool {
+        self.socket_of(a) == self.socket_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_socket() {
+        let p = WorkerPlacement::flat(8);
+        assert_eq!(p.sockets(), 1);
+        assert_eq!(p.size(), 8);
+        assert!((0..8).all(|t| p.socket_of(t) == 0));
+        assert!(p.same_socket(0, 7));
+    }
+
+    #[test]
+    fn compact_fills_before_spilling() {
+        let p = WorkerPlacement::compact(8, 4);
+        let sockets: Vec<u32> = (0..8).map(|t| p.socket_of(t)).collect();
+        assert_eq!(sockets, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // tid-order activation: levels 1-2 stay on socket 0, level 3
+        // spills to socket 1.
+        assert!(p.same_socket(0, 1));
+        assert!(!p.same_socket(1, 2));
+    }
+
+    #[test]
+    fn scatter_round_robins() {
+        let p = WorkerPlacement::scatter(8, 4);
+        let sockets: Vec<u32> = (0..8).map(|t| p.socket_of(t)).collect();
+        assert_eq!(sockets, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_division_covers_every_worker() {
+        let p = WorkerPlacement::compact(10, 4);
+        assert_eq!(p.size(), 10);
+        assert!((0..10).all(|t| p.socket_of(t) < 4));
+        // More sockets than workers: clamped.
+        let q = WorkerPlacement::compact(2, 8);
+        assert_eq!(q.sockets(), 2);
+    }
+
+    #[test]
+    fn out_of_range_tid_is_socket_zero() {
+        let p = WorkerPlacement::scatter(4, 2);
+        assert_eq!(p.socket_of(100), 0);
+    }
+
+    #[test]
+    fn from_mapping_shapes() {
+        assert_eq!(
+            WorkerPlacement::from_mapping(MappingPolicy::Compact, 8, 4),
+            WorkerPlacement::compact(8, 4)
+        );
+        assert_eq!(
+            WorkerPlacement::from_mapping(MappingPolicy::Scatter, 8, 4),
+            WorkerPlacement::scatter(8, 4)
+        );
+        assert_eq!(
+            WorkerPlacement::from_mapping(MappingPolicy::Blind, 8, 4),
+            WorkerPlacement::flat(8)
+        );
+    }
+}

@@ -25,6 +25,30 @@
 //! behaviour is the scalability curve itself, and crossing the
 //! oversubscription line hurts *everyone* — without pretending to
 //! predict absolute hardware numbers.
+//!
+//! **Topology extension (DESIGN.md §17).** The testbed is not flat: it
+//! is 4 sockets × 16 contexts, and Pasqualin et al.'s survey (PAPERS.md)
+//! shows thread placement across sockets rivals the concurrency level
+//! as a performance lever. [`Machine::locality_factor`] folds placement
+//! in as a third multiplicative term next to the time-slice share and
+//! the oversubscription penalty:
+//!
+//! * Spreading a *communicating* process across sockets routes its
+//!   transactional metadata through the interconnect instead of one
+//!   LLC: `1 / (1 + γ · comm · spread)`, where `spread` is the fraction
+//!   of threads off the most-populated socket and `comm ∈ [0, 1]` the
+//!   process's communication intensity.
+//! * Spreading a *pinned, non-communicating* process buys it the
+//!   aggregate memory bandwidth of every socket it touches:
+//!   `1 + σ · (1 − comm) · spread`. Unpinned (placement-blind)
+//!   processes migrate too often to keep any socket's caches warm and
+//!   forfeit the bonus.
+//!
+//! With `comm = 0` and no pinning both terms are 1 and the flat model
+//! is reproduced exactly — single-socket machines and legacy callers
+//! (`effective_speedup`) are numerically unchanged.
+
+use rubic_controllers::{Placement, Topology};
 
 /// The simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,24 +57,40 @@ pub struct Machine {
     pub contexts: u32,
     /// Oversubscription penalty slope δ.
     pub penalty_delta: f64,
+    /// Sockets the contexts are split across (the paper's machine: 4).
+    /// Should divide `contexts`; per-socket capacity is
+    /// `contexts / sockets`.
+    pub sockets: u32,
+    /// Cross-socket communication penalty slope γ: how hard spreading
+    /// hurts a fully communicating (`comm = 1`) process.
+    pub xsocket_gamma: f64,
+    /// Aggregate-bandwidth bonus slope σ: how much spreading helps a
+    /// pinned, non-communicating process.
+    pub bandwidth_sigma: f64,
 }
 
 impl Machine {
-    /// The paper's 64-context machine with the default penalty slope.
+    /// The paper's machine — 4 sockets × 16 contexts — with the default
+    /// penalty and locality slopes.
     #[must_use]
     pub fn paper() -> Self {
         Machine {
             contexts: 64,
             penalty_delta: 0.02,
+            sockets: 4,
+            xsocket_gamma: 0.8,
+            bandwidth_sigma: 0.08,
         }
     }
 
-    /// A machine with `contexts` contexts and the default penalty.
+    /// A flat (single-socket) machine with `contexts` contexts and the
+    /// default penalty.
     #[must_use]
     pub fn with_contexts(contexts: u32) -> Self {
         Machine {
             contexts: contexts.max(1),
-            penalty_delta: 0.02,
+            sockets: 1,
+            ..Machine::paper()
         }
     }
 
@@ -59,6 +99,32 @@ impl Machine {
     pub fn penalty(mut self, delta: f64) -> Self {
         self.penalty_delta = delta.max(0.0);
         self
+    }
+
+    /// Sets the socket count (clamped to `[1, contexts]`; should divide
+    /// `contexts`).
+    #[must_use]
+    pub fn with_sockets(mut self, sockets: u32) -> Self {
+        self.sockets = sockets.clamp(1, self.contexts);
+        self
+    }
+
+    /// Sets the locality slopes (γ: cross-socket communication penalty,
+    /// σ: aggregate-bandwidth bonus).
+    #[must_use]
+    pub fn locality(mut self, gamma: f64, sigma: f64) -> Self {
+        self.xsocket_gamma = gamma.max(0.0);
+        self.bandwidth_sigma = sigma.max(0.0);
+        self
+    }
+
+    /// The socket layout mapping policies place onto.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        Topology {
+            sockets: self.sockets,
+            contexts_per_socket: (self.contexts / self.sockets).max(1),
+        }
     }
 
     /// The fraction of full speed each software thread gets when
@@ -97,6 +163,43 @@ impl Machine {
     #[must_use]
     pub fn oversubscribed(&self, total_threads: u32) -> bool {
         total_threads > self.contexts
+    }
+
+    /// The placement-dependent multiplicative factor (see the module
+    /// docs): cross-socket communication penalty × aggregate-bandwidth
+    /// bonus. Exactly `1.0` on a single-socket machine, for an empty
+    /// placement, or for a placement packed onto one socket.
+    #[must_use]
+    pub fn locality_factor(&self, placement: &Placement, comm_intensity: f64) -> f64 {
+        if self.sockets <= 1 {
+            return 1.0;
+        }
+        let spread = placement.spread_fraction();
+        if spread <= 0.0 {
+            return 1.0;
+        }
+        let comm = comm_intensity.clamp(0.0, 1.0);
+        let penalty = 1.0 / (1.0 + self.xsocket_gamma * comm * spread);
+        let bonus = if placement.stable {
+            1.0 + self.bandwidth_sigma * (1.0 - comm) * spread
+        } else {
+            1.0
+        };
+        penalty * bonus
+    }
+
+    /// [`effective_speedup`](Machine::effective_speedup) with the
+    /// process's thread placement folded in.
+    #[must_use]
+    pub fn effective_speedup_placed(
+        &self,
+        intrinsic_speedup: f64,
+        total_threads: u32,
+        placement: &Placement,
+        comm_intensity: f64,
+    ) -> f64 {
+        self.effective_speedup(intrinsic_speedup, total_threads)
+            * self.locality_factor(placement, comm_intensity)
     }
 }
 
@@ -161,6 +264,65 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_is_an_idle_machine() {
+        // `total_threads == 0` (no process active this round) must be
+        // transparent, not a division hazard.
+        let m = Machine::paper();
+        assert_eq!(m.time_slice_share(0), 1.0);
+        assert_eq!(m.oversubscription_penalty(0), 1.0);
+        assert_eq!(m.effective_speedup(0.0, 0), 0.0);
+        assert!(!m.oversubscribed(0));
+    }
+
+    #[test]
+    fn exactly_at_capacity_is_transparent() {
+        // T == C sits on the boundary: still undersubscribed, share and
+        // penalty both exactly 1, and one more thread flips both.
+        for c in [1, 2, 16, 64, 256] {
+            let m = Machine::with_contexts(c);
+            assert_eq!(m.time_slice_share(c), 1.0, "C={c}");
+            assert_eq!(m.oversubscription_penalty(c), 1.0, "C={c}");
+            assert!(!m.oversubscribed(c));
+            assert!(m.time_slice_share(c + 1) < 1.0, "C={c}");
+            assert!(m.oversubscription_penalty(c + 1) < 1.0, "C={c}");
+            assert!(m.oversubscribed(c + 1));
+        }
+    }
+
+    #[test]
+    fn far_past_capacity_degrades_but_stays_positive() {
+        // Extreme oversubscription (4096 threads on 64 contexts): the
+        // share goes to C/T, the penalty stays in (0, 1], and the
+        // product never hits zero or goes negative.
+        let m = Machine::paper();
+        let t = 4096;
+        assert!((m.time_slice_share(t) - 64.0 / 4096.0).abs() < 1e-12);
+        let p = m.oversubscription_penalty(t);
+        assert!(p > 0.0 && p < 1.0, "penalty {p}");
+        let expected = 1.0 / (1.0 + 0.02 * (4096.0 / 64.0 - 1.0));
+        assert!((p - expected).abs() < 1e-12);
+        let eff = m.effective_speedup(64.0, t);
+        assert!(eff > 0.0 && eff < 1.5, "eff {eff}");
+    }
+
+    #[test]
+    fn penalty_monotone_over_dense_range() {
+        // Dense-sweep companion to the proptest in tests/prop_sim.rs:
+        // the penalty is non-increasing in T across the boundary and
+        // strictly decreasing past it (for δ > 0).
+        let m = Machine::paper();
+        let mut prev = m.oversubscription_penalty(0);
+        for t in 1..=512u32 {
+            let p = m.oversubscription_penalty(t);
+            assert!(p <= prev + 1e-15, "t={t}: {p} > {prev}");
+            if t > 64 {
+                assert!(p < prev, "t={t}: not strictly decreasing past C");
+            }
+            prev = p;
+        }
+    }
+
+    #[test]
     fn two_greedy_processes_lose_big() {
         // The Fig. 7 Greedy pathology: two processes at 64 threads each
         // (T = 128) on intruder-like workloads each get hammered by both
@@ -170,5 +332,63 @@ mod tests {
         let contended = m.effective_speedup(3.5, 128);
         // Time slicing alone halves it; the penalty shaves a bit more.
         assert!(contended < alone * 0.50);
+    }
+
+    #[test]
+    fn paper_machine_is_4x16() {
+        let t = Machine::paper().topology();
+        assert_eq!((t.sockets, t.contexts_per_socket), (4, 16));
+        assert_eq!(t.total_contexts(), 64);
+        let flat = Machine::with_contexts(64).topology();
+        assert_eq!((flat.sockets, flat.contexts_per_socket), (1, 64));
+    }
+
+    #[test]
+    fn locality_factor_is_identity_when_it_should_be() {
+        let m = Machine::paper();
+        let topo = m.topology();
+        // Packed placement: no spread, no effect, any comm intensity.
+        for comm in [0.0, 0.5, 1.0] {
+            assert_eq!(m.locality_factor(&Placement::compact(16, &topo), comm), 1.0);
+        }
+        // Single-socket machine: placement cannot matter.
+        let flat = Machine::with_contexts(64);
+        let spread = Placement::scatter(32, &flat.topology());
+        assert_eq!(flat.locality_factor(&spread, 1.0), 1.0);
+        // Empty placement: defined, transparent.
+        assert_eq!(m.locality_factor(&Placement::scatter(0, &topo), 1.0), 1.0);
+        // Unpinned + zero comm: no penalty, no bonus.
+        assert_eq!(m.locality_factor(&Placement::blind(32, &topo), 0.0), 1.0);
+    }
+
+    #[test]
+    fn spreading_a_communicating_process_hurts() {
+        let m = Machine::paper();
+        let topo = m.topology();
+        let packed = Placement::compact(16, &topo);
+        let spread = Placement::scatter(16, &topo);
+        let f_packed = m.effective_speedup_placed(8.0, 16, &packed, 0.9);
+        let f_spread = m.effective_speedup_placed(8.0, 16, &spread, 0.9);
+        assert!(
+            f_spread < f_packed * 0.75,
+            "spreading comm=0.9 should cost >25%: {f_spread} vs {f_packed}"
+        );
+        // And the penalty grows with comm intensity.
+        assert!(
+            m.locality_factor(&spread, 0.9) < m.locality_factor(&spread, 0.3),
+            "penalty must grow with comm intensity"
+        );
+    }
+
+    #[test]
+    fn spreading_a_pinned_streaming_process_helps() {
+        let m = Machine::paper();
+        let topo = m.topology();
+        let spread = Placement::scatter(32, &topo);
+        let blind = Placement::blind(32, &topo);
+        // comm = 0: pinned spread earns the bandwidth bonus, the
+        // unpinned OS-default spread does not.
+        assert!(m.locality_factor(&spread, 0.0) > 1.0);
+        assert_eq!(m.locality_factor(&blind, 0.0), 1.0);
     }
 }

@@ -52,6 +52,28 @@ proptest! {
         );
     }
 
+    /// Machine law: the oversubscription penalty itself is monotone
+    /// non-increasing in total threads, bounded in (0, 1], and exactly
+    /// 1 up to (and including) capacity — for any context count and any
+    /// penalty slope, including the t = 0 idle edge.
+    #[test]
+    fn oversubscription_penalty_monotone_and_bounded(
+        contexts in 1u32..256,
+        delta in 0.0f64..1.0,
+        t1 in 0u32..1024,
+        t2 in 0u32..1024,
+    ) {
+        let m = Machine::with_contexts(contexts).penalty(delta);
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let (p_lo, p_hi) = (m.oversubscription_penalty(lo), m.oversubscription_penalty(hi));
+        prop_assert!(p_hi <= p_lo + 1e-15, "penalty rose: p({lo})={p_lo} p({hi})={p_hi}");
+        for p in [p_lo, p_hi] {
+            prop_assert!(p > 0.0 && p <= 1.0);
+        }
+        prop_assert_eq!(m.oversubscription_penalty(0), 1.0);
+        prop_assert_eq!(m.oversubscription_penalty(contexts), 1.0);
+    }
+
     /// Machine law: undersubscribed systems are transparent.
     #[test]
     fn undersubscribed_identity(

@@ -222,6 +222,8 @@ mod tests {
             commit_p99_ns: 900,
             level: 2,
             snap: SnapStats::default(),
+            steals_local: 4,
+            steals_remote: 1,
             top_conflicts: Vec::new(),
             dropped: 0,
         }

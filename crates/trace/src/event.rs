@@ -25,7 +25,7 @@
 /// | `Decision` | phase | throughput `f64` bits | `level << 32 \| new level` | policy id |
 /// | `RubicState` | phase | `T_p` `f64` bits | `L_max` `f64` bits | `level << 32 \| new level` |
 /// | `Chaos` | chaos point | action code | spin count | 0 |
-/// | `TaskSteal` | 1 if victim gated | `thief << 32 \| victim` | tasks moved | victim shard length before |
+/// | `TaskSteal` | bit 0: victim gated, bit 1: cross-socket | `thief << 32 \| victim` | tasks moved | victim shard length before |
 /// | `WorkerPark` | 0 park / 1 unpark | worker tid | level at transition | 0 |
 /// | `SnapshotRead` | 0 | pinned snapshot timestamp (rv) | visible version stamp | 0 |
 /// | `VersionPrune` | 0 | lock address | versions dropped | min active snapshot timestamp |

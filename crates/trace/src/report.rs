@@ -155,6 +155,8 @@ pub(crate) struct Sink {
     snap_pins: u64,
     snap_extends: u64,
     snap_demotes: u64,
+    steals_local: u64,
+    steals_remote: u64,
     anomalies: [u64; codes::ANOMALY_NAMES.len()],
     last_level: u32,
     baseline: SnapshotBaseline,
@@ -178,6 +180,8 @@ impl Sink {
             snap_pins: 0,
             snap_extends: 0,
             snap_demotes: 0,
+            steals_local: 0,
+            steals_remote: 0,
             anomalies: [0; codes::ANOMALY_NAMES.len()],
             last_level: 0,
             baseline: SnapshotBaseline::default(),
@@ -242,6 +246,15 @@ impl Sink {
                 }
             }
             EventKind::SnapDemote => self.snap_demotes += 1,
+            EventKind::TaskSteal => {
+                // Flags bitfield: bit 0 = victim gated, bit 1 = the
+                // steal crossed a socket boundary.
+                if event.code & 0b10 == 0 {
+                    self.steals_local += 1;
+                } else {
+                    self.steals_remote += 1;
+                }
+            }
             EventKind::VersionPrune => {
                 if let Some(agg) = self.addr_entry(event.a) {
                     agg.version_prunes += 1;
@@ -364,6 +377,8 @@ impl Sink {
                 extends: self.snap_extends,
                 demotes: self.snap_demotes,
             },
+            steals_local: self.steals_local,
+            steals_remote: self.steals_remote,
             top_conflicts: self.contention_table(merged),
             dropped: self.dropped,
         }
@@ -699,6 +714,12 @@ pub struct MetricsSnapshot {
     pub level: u32,
     /// Cumulative mvcc snapshot counters.
     pub snap: SnapStats,
+    /// Cumulative task steals whose thief and victim shared a socket
+    /// (`TaskSteal` events without the cross-socket flag).
+    pub steals_local: u64,
+    /// Cumulative task steals that crossed a socket boundary under the
+    /// pool's worker placement.
+    pub steals_remote: u64,
     /// Current top-K contention table.
     pub top_conflicts: Vec<ContentionEntry>,
     /// Cumulative ring-overflow drops.
@@ -746,6 +767,11 @@ impl MetricsSnapshot {
             s,
             ",\"snap\":{{\"pins\":{},\"extends\":{},\"demotes\":{}}}",
             self.snap.pins, self.snap.extends, self.snap.demotes
+        );
+        let _ = write!(
+            s,
+            ",\"steals\":{{\"local\":{},\"remote\":{}}}",
+            self.steals_local, self.steals_remote
         );
         s.push_str(",\"top_conflicts\":[");
         for (i, c) in self.top_conflicts.iter().enumerate() {
@@ -798,6 +824,17 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "rubic_snapshot_extends_total {}", self.snap.extends);
         let _ = writeln!(s, "# TYPE rubic_snapshot_demotes_total counter");
         let _ = writeln!(s, "rubic_snapshot_demotes_total {}", self.snap.demotes);
+        let _ = writeln!(s, "# TYPE rubic_steals_total counter");
+        let _ = writeln!(
+            s,
+            "rubic_steals_total{{locality=\"local\"}} {}",
+            self.steals_local
+        );
+        let _ = writeln!(
+            s,
+            "rubic_steals_total{{locality=\"remote\"}} {}",
+            self.steals_remote
+        );
         let _ = writeln!(s, "# TYPE rubic_conflicts_total counter");
         for c in &self.top_conflicts {
             let _ = writeln!(
@@ -1169,6 +1206,25 @@ mod tests {
                 "{line}"
             );
         }
+    }
+
+    #[test]
+    fn steal_locality_counters_split_on_the_flag_bit() {
+        let mut sink = Sink::new(SinkOptions::default());
+        // bit 0 = gated, bit 1 = cross-socket: gating must not affect
+        // the locality split.
+        sink.add(ev(EventKind::TaskSteal, 0b00, 10, 1 << 32, 4, 8));
+        sink.add(ev(EventKind::TaskSteal, 0b01, 20, 1 << 32, 4, 8));
+        sink.add(ev(EventKind::TaskSteal, 0b10, 30, 2 << 32, 4, 8));
+        sink.add(ev(EventKind::TaskSteal, 0b11, 40, 2 << 32, 4, 8));
+        let snap = sink.take_snapshot(&ConflictSketch::new(4), 1_000);
+        assert_eq!(snap.steals_local, 2);
+        assert_eq!(snap.steals_remote, 2);
+        let line = snap.to_json_line();
+        assert!(line.contains("\"steals\":{\"local\":2,\"remote\":2}"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("rubic_steals_total{locality=\"local\"} 2"));
+        assert!(prom.contains("rubic_steals_total{locality=\"remote\"} 2"));
     }
 
     #[test]

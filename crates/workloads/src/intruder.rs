@@ -30,8 +30,8 @@ use rand::{Rng, SeedableRng};
 use rubic_runtime::Workload;
 use rubic_stm::{Stm, TVar};
 
+use crate::mapapi::{MapFamily, SnapshotFamily, TOrdMap};
 use crate::pqueue::PQueue;
-use crate::tmap::TMap;
 
 /// The attack strings injected into flows and searched by the detector
 /// (STAMP uses a dictionary; a fixed signature set preserves the
@@ -186,24 +186,29 @@ pub fn detect(payload: &[u8]) -> bool {
     })
 }
 
-/// The Intruder workload: shared packet queue + session map + detector.
-pub struct IntruderWorkload {
+/// The Intruder workload: shared packet queue + session map + detector,
+/// generic over the session-map structure (the stmbench `structure`
+/// axis: one snapshot cell vs a per-node B-tree).
+pub struct IntruderWorkloadOn<F: MapFamily> {
     queue: TVar<PQueue<Packet>>,
-    sessions: TMap<u64, FlowBuffer>,
+    sessions: F::Map<u64, FlowBuffer>,
     cfg: IntruderConfig,
     stm: Stm,
     attacks_found: AtomicU64,
     flows_completed: AtomicU64,
 }
 
-impl IntruderWorkload {
+/// The historical default: a snapshot-cell session map.
+pub type IntruderWorkload = IntruderWorkloadOn<SnapshotFamily>;
+
+impl<F: MapFamily> IntruderWorkloadOn<F> {
     /// Creates the workload with an initially empty queue (the first
     /// tasks trigger a refill).
     #[must_use]
     pub fn new(cfg: IntruderConfig, stm: Stm) -> Self {
-        IntruderWorkload {
+        IntruderWorkloadOn {
             queue: TVar::new(PQueue::new()),
-            sessions: TMap::new(),
+            sessions: F::new_labelled("intruder.sessions"),
             cfg,
             stm,
             attacks_found: AtomicU64::new(0),
@@ -232,7 +237,7 @@ impl IntruderWorkload {
     /// In-progress (incomplete) sessions right now.
     #[must_use]
     pub fn open_sessions(&self) -> usize {
-        self.sessions.snapshot().len()
+        self.sessions.snapshot_entries().len()
     }
 
     /// Phase 1: capture. Pops one packet; on an empty queue, refills it
@@ -287,7 +292,7 @@ pub struct IntruderWorkerState {
     gen: TrafficGenerator,
 }
 
-impl Workload for IntruderWorkload {
+impl<F: MapFamily> Workload for IntruderWorkloadOn<F> {
     type WorkerState = IntruderWorkerState;
 
     fn init_worker(&self, tid: usize) -> IntruderWorkerState {
@@ -409,6 +414,18 @@ mod tests {
         };
         assert_eq!(w.reassemble(&p2), Some(b"abcdef".to_vec()));
         assert_eq!(w.open_sessions(), 0);
+    }
+
+    #[test]
+    fn btree_backed_sessions_behave_identically() {
+        use crate::mapapi::BTreeFamily;
+        let w = IntruderWorkloadOn::<BTreeFamily>::new(IntruderConfig::small(), Stm::default());
+        let mut state = w.init_worker(0);
+        for _ in 0..500 {
+            w.run_task(&mut state);
+        }
+        assert!(w.flows_completed() > 0, "no flow completed");
+        assert!(w.open_sessions() <= 8, "sessions leak");
     }
 
     #[test]

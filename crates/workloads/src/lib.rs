@@ -74,7 +74,7 @@ pub mod vacation;
 pub use btree::TBTreeMap;
 pub use counter::{ConflictCounter, StripedCounter};
 pub use genome::{GenomeConfig, GenomeWorkload};
-pub use intruder::{IntruderConfig, IntruderWorkload};
+pub use intruder::{IntruderConfig, IntruderWorkload, IntruderWorkloadOn};
 pub use kmeans::{KMeansConfig, KMeansWorkload};
 pub use labyrinth::{LabyrinthConfig, LabyrinthWorkload, Maze};
 pub use mapapi::{BTreeFamily, MapFamily, SnapshotFamily, TOrdMap};

@@ -1,0 +1,614 @@
+//! A1 — transaction purity. A transaction body reruns on every abort,
+//! so an irrevocable side effect inside it (I/O, channel traffic,
+//! spawning, OS-clock reads, mutation of captured non-TVar state)
+//! silently duplicates under contention. This pass finds every closure
+//! flowing into `Stm::atomically` / `Stm::read_only` and every fn that
+//! takes a `&mut Transaction` (the one-call-hop closure helpers — the
+//! only way a helper participates in a transaction is by receiving the
+//! `tx`), and flags effectful tokens inside them.
+//!
+//! Escape grammar: `// txn: allow-effect(<reason>)` on the line or
+//! within the comment window above. The reason must be non-empty — an
+//! empty escape is itself reported (E1): an escape must argue, not
+//! just silence.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::{LexOut, Tok, TokKind};
+use crate::passes::lexical::{test_tail_line, COMMENT_WINDOW};
+use crate::report::{Finding, Rule, Stats};
+use crate::tree::{flatten, Group, Tree};
+
+/// The escape marker.
+pub const ESCAPE: &str = "txn: allow-effect(";
+
+/// APIs whose closure argument is a transaction body.
+const TXN_ENTRY_FNS: [&str; 2] = ["atomically", "read_only"];
+
+/// One transaction context found in a file.
+struct TxnCtx<'a> {
+    /// Parameter / locally-bound identifiers (assignments to anything
+    /// else are captured-state mutations).
+    locals: BTreeSet<String>,
+    /// The body forest.
+    body: Vec<&'a Tree>,
+    /// Where the context starts (for messages).
+    line: u32,
+    /// "closure" or "fn `name`".
+    what: String,
+}
+
+/// Runs A1 over one production file.
+pub fn check_file(
+    rel: &Path,
+    lex: &LexOut,
+    trees: &[Tree],
+    stats: &mut Stats,
+    out: &mut Vec<Finding>,
+) {
+    let tail = test_tail_line(&lex.tokens);
+    let mut ctxs: Vec<TxnCtx<'_>> = Vec::new();
+    collect_contexts(trees, &mut ctxs);
+    for ctx in ctxs {
+        if ctx.line >= tail {
+            continue; // test-module tail: harness code may be effectful
+        }
+        stats.txn_contexts += 1;
+        check_ctx(rel, lex, &ctx, tail, stats, out);
+    }
+}
+
+/// Finds txn contexts in a forest: closure args of `atomically(…)` /
+/// `read_only(…)` calls, and bodies of fns taking `&mut Transaction`.
+fn collect_contexts<'a>(trees: &'a [Tree], out: &mut Vec<TxnCtx<'a>>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            // Recurse first: nested modules, blocks, arguments.
+            collect_contexts(&g.children, out);
+
+            // `atomically ( |tx| body )` — the previous sibling names
+            // the entry point.
+            if g.delim == '(' && i > 0 && TXN_ENTRY_FNS.iter().any(|f| trees[i - 1].is_ident(f)) {
+                if let Some(ctx) = closure_in_args(g) {
+                    out.push(ctx);
+                }
+            }
+        }
+
+        // `fn name (params…) … { body }` with a `Transaction` param.
+        if t.is_ident("fn") {
+            if let Some((name, params, body)) = fn_parts(trees, i) {
+                if params_take_transaction(params) {
+                    let mut locals = idents_before_colons(params);
+                    collect_bindings(&body.children, &mut locals);
+                    out.push(TxnCtx {
+                        locals,
+                        body: body.children.iter().collect(),
+                        line: body.open_line,
+                        what: format!("fn `{name}`"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parameter names: the identifier immediately before each top-level
+/// `:` in a parameter list (plus `self`, which has no annotation).
+fn idents_before_colons(params: &Group) -> BTreeSet<String> {
+    let kids = &params.children;
+    let mut out = BTreeSet::new();
+    for (i, t) in kids.iter().enumerate() {
+        if let Some(l) = t.leaf().filter(|l| l.kind == TokKind::Ident) {
+            if l.text == "self" || kids.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+                out.insert(l.text.clone());
+            }
+        } else if let Some(g) = t.group() {
+            // Destructuring patterns: over-collect every ident inside.
+            let mut flat = Vec::new();
+            flatten(&g.children, &mut flat);
+            for l in flat {
+                if l.kind == TokKind::Ident {
+                    out.insert(l.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Splits `fn name … (params) … { body }` starting at the `fn` keyword.
+fn fn_parts(trees: &[Tree], at: usize) -> Option<(String, &Group, &Group)> {
+    let name = trees
+        .get(at + 1)?
+        .leaf()
+        .filter(|t| t.kind == TokKind::Ident)?
+        .text
+        .clone();
+    let mut params = None;
+    for t in &trees[at + 2..] {
+        match t {
+            Tree::Group(g) if g.delim == '(' && params.is_none() => params = Some(g),
+            Tree::Group(g) if g.delim == '{' => return Some((name, params?, g)),
+            Tree::Leaf(l) if l.text == ";" => return None, // trait method decl
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when a parameter group names `Transaction` outside an
+/// `Fn(…)`/`FnMut(…)`/`FnOnce(…)` bound (a fn *taking a closure over*
+/// transactions, like `Stm::run` itself, is not a transaction body).
+fn params_take_transaction(params: &Group) -> bool {
+    fn scan(trees: &[Tree]) -> bool {
+        for (i, t) in trees.iter().enumerate() {
+            match t {
+                Tree::Leaf(l) if l.text == "Transaction" => return true,
+                Tree::Group(g) => {
+                    let bound = i > 0
+                        && ["Fn", "FnMut", "FnOnce"]
+                            .iter()
+                            .any(|f| trees[i - 1].is_ident(f));
+                    if !bound && scan(&g.children) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    scan(&params.children)
+}
+
+/// Finds the first `|params| body` closure inside a call-argument
+/// group and builds its context.
+fn closure_in_args(args: &Group) -> Option<TxnCtx<'_>> {
+    let kids = &args.children;
+    let start = kids
+        .iter()
+        .position(|t| t.is_punct("|") || t.is_punct("||"))?;
+    let (params, body_from) = if kids[start].is_punct("||") {
+        (Vec::new(), start + 1)
+    } else {
+        let end = kids[start + 1..]
+            .iter()
+            .position(|t| t.is_punct("|"))
+            .map(|p| start + 1 + p)?;
+        (kids[start + 1..end].to_vec(), end + 1)
+    };
+    if body_from >= kids.len() {
+        return None;
+    }
+    let mut locals: BTreeSet<String> = params
+        .iter()
+        .filter_map(|t| t.leaf())
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect();
+    let body: Vec<&Tree> = kids[body_from..].iter().collect();
+    let owned: Vec<Tree> = body.iter().map(|t| (*t).clone()).collect();
+    collect_bindings(&owned, &mut locals);
+    Some(TxnCtx {
+        locals,
+        body,
+        line: kids[body_from].line(),
+        what: "closure".into(),
+    })
+}
+
+/// Collects identifiers bound *inside* a body: `let` patterns, `for`
+/// patterns, nested-closure parameters, and match-arm patterns.
+/// Deliberately over-collects (type names in `let x: Vec<T>` etc.) —
+/// extra locals can only suppress a capture-mutation report, never
+/// invent one, which is the safe direction for a heuristic.
+fn collect_bindings(trees: &[Tree], locals: &mut BTreeSet<String>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        let t = &trees[i];
+        if t.is_ident("let") || t.is_ident("for") {
+            let stop = |x: &Tree| {
+                x.is_punct("=") || x.is_punct(";") || x.is_ident("in") || x.is_punct("{")
+            };
+            let mut j = i + 1;
+            while j < trees.len() && !stop(&trees[j]) {
+                match &trees[j] {
+                    Tree::Leaf(l) if l.kind == TokKind::Ident => {
+                        locals.insert(l.text.clone());
+                    }
+                    Tree::Group(g) => {
+                        let mut flat = Vec::new();
+                        flatten(&g.children, &mut flat);
+                        for l in flat {
+                            if l.kind == TokKind::Ident {
+                                locals.insert(l.text.clone());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // Closure params: idents between a `|…|` pair. (`a | b`
+        // bitwise-or over-collects `a`/`b` as locals; acceptable.)
+        if t.is_punct("|") {
+            let mut j = i + 1;
+            while j < trees.len() && !trees[j].is_punct("|") {
+                if let Some(l) = trees[j].leaf() {
+                    if l.kind == TokKind::Ident {
+                        locals.insert(l.text.clone());
+                    }
+                } else if let Some(g) = trees[j].group() {
+                    let mut flat = Vec::new();
+                    flatten(&g.children, &mut flat);
+                    for l in flat {
+                        if l.kind == TokKind::Ident {
+                            locals.insert(l.text.clone());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        // Match-arm patterns: idents in the run before `=>`.
+        if t.is_punct("=>") {
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                match &trees[j] {
+                    Tree::Leaf(l) if l.text == "," || l.text == ";" => break,
+                    Tree::Leaf(l) if l.kind == TokKind::Ident => {
+                        locals.insert(l.text.clone());
+                    }
+                    Tree::Group(g) => {
+                        let mut flat = Vec::new();
+                        flatten(&g.children, &mut flat);
+                        for l in flat {
+                            if l.kind == TokKind::Ident {
+                                locals.insert(l.text.clone());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Tree::Group(g) = t {
+            collect_bindings(&g.children, locals);
+        }
+        i += 1;
+    }
+}
+
+/// Flattens a forest to owned tokens, re-materializing group
+/// delimiters as punct tokens (the effect patterns need the `(` of a
+/// call, which [`flatten`] elides).
+fn flatten_with_delims(trees: &[Tree], out: &mut Vec<Tok>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(l) => out.push(l.clone()),
+            Tree::Group(g) => {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: g.delim.to_string(),
+                    line: g.open_line,
+                });
+                flatten_with_delims(&g.children, out);
+                let close = match g.delim {
+                    '(' => ")",
+                    '[' => "]",
+                    _ => "}",
+                };
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: close.into(),
+                    line: g.close_line,
+                });
+            }
+        }
+    }
+}
+
+/// Effectful-pattern table: each returns a description when the flat
+/// token window starting at `i` matches.
+fn effect_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = &toks[i];
+    let ident = |k: usize, name: &str| {
+        toks.get(i + k)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+    };
+    let punct = |k: usize, p: &str| {
+        toks.get(i + k)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+    };
+    if t.kind != TokKind::Ident && !(t.kind == TokKind::Punct && t.text == ".") {
+        return None;
+    }
+    // Output / debug macros.
+    const MACROS: [&str; 7] = [
+        "println", "print", "eprintln", "eprint", "dbg", "write", "writeln",
+    ];
+    if t.kind == TokKind::Ident && MACROS.contains(&t.text.as_str()) && punct(1, "!") {
+        return Some(format!("`{}!` output inside a transaction body", t.text));
+    }
+    // OS clock.
+    if (t.text == "Instant" || t.text == "SystemTime") && punct(1, "::") && ident(2, "now") {
+        return Some(format!(
+            "`{}::now()` reads the OS clock in a retry-able body",
+            t.text
+        ));
+    }
+    // Thread ops.
+    if t.text == "thread" && punct(1, "::") {
+        for op in ["spawn", "sleep", "yield_now"] {
+            if ident(2, op) {
+                return Some(format!("`thread::{op}` inside a transaction body"));
+            }
+        }
+    }
+    // Process control.
+    if t.text == "process" && punct(1, "::") && (ident(2, "exit") || ident(2, "abort")) {
+        return Some("`process::exit`/`abort` inside a transaction body".into());
+    }
+    // Filesystem / stdio.
+    if t.text == "fs" && punct(1, "::") {
+        return Some("`fs::` filesystem access inside a transaction body".into());
+    }
+    if t.text == "File" && punct(1, "::") && (ident(2, "create") || ident(2, "open")) {
+        return Some("`File::open`/`create` inside a transaction body".into());
+    }
+    if t.kind == TokKind::Ident
+        && ["stdout", "stderr", "stdin"].contains(&t.text.as_str())
+        && punct(1, "(")
+    {
+        return Some(format!(
+            "`{}()` stdio handle inside a transaction body",
+            t.text
+        ));
+    }
+    // Channel traffic: method-call position only (`.send(…)`), so a
+    // fn named `send` defined elsewhere doesn't fire on its own name.
+    if t.kind == TokKind::Punct && t.text == "." {
+        for op in ["send", "recv", "try_send", "try_recv"] {
+            if ident(1, op) && punct(2, "(") {
+                return Some(format!(
+                    "`.{op}()` channel traffic inside a transaction body (duplicates on retry)"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Assignment operators that mutate their LHS.
+const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+];
+
+fn check_ctx(
+    rel: &Path,
+    lex: &LexOut,
+    ctx: &TxnCtx<'_>,
+    tail: u32,
+    stats: &mut Stats,
+    out: &mut Vec<Finding>,
+) {
+    // Effects: scan the body's flat token stream (with delimiters).
+    let owned: Vec<Tree> = ctx.body.iter().map(|t| (*t).clone()).collect();
+    let mut flat: Vec<Tok> = Vec::new();
+    flatten_with_delims(&owned, &mut flat);
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    for i in 0..flat.len() {
+        if let Some(desc) = effect_at(&flat, i) {
+            let line = flat[i].line;
+            if line >= tail || !seen.insert((line, desc.clone())) {
+                continue;
+            }
+            maybe_report(rel, lex, line, &ctx.what, ctx.line, &desc, stats, out);
+        }
+    }
+
+    // Captured-state mutation: assignment whose LHS base identifier is
+    // not bound inside the context.
+    check_assignments(rel, lex, ctx, &owned, tail, stats, out);
+}
+
+fn check_assignments(
+    rel: &Path,
+    lex: &LexOut,
+    ctx: &TxnCtx<'_>,
+    trees: &[Tree],
+    tail: u32,
+    stats: &mut Stats,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            check_assignments(rel, lex, ctx, &g.children, tail, stats, out);
+            continue;
+        }
+        let Some(op) = t.leaf().filter(|l| l.kind == TokKind::Punct) else {
+            continue;
+        };
+        if !ASSIGN_OPS.contains(&op.text.as_str()) {
+            continue;
+        }
+        // Walk the LHS back over a field chain to the base identifier.
+        let mut j = i;
+        while j >= 2 && trees[j - 1].leaf().is_some() && trees[j - 2].is_punct(".") {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        let Some(base) = trees[j - 1].leaf().filter(|l| l.kind == TokKind::Ident) else {
+            continue;
+        };
+        // `*x = …` deref-assign unwraps to the same base.
+        // A `let`/`if let`/`while let`/`for` earlier in the statement
+        // makes this a declaration, not a mutation.
+        let stmt_start = trees[..j]
+            .iter()
+            .rposition(|x| x.is_punct(";"))
+            .map_or(0, |p| p + 1);
+        let is_decl = trees[stmt_start..j]
+            .iter()
+            .any(|x| x.is_ident("let") || x.is_ident("for"));
+        if is_decl || ctx.locals.contains(&base.text) {
+            continue;
+        }
+        let line = op.line;
+        if line >= tail {
+            continue;
+        }
+        let desc = format!(
+            "mutation of captured `{}` (non-TVar state written by a retry-able body reruns \
+             on every abort)",
+            base.text
+        );
+        maybe_report(rel, lex, line, &ctx.what, ctx.line, &desc, stats, out);
+    }
+}
+
+/// Applies the `txn: allow-effect(<reason>)` escape, reporting E1 for
+/// an empty reason, else A1 when unescaped.
+#[allow(clippy::too_many_arguments)]
+fn maybe_report(
+    rel: &Path,
+    lex: &LexOut,
+    line: u32,
+    what: &str,
+    ctx_line: u32,
+    desc: &str,
+    stats: &mut Stats,
+    out: &mut Vec<Finding>,
+) {
+    let lo = line.saturating_sub(COMMENT_WINDOW);
+    for l in (lo..=line).rev() {
+        let Some(comment) = lex.comment_on(l) else {
+            continue;
+        };
+        let Some(at) = comment.find(ESCAPE) else {
+            continue;
+        };
+        let rest = &comment[at + ESCAPE.len()..];
+        let reason = rest.split(')').next().unwrap_or("").trim();
+        if reason.is_empty() {
+            out.push(Finding {
+                file: rel.to_path_buf(),
+                line: l,
+                rule: Rule::E1,
+                message: "`txn: allow-effect()` escape with an empty reason — escapes must \
+                          argue why the effect is retry-safe"
+                    .into(),
+            });
+            break; // fall through to report the unescaped effect too
+        }
+        stats.escapes += 1;
+        return;
+    }
+    out.push(Finding {
+        file: rel.to_path_buf(),
+        line,
+        rule: Rule::A1,
+        message: format!("{desc} ({what} entered at line {ctx_line} reruns on abort)"),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::parse;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<String> {
+        let lexed = lex(src);
+        let trees = parse(&lexed.tokens);
+        let mut stats = Stats::default();
+        let mut out = Vec::new();
+        check_file(
+            &PathBuf::from("crates/x/src/lib.rs"),
+            &lexed,
+            &trees,
+            &mut stats,
+            &mut out,
+        );
+        out.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn println_in_atomically_closure_flagged() {
+        let v = run("fn f(stm: &Stm) { stm.atomically(|tx| { println!(\"hi\"); tx.read(&v) }); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("[A1]") && v[0].contains("println"));
+    }
+
+    #[test]
+    fn clean_closures_pass() {
+        let v = run(
+            "fn f(stm: &Stm) { stm.atomically(|tx| tx.modify(&v, |x| x + 1)); }\n\
+             fn g(stm: &Stm) { let _ = stm.read_only(|tx| { let mut sum = 0; sum += 1; Ok(sum) }); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn transaction_taking_fn_is_one_hop_context() {
+        let v = run("fn helper(tx: &mut Transaction, v: &TVar<u64>) -> TxResult<()> { std::thread::sleep(d); tx.write(v, 1) }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("thread::sleep"));
+    }
+
+    #[test]
+    fn fn_taking_closure_over_transactions_is_not_a_context() {
+        // `Stm::run`'s shape: `impl FnMut(&mut Transaction)` parameter.
+        let v = run("fn run<R>(&self, f: &mut impl FnMut(&mut Transaction) -> TxResult<R>) -> R { self.cm.backoff(n); }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn captured_mutation_flagged_but_locals_pass() {
+        let v =
+            run("fn f() { let mut hits = 0; stm.atomically(|tx| { hits += 1; tx.read(&v) }); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("captured `hits`"));
+        let v = run("fn f() { stm.atomically(|tx| { let mut n = 0; n += 1; Ok(n) }); }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn escape_with_reason_suppresses_empty_reason_reports_e1() {
+        let ok = "fn f() { stm.atomically(|tx| {\n\
+                  // txn: allow-effect(idempotent debug counter, test-only build)\n\
+                  println!(\"x\");\ntx.read(&v) }); }";
+        assert!(run(ok).is_empty());
+        let bad = "fn f() { stm.atomically(|tx| {\n// txn: allow-effect()\nprintln!(\"x\");\ntx.read(&v) }); }";
+        let v = run(bad);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|f| f.contains("[E1]")));
+        assert!(v.iter().any(|f| f.contains("[A1]")));
+    }
+
+    #[test]
+    fn channel_send_in_method_position_flagged() {
+        let v = run("fn f() { stm.atomically(|tx| { done.send(1); tx.read(&v) }); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(".send()"));
+    }
+
+    #[test]
+    fn test_tail_contexts_exempt() {
+        let v = run(
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { stm.atomically(|tx| { println!(\"dbg\"); Ok(()) }); }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

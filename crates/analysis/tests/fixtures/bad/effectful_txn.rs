@@ -1,0 +1,17 @@
+//! Seeded violation: irrevocable effects inside retry-able bodies.
+//! Expected: A1 at lines 8, 9, 15 (and nowhere else).
+
+use rubic_stm::{Stm, Transaction, TxResult};
+
+fn hot_loop(stm: &Stm, v: &TVar<u64>, total: &mut u64) {
+    stm.atomically(|tx| {
+        println!("attempt"); // line 8: duplicates on every retry
+        *total += 1; // line 9: captured non-TVar state
+        tx.modify(v, |x| x + 1)
+    });
+}
+
+fn helper(tx: &mut Transaction, v: &TVar<u64>) -> TxResult<()> {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 15
+    tx.write(v, 7)
+}

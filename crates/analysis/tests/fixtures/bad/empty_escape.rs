@@ -1,0 +1,11 @@
+//! Seeded violation: an escape that silences without arguing. The
+//! empty `txn: allow-effect()` is itself a finding (E1 at line 7) and
+//! does NOT suppress the effect below it (A1 at line 8).
+
+pub fn drain(stm: &Stm, v: &TVar<u64>) {
+    stm.atomically(|tx| {
+        // txn: allow-effect()
+        eprintln!("draining");
+        tx.modify(v, |x| x - 1)
+    });
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: one *real* `unsafe` block with no SAFETY comment
+//! (line 9), while line 7 only mentions unsafe inside a string. The
+//! line-based lint's failure mode was firing on both; the token-based
+//! rule must report exactly one R3, at line 9.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    let label = "this string says unsafe { } and must not fire";
+    let _ = label;
+    unsafe { *ptr }
+}

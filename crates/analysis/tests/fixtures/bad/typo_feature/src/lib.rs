@@ -1,0 +1,16 @@
+//! Seeded violation: typo'd feature gate and typo'd custom cfg.
+//! Expected: A2 at lines 6 and 9; lines 12–15 are clean.
+
+// `tracing` is not declared (the feature is `trace`): the whole block
+// is silently dead-coded forever.
+#[cfg(feature = "tracing")]
+pub fn emit() {}
+
+#[cfg(rubic_chek)]
+pub fn checked_only() {}
+
+#[cfg(all(feature = "trace", test))]
+pub fn fine() {}
+
+#[cfg(feature = "serde")]
+pub fn also_fine_implicit_optional_dep() {}

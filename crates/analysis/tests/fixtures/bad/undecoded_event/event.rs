@@ -1,0 +1,32 @@
+//! Seeded violation: `Gamma` was added to the enum but never wired
+//! through. Expected A3 findings: `ALL` declared length stale, `Gamma`
+//! missing from `ALL` (so `from_u8` drops it), no doc-table row — and
+//! the README copy (README.md next to this file) has a drifted `b`
+//! cell for `beta` plus no row for `gamma`.
+
+/// | kind | code | a | b | c |
+/// |---|---|---|---|---|
+/// | `Alpha` | 0 | start ns | 0 | 0 |
+/// | `Beta` | abort reason | hold ns | `reads << 32 \| writes` | attempts |
+#[derive(Clone, Copy)]
+pub enum EventKind {
+    Alpha = 0,
+    Beta = 1,
+    Gamma = 2,
+}
+
+impl EventKind {
+    pub const ALL: [EventKind; 2] = [EventKind::Alpha, EventKind::Beta];
+
+    pub fn from_u8(k: u8) -> Option<EventKind> {
+        Self::ALL.get(k as usize).copied()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Alpha => "alpha",
+            EventKind::Beta => "beta",
+            EventKind::Gamma => "gamma",
+        }
+    }
+}

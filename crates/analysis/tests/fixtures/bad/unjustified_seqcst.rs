@@ -1,0 +1,19 @@
+//! Seeded violation: extreme memory orderings and a downgraded fence
+//! with no justification comment anywhere nearby. Expected: R2 at
+//! lines 16 and 17, R5 at line 18.
+//!
+//! (This header deliberately avoids the justification marker spelling,
+//! which would suppress the findings through the comment window.)
+//!
+//!
+//!
+//!
+//!
+//! -- window spacer: the sites below are more than COMMENT_WINDOW
+//! lines from this header --
+
+pub fn publish(flag: &AtomicBool, n: &AtomicU64) {
+    n.fetch_add(1, Ordering::Relaxed);
+    flag.store(true, Ordering::SeqCst);
+    fence(Ordering::AcqRel);
+}

@@ -1,0 +1,30 @@
+// Lexer edge-case corpus. Each construct here has a known-correct
+// token stream pinned in edge_cases.tokens.
+/* block comment */
+/* nested /* block /* comments */ */ still one comment */
+fn main() {
+    let s = "plain \"escaped\" string";
+    let r = r#"raw "quoted" with # inside"#;
+    let rr = r##"outer r#"inner"# raw"##;
+    let b = b"byte string";
+    let br = br#"raw byte "string""#;
+    let c = 'a';
+    let esc = '\n';
+    let quote = '\'';
+    let byte_char = b'x';
+    let lt: &'static str = "s";
+    'outer: loop {
+        break 'outer;
+    }
+    let n = 1.5 + 1e10 + 0xFF + 0b101 + 1.0e-3;
+    let range = 1..2;
+    let inclusive = 0..=9;
+    let mut acc = 0u64;
+    acc <<= 2;
+    acc >>= 1;
+    let r#fn = 7;
+    let path = std::mem::size_of::<Vec<u8>>();
+}
+struct S<'a> {
+    x: &'a u8,
+}

@@ -1,0 +1,130 @@
+//! Golden-file tests for the lexer: each `tests/fixtures/lexer/*.rs`
+//! corpus has a pinned token dump (`*.tokens`) and comment map
+//! (`*.comments`). Any lexer change that shifts how raw strings,
+//! nested block comments, char-vs-lifetime quotes, or numeric literals
+//! tokenize shows up as a readable diff here.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p rubic-analyze --test golden`
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rubic_analyze::lexer::lex;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lexer")
+}
+
+/// One token per line: `<line>\t<kind>\t<text escaped>`.
+fn render_tokens(src: &str) -> String {
+    let lexed = lex(src);
+    let mut out = String::new();
+    for t in &lexed.tokens {
+        let _ = writeln!(out, "{}\t{:?}\t{}", t.line, t.kind, t.text.escape_debug());
+    }
+    out
+}
+
+/// One comment-map entry per line: `<line>\t<comment escaped>`.
+fn render_comments(src: &str) -> String {
+    let lexed = lex(src);
+    let mut out = String::new();
+    for (line, text) in &lexed.comments {
+        let _ = writeln!(out, "{line}\t{}", text.escape_debug());
+    }
+    out
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "lexer output drifted from {name}; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn edge_cases_tokens_match_golden() {
+    let src = std::fs::read_to_string(fixture_dir().join("edge_cases.rs")).unwrap();
+    check_golden("edge_cases.tokens", &render_tokens(&src));
+}
+
+#[test]
+fn edge_cases_comments_match_golden() {
+    let src = std::fs::read_to_string(fixture_dir().join("edge_cases.rs")).unwrap();
+    check_golden("edge_cases.comments", &render_comments(&src));
+}
+
+/// Spot checks that the golden corpus actually covers the claimed edge
+/// cases — so the golden files can't silently pin a degenerate stream.
+#[test]
+fn corpus_covers_the_edge_cases() {
+    let src = std::fs::read_to_string(fixture_dir().join("edge_cases.rs")).unwrap();
+    let lexed = lex(&src);
+    use rubic_analyze::lexer::TokKind;
+    let has = |kind: TokKind, text: &str| {
+        lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == kind && t.text == text)
+    };
+
+    // Raw strings keep their content, quotes and hashes stripped.
+    assert!(has(TokKind::Str, "raw \"quoted\" with # inside"));
+    assert!(has(TokKind::Str, "outer r#\"inner\"# raw"));
+    assert!(has(TokKind::Str, "raw byte \"string\""));
+    // Char literals vs lifetimes.
+    assert!(
+        has(TokKind::Char, "'a'") || has(TokKind::Char, "a"),
+        "char literal"
+    );
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text.contains("static")));
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text.contains("outer")));
+    // `S<'a>` must lex `'a` as a lifetime, not open a char literal.
+    assert!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count()
+            >= 4
+    );
+    // Numbers including float exponents stay single tokens.
+    assert!(has(TokKind::Num, "1.0e-3"));
+    assert!(has(TokKind::Num, "1e10"));
+    assert!(has(TokKind::Num, "0xFF"));
+    // `1..2`: the dots are punct, not part of the number.
+    assert!(has(TokKind::Num, "1") && has(TokKind::Num, "2"));
+    assert!(has(TokKind::Punct, "..=") || has(TokKind::Punct, ".."));
+    // Raw identifier and compound assignment.
+    assert!(
+        lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("fn") && t.text.contains('#'))
+            || has(TokKind::Ident, "r#fn")
+    );
+    assert!(has(TokKind::Punct, "<<="));
+    // The nested block comment landed in the comment map, once.
+    assert!(lexed
+        .comments
+        .values()
+        .any(|c| c.contains("nested") && c.contains("still one comment")));
+}

@@ -1,85 +1,13 @@
-//! Line-based concurrency hygiene lint (deliberately not `syn`-based:
-//! zero dependencies, builds offline, and the rules are lexical).
-//!
-//! Rules, each scoped to production source (`crates/*/src` and
-//! `suite/`), with `#[cfg(test)]` module tails exempt:
-//!
-//! * **R1 sync facade** — no direct `std::sync::atomic`,
-//!   `std::sync::Mutex`/`RwLock`/`Condvar`, `std::thread`, or
-//!   `parking_lot` imports outside the facade (`crates/sync`), the
-//!   checker (`crates/check`), and explicitly escaped lines. Production
-//!   code goes through `rubic_sync` so `--cfg rubic_check` swaps in the
-//!   model checker.
-//! * **R2 ordering justification** — every `SeqCst` / `Relaxed` site
-//!   carries a `// ordering:` comment on the line or within the five
-//!   lines above. `Acquire`/`Release`/`AcqRel` don't need one: they are
-//!   the default vocabulary; the extremes are where reviewers need the
-//!   argument.
-//! * **R3 SAFETY comments** — every `unsafe` keyword carries a
-//!   `SAFETY:` comment on the line or within the five lines above.
-//! * **R4 hot-path timing** — no `Instant::now()` in the STM
-//!   per-access hot path (`txn.rs`, `vlock.rs`, `clock.rs`, `tvar.rs`,
-//!   `index.rs`, `snap.rs`): timestamp reads belong to the global
-//!   version clock, not the OS.
-//! * **R5 fence justification** — every `fence(` site carries a
-//!   `// ordering:` comment, like R2. Fences order the version-chain /
-//!   snapshot-registry handshake (`snap.rs`) and any ordering weaker
-//!   than the argued one silently breaks the retention proof; R2 only
-//!   catches the `SeqCst` spelling, R5 catches the call itself (e.g. an
-//!   unjustified downgrade to `fence(Ordering::AcqRel)`).
-//!
-//! Escapes (same line): `// lint: allow-std-sync`,
-//! `// lint: allow-ordering`, `// lint: allow-unsafe`,
-//! `// lint: allow-instant`.
+//! `cargo xtask lint` — thin shim over `rubic-analyze`'s re-hosted
+//! R1–R5 lexical rules. The rules themselves (sync-facade discipline,
+//! ordering justifications, SAFETY comments, hot-path timing, fence
+//! justifications) now run on the analyzer's token stream instead of
+//! raw line text; `xtask/tests/legacy_parity.rs` pins the old and new
+//! implementations to identical verdicts.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// How far above a site a justification comment may sit. Ten lines
-/// accommodates a thorough multi-line justification whose marker line
-/// opens the comment block, plus the argument lines of a multi-line
-/// call (e.g. a `compare_exchange` with per-line orderings).
-const COMMENT_WINDOW: usize = 10;
-
-/// Crates whose `src` trees are exempt from R1/R2 (they *implement*
-/// the facade and the checker, so they necessarily name the raw
-/// primitives and match on orderings).
-const FACADE_CRATES: [&str; 2] = ["crates/sync", "crates/check"];
-
-/// STM files on the per-access hot path (R4). `snap.rs` is the
-/// snapshot-pin/retention path: registration runs at every read-only
-/// transaction begin and the registry scan inside every mvcc commit.
-const HOT_PATH_FILES: [&str; 6] = [
-    "crates/stm/src/txn.rs",
-    "crates/stm/src/vlock.rs",
-    "crates/stm/src/clock.rs",
-    "crates/stm/src/tvar.rs",
-    "crates/stm/src/index.rs",
-    "crates/stm/src/snap.rs",
-];
-
-/// A single rule violation.
-pub struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// Counters for the success report.
+/// Counters for the success report (historical field names).
 #[derive(Default)]
 pub struct Stats {
     pub files: usize,
@@ -87,331 +15,19 @@ pub struct Stats {
     pub unsafe_blocks: usize,
 }
 
-/// Runs the lint over the workspace rooted at `root`.
+/// Runs R1–R5 over the workspace rooted at `root`.
 ///
 /// # Errors
-/// Returns every violation found (the caller prints them and fails).
-pub fn run(root: &Path) -> Result<Stats, Vec<Violation>> {
-    let mut files = Vec::new();
-    for dir in ["crates", "suite"] {
-        collect_rs(&root.join(dir), &mut files);
-    }
-    files.sort();
-
-    let mut stats = Stats::default();
-    let mut violations = Vec::new();
-    for file in files {
-        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-        let Ok(text) = std::fs::read_to_string(&file) else {
-            continue;
-        };
-        stats.files += 1;
-        lint_file(&rel, &text, &mut stats, &mut violations);
-    }
-    if violations.is_empty() {
-        Ok(stats)
+/// Returns every violation, rendered, for the caller to print and fail.
+pub fn run(root: &Path) -> Result<Stats, Vec<String>> {
+    let rep = rubic_analyze::analyze_lexical(root);
+    if rep.findings.is_empty() {
+        Ok(Stats {
+            files: rep.stats.files,
+            ordering_sites: rep.stats.ordering_sites,
+            unsafe_blocks: rep.stats.unsafe_sites,
+        })
     } else {
-        Err(violations)
-    }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // Only production trees: crate `src` dirs and `suite`.
-            // Crate-level `tests/`, `benches/`, `examples/` are test
-            // harness code and may use std primitives directly.
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name == "tests" || name == "benches" || name == "examples" || name == "target" {
-                continue;
-            }
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn rel_starts_with(rel: &Path, prefix: &str) -> bool {
-    let mut comps = rel.components();
-    prefix
-        .split('/')
-        .all(|p| comps.next().is_some_and(|c| c.as_os_str() == p))
-}
-
-/// Line index where the trailing `#[cfg(test)]` *module* begins, if
-/// any. Everything at or after that line is exempt. An inline
-/// `#[cfg(test)]` on a single helper fn does not start the tail — only
-/// an attribute whose next item is a `mod` does (otherwise one
-/// test-only helper mid-file would exempt all production code below
-/// it).
-fn test_tail_start(lines: &[&str]) -> usize {
-    for (i, l) in lines.iter().enumerate() {
-        let t = l.trim_start();
-        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
-            let next_item = lines[i + 1..]
-                .iter()
-                .map(|l| l.trim_start())
-                .find(|t| !t.is_empty() && !t.starts_with("#["));
-            if next_item.is_some_and(|t| t.starts_with("mod ") || t.starts_with("pub mod ")) {
-                return i;
-            }
-        }
-    }
-    lines.len()
-}
-
-/// True when any of the `window` lines ending at `idx` (inclusive)
-/// contains `needle` inside a comment.
-fn comment_nearby(lines: &[&str], idx: usize, needle: &str, window: usize) -> bool {
-    let lo = idx.saturating_sub(window);
-    lines[lo..=idx]
-        .iter()
-        .any(|l| l.find("//").is_some_and(|pos| l[pos..].contains(needle)))
-}
-
-/// Strips line comments and ordinary string literals so rule patterns
-/// don't fire on prose. (Raw strings and block comments are rare enough
-/// in this tree that the simple scan suffices; escapes exist for the
-/// rest.)
-fn code_portion(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '\\' {
-                chars.next();
-            } else if c == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => in_str = true,
-            '/' if chars.peek() == Some(&'/') => break,
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-fn lint_file(rel: &Path, text: &str, stats: &mut Stats, out: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let tail = test_tail_start(&lines);
-    let facade_exempt = FACADE_CRATES.iter().any(|c| rel_starts_with(rel, c));
-    let hot_path = HOT_PATH_FILES.iter().any(|f| rel_starts_with(rel, f));
-
-    for (i, raw) in lines.iter().enumerate().take(tail) {
-        let lineno = i + 1;
-        let code = code_portion(raw);
-        if code.trim().is_empty() {
-            continue;
-        }
-
-        // R1: facade discipline.
-        if !facade_exempt
-            && !raw.contains("lint: allow-std-sync")
-            && (code.contains("std::sync::atomic")
-                || code.contains("std::sync::Mutex")
-                || code.contains("std::sync::RwLock")
-                || code.contains("std::sync::Condvar")
-                || code.contains("std::thread")
-                || code.contains("parking_lot::")
-                || code.contains("use parking_lot"))
-        {
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "R1",
-                message: "direct sync primitive; import from rubic_sync so `--cfg rubic_check` \
-                          can swap in the model checker (or `// lint: allow-std-sync` with a \
-                          reason)"
-                    .into(),
-            });
-        }
-
-        // R2: extreme orderings must be argued.
-        if !facade_exempt && (code.contains("SeqCst") || code.contains("Relaxed")) {
-            stats.ordering_sites += 1;
-            if !raw.contains("lint: allow-ordering")
-                && !comment_nearby(&lines, i, "ordering:", COMMENT_WINDOW)
-            {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: lineno,
-                    rule: "R2",
-                    message: "SeqCst/Relaxed site without a `// ordering:` justification within \
-                              5 lines"
-                        .into(),
-                });
-            }
-        }
-
-        // R3: unsafe needs SAFETY.
-        if code.contains("unsafe")
-            && !code.contains("unsafe_code")
-            && !code.contains("unsafe_op_in_unsafe_fn")
-        {
-            stats.unsafe_blocks += 1;
-            if !raw.contains("lint: allow-unsafe")
-                && !comment_nearby(&lines, i, "SAFETY:", COMMENT_WINDOW)
-            {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: lineno,
-                    rule: "R3",
-                    message: "`unsafe` without a `// SAFETY:` comment within 5 lines".into(),
-                });
-            }
-        }
-
-        // R4: hot path must not read the OS clock.
-        if hot_path && code.contains("Instant::now") && !raw.contains("lint: allow-instant") {
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "R4",
-                message: "Instant::now() on the STM per-access hot path; use the global version \
-                          clock or hoist timing to transaction boundaries"
-                    .into(),
-            });
-        }
-
-        // R5: fences must be argued, whatever their ordering. `fence(`
-        // with `SeqCst` is already an R2 site; counting it again here
-        // would double-report, so R5 only fires when R2 did not.
-        if !facade_exempt
-            && code.contains("fence(")
-            && !code.contains("SeqCst")
-            && !code.contains("Relaxed")
-            && !raw.contains("lint: allow-ordering")
-            && !comment_nearby(&lines, i, "ordering:", COMMENT_WINDOW)
-        {
-            stats.ordering_sites += 1;
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "R5",
-                message: "fence without a `// ordering:` justification; fences carry the \
-                          version-chain / snapshot-registry handshake arguments"
-                    .into(),
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint_str(rel: &str, text: &str) -> Vec<String> {
-        let mut stats = Stats::default();
-        let mut out = Vec::new();
-        lint_file(Path::new(rel), text, &mut stats, &mut out);
-        out.iter().map(|v| v.to_string()).collect()
-    }
-
-    #[test]
-    fn flags_raw_std_sync_import() {
-        let v = lint_str("crates/stm/src/x.rs", "use std::sync::Mutex;\n");
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("[R1]"));
-    }
-
-    #[test]
-    fn facade_crates_are_exempt_from_r1_r2() {
-        let src = "use std::sync::Mutex;\nlet x = a.load(Ordering::SeqCst);\n";
-        assert!(lint_str("crates/sync/src/lib.rs", src).is_empty());
-        assert!(lint_str("crates/check/src/engine.rs", src).is_empty());
-    }
-
-    #[test]
-    fn test_tail_is_exempt() {
-        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
-        assert!(lint_str("crates/stm/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn inline_cfg_test_helper_does_not_start_the_tail() {
-        // Production code *below* a `#[cfg(test)]` helper fn must still
-        // be linted; only a trailing test module exempts.
-        let src = "#[cfg(test)]\nfn helper() {}\nuse std::sync::Mutex;\n";
-        let v = lint_str("crates/stm/src/x.rs", src);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("[R1]"));
-    }
-
-    #[test]
-    fn ordering_needs_justification() {
-        let bad = "let x = a.load(Ordering::SeqCst);\n";
-        let good = "// ordering: drain check needs a total order with producer increments\n\
-                    let x = a.load(Ordering::SeqCst);\n";
-        let inline = "let x = a.load(Ordering::Relaxed); // ordering: stat counter\n";
-        assert_eq!(lint_str("crates/runtime/src/x.rs", bad).len(), 1);
-        assert!(lint_str("crates/runtime/src/x.rs", good).is_empty());
-        assert!(lint_str("crates/runtime/src/x.rs", inline).is_empty());
-    }
-
-    #[test]
-    fn acquire_release_do_not_need_justification() {
-        let src = "let x = a.load(Ordering::Acquire);\na.store(1, Ordering::Release);\n";
-        assert!(lint_str("crates/runtime/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unsafe_needs_safety_comment() {
-        let bad = "let p = unsafe { *ptr };\n";
-        let good = "// SAFETY: ptr is valid for the guard's lifetime\nlet p = unsafe { *ptr };\n";
-        assert_eq!(lint_str("crates/stm/src/x.rs", bad).len(), 1);
-        assert!(lint_str("crates/stm/src/x.rs", good).is_empty());
-    }
-
-    #[test]
-    fn hot_path_instant_flagged_only_on_hot_files() {
-        let src = "let t = Instant::now();\n";
-        assert_eq!(lint_str("crates/stm/src/vlock.rs", src).len(), 1);
-        assert_eq!(lint_str("crates/stm/src/snap.rs", src).len(), 1);
-        assert!(lint_str("crates/stm/src/stats.rs", src).is_empty());
-        assert!(lint_str("crates/runtime/src/pool.rs", src).is_empty());
-    }
-
-    #[test]
-    fn fences_need_justification_at_any_ordering() {
-        // A SeqCst fence is an R2 site; a downgraded fence must not
-        // slip past just because the extreme spelling is gone.
-        let bad = "fence(Ordering::AcqRel);\n";
-        let good = "// ordering: pairs the slot store with the clock re-read\n\
-                    fence(Ordering::AcqRel);\n";
-        let seqcst_unjustified = "fence(Ordering::SeqCst);\n";
-        let v = lint_str("crates/stm/src/snap.rs", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("[R5]"));
-        assert!(lint_str("crates/stm/src/snap.rs", good).is_empty());
-        // SeqCst fence without a comment: exactly one report (R2).
-        let v = lint_str("crates/stm/src/snap.rs", seqcst_unjustified);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("[R2]"));
-        assert!(
-            lint_str("crates/check/src/x.rs", bad).is_empty(),
-            "facade exempt"
-        );
-    }
-
-    #[test]
-    fn escapes_suppress() {
-        let src = "use std::sync::Mutex; // lint: allow-std-sync — poison-test fixture\n\
-                   let x = a.load(Ordering::SeqCst); // lint: allow-ordering\n";
-        assert!(lint_str("crates/stm/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_fire() {
-        let src = "// std::sync::Mutex is banned here\nlet s = \"std::sync::Mutex\";\n";
-        assert!(lint_str("crates/stm/src/x.rs", src).is_empty());
+        Err(rep.findings.iter().map(ToString::to_string).collect())
     }
 }

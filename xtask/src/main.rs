@@ -1,11 +1,19 @@
-//! Workspace automation. `cargo xtask lint` runs the concurrency
-//! hygiene lint; see `lint.rs` for the rules.
+//! Workspace automation.
+//!
+//! * `cargo xtask analyze [--json [FILE]]` — full static analysis
+//!   (transaction purity A1, feature-gate integrity A2, trace-schema
+//!   consistency A3, plus the R1–R5 hygiene rules). Exits non-zero on
+//!   any finding. `--json` writes the machine-readable report
+//!   (`rubic-analyze/v1`) to FILE, or stdout when FILE is omitted.
+//! * `cargo xtask lint` — the historical R1–R5 subset only (kept for
+//!   muscle memory and pre-push hooks; `analyze` is a superset).
 
 mod lint;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
+        Some("analyze") => analyze(&mut args),
         Some("lint") => {
             let root = workspace_root();
             match lint::run(&root) {
@@ -26,15 +34,68 @@ fn main() {
         }
         other => {
             eprintln!(
-                "usage: cargo xtask <command>\n\ncommands:\n  lint    concurrency hygiene lint \
-                 (sync-facade imports, ordering justifications,\n          SAFETY comments, \
-                 hot-path timing calls)"
+                "usage: cargo xtask <command>\n\ncommands:\n  analyze  full static analysis \
+                 (txn purity, feature gates, trace schema, hygiene rules)\n           \
+                 options: --json [FILE] machine-readable report\n  lint     the R1-R5 hygiene \
+                 subset only (analyze is a superset)"
             );
             if let Some(o) = other {
                 eprintln!("\nunknown command: {o}");
             }
             std::process::exit(2);
         }
+    }
+}
+
+/// `cargo xtask analyze`: run every pass, report, and gate.
+fn analyze(args: &mut impl Iterator<Item = String>) {
+    let mut json_to: Option<Option<String>> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_to = Some(args.next()),
+            other => {
+                eprintln!("xtask analyze: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let rep = rubic_analyze::analyze(&root);
+
+    if let Some(dest) = json_to {
+        let json = rep.to_json();
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("xtask analyze: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("xtask analyze: JSON report written to {path}");
+            }
+            None => print!("{json}"),
+        }
+    }
+
+    for f in &rep.findings {
+        eprintln!("{f}");
+    }
+    let s = &rep.stats;
+    if rep.findings.is_empty() {
+        println!(
+            "xtask analyze: OK ({} files; {} txn contexts, {} cfg sites, {} event kinds, \
+             {} ordering sites, {} unsafe sites checked; {} escapes honoured)",
+            s.files,
+            s.txn_contexts,
+            s.cfg_sites,
+            s.event_kinds,
+            s.ordering_sites,
+            s.unsafe_sites,
+            s.escapes
+        );
+    } else {
+        eprintln!("xtask analyze: {} finding(s)", rep.findings.len());
+        std::process::exit(1);
     }
 }
 
